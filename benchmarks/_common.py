@@ -1,0 +1,47 @@
+"""Shared benchmark plumbing.
+
+Every bench regenerates one paper table/figure through the drivers in
+:mod:`repro.analysis.experiments`, prints the rendered table, and writes it
+to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference the
+exact output.
+
+Scale: benches default to a 3-workload, 60K-instruction profile so the
+whole suite runs in minutes. Set ``REPRO_FULL=1`` (all 23 workloads) and
+``REPRO_INSTRUCTIONS=<n>`` to reproduce at larger scale; the shapes
+reported in EXPERIMENTS.md are stable across scales.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: one stream, one latency-bound, one low-MPKI, one hot-row stress
+BENCH_WORKLOADS = ("add", "mcf", "xalancbmk", "hammer")
+
+
+def bench_workloads() -> tuple[str, ...]:
+    if os.environ.get("REPRO_FULL"):
+        from repro.workloads.catalog import ALL_WORKLOADS, EXTRA_WORKLOADS
+        return ALL_WORKLOADS + EXTRA_WORKLOADS
+    return BENCH_WORKLOADS
+
+
+def bench_instructions(default: int = 60_000) -> int:
+    value = os.environ.get("REPRO_INSTRUCTIONS")
+    return int(value) if value else default
+
+
+def record(name: str, text: str) -> None:
+    """Print the rendered table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print()
+    print(text)
+
+
+def run_once(benchmark, func):
+    """Run an experiment driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,55 @@
+"""Ablation (Section 6.3): the Tardiness Threshold trade-off.
+
+TTH bounds how long a buffered row can be hammered before a forced
+drain. Smaller TTH tightens security (higher usable ATH*, lower worst
+count) but hands the attacker a cheaper ABO trigger (one per TTH
+activations, Table 10's 17.9% column). This bench sweeps TTH and shows
+both sides.
+"""
+
+import random
+
+from _common import record, run_once
+
+from repro.attacks.harness import measure_slowdown, run_attack
+from repro.attacks.patterns import single_sided
+from repro.mitigations.mopac_d import MoPACDPolicy
+from repro.security.attacks_model import abo_slowdown
+from repro.security.csearch import mopac_d_params
+
+GEO = dict(banks=4, rows=1024, refresh_groups=64)
+TRH = 500
+TTHS = (16, 32, 64, 128)
+
+
+def sweep():
+    rows = []
+    for tth in TTHS:
+        params = mopac_d_params(TRH, tth=tth)
+        policy = MoPACDPolicy(TRH, **GEO, tth=tth, params=params,
+                              rng=random.Random(7))
+        result = run_attack(policy, single_sided(0, 100), 150_000,
+                            trh=TRH, **GEO)
+        attack_cost = abo_slowdown(tth)  # analytic TTH-attack slowdown
+        rows.append((tth, params.ath_star, result.ledger.max_count,
+                     attack_cost))
+    return rows
+
+
+def test_ablation_tth(benchmark):
+    rows = run_once(benchmark, sweep)
+    lines = ["Ablation: tardiness threshold sweep (T_RH = 500)",
+             f"{'TTH':>5s} {'ATH*':>6s} {'worst count':>12s} "
+             f"{'TTH-attack':>11s}"]
+    for tth, ath_star, worst, attack in rows:
+        lines.append(f"{tth:>5d} {ath_star:>6d} {worst:>12d} "
+                     f"{attack:>11.1%}")
+    record("ablation_tth", "\n".join(lines) + "\n")
+    by_tth = {r[0]: r for r in rows}
+    # security: every configuration holds
+    assert all(r[2] < TRH for r in rows)
+    # larger TTH -> smaller usable ATH* budget? No: larger TTH means a
+    # smaller A' and therefore a smaller ATH*.
+    assert by_tth[128][1] < by_tth[16][1]
+    # larger TTH -> cheaper for the attacker to avoid (lower DoS cost)
+    assert by_tth[128][3] < by_tth[16][3]

@@ -1,0 +1,27 @@
+"""Figure 1(d): average slowdown of PRAC vs MoPAC as T_RH scales from
+4000 (near-term) down to 250 (long-term).
+
+Paper: PRAC is flat at ~10%; MoPAC grows from ~0.2% at 4K to ~2.5% at
+250 as the sampling probability rises.
+"""
+
+from _common import (bench_instructions, bench_workloads, record, run_once)
+
+from repro.analysis import experiments as ex
+from repro.analysis import tables
+
+
+def test_fig01_overview(benchmark):
+    table = run_once(benchmark, lambda: ex.fig1_overview(
+        workloads=bench_workloads(), instructions=bench_instructions(),
+        trhs=(4000, 1000, 500, 250)))
+    record("fig01_overview", tables.render_slowdown_table(
+        table, "Figure 1(d): PRAC vs MoPAC across thresholds"))
+    averages = table.averages()
+    prac = averages["prac"]
+    # every MoPAC point beats PRAC
+    for column, value in averages.items():
+        if column != "prac":
+            assert value < prac
+    # MoPAC-C overhead grows as T_RH falls (p rises)
+    assert averages["mopac-c@4000"] <= averages["mopac-c@250"] + 0.01

@@ -1,0 +1,31 @@
+"""Figure 2: PRAC slowdown per workload at T_RH 4000 / 500 / 100.
+
+Paper: the slowdown is identical across thresholds (~10% average, 18%
+worst case) because it comes from the inflated timings, not ABO.
+"""
+
+from _common import (bench_instructions, bench_workloads, record, run_once)
+
+from repro.analysis import experiments as ex
+from repro.analysis import tables
+from repro.workloads.catalog import STREAM_NAMES
+
+
+def test_fig02_prac_slowdown(benchmark):
+    table = run_once(benchmark, lambda: ex.fig2_prac_slowdown(
+        workloads=bench_workloads(), instructions=bench_instructions()))
+    record("fig02_prac_slowdown", tables.render_slowdown_table(
+        table, "Figure 2: PRAC slowdown (paper avg: 10%)"))
+    averages = table.averages()
+    # flat across thresholds (ABO contributes ~nothing for benign runs)
+    values = list(averages.values())
+    assert max(values) - min(values) < 0.03
+    # meaningful average slowdown (our core model reads ~1.3-1.6x the
+    # paper's 10%; see EXPERIMENTS.md for the calibration discussion)
+    assert 0.05 < averages["prac@500"] < 0.25
+    # streams are the least affected workloads present
+    streams = ex.stream_subset(table)
+    if streams:
+        non_stream = [row["prac@500"] for name, row in table.rows.items()
+                      if name not in STREAM_NAMES]
+        assert streams["prac@500"] < sum(non_stream) / len(non_stream)

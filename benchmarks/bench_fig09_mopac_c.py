@@ -1,0 +1,21 @@
+"""Figure 9: per-workload slowdown of PRAC vs MoPAC-C at T_RH
+1000/500/250 (paper averages: 10% vs 0.8% / 1.8% / 3.0%)."""
+
+from _common import (bench_instructions, bench_workloads, record, run_once)
+
+from repro.analysis import experiments as ex
+from repro.analysis import tables
+
+
+def test_fig09_mopac_c(benchmark):
+    table = run_once(benchmark, lambda: ex.fig9_mopac_c(
+        workloads=bench_workloads(), instructions=bench_instructions()))
+    record("fig09_mopac_c", tables.render_slowdown_table(
+        table, "Figure 9: PRAC vs MoPAC-C"))
+    averages = table.averages()
+    # MoPAC-C removes most of PRAC's slowdown at every threshold
+    for trh in (1000, 500, 250):
+        assert averages[f"mopac-c@{trh}"] < averages["prac"] * 0.6
+    # overheads ordered by sampling probability: 250 (1/4) worst
+    assert averages["mopac-c@1000"] <= averages["mopac-c@500"] + 0.01
+    assert averages["mopac-c@500"] <= averages["mopac-c@250"] + 0.01

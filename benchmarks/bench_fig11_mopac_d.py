@@ -1,0 +1,22 @@
+"""Figure 11: per-workload slowdown of PRAC vs MoPAC-D at T_RH
+1000/500/250 (paper averages: 10% vs 0.1% / 0.8% / 3.5%)."""
+
+from _common import (bench_instructions, bench_workloads, record, run_once)
+
+from repro.analysis import experiments as ex
+from repro.analysis import tables
+
+
+def test_fig11_mopac_d(benchmark):
+    table = run_once(benchmark, lambda: ex.fig11_mopac_d(
+        workloads=bench_workloads(), instructions=bench_instructions()))
+    record("fig11_mopac_d", tables.render_slowdown_table(
+        table, "Figure 11: PRAC vs MoPAC-D"))
+    averages = table.averages()
+    # MoPAC-D removes almost all of PRAC's slowdown at T_RH >= 500
+    assert averages["mopac-d@1000"] < 0.02
+    assert averages["mopac-d@500"] < 0.03
+    for trh in (1000, 500, 250):
+        assert averages[f"mopac-d@{trh}"] < averages["prac"] * 0.6
+    # overheads rise as the threshold falls
+    assert averages["mopac-d@1000"] <= averages["mopac-d@250"] + 0.01

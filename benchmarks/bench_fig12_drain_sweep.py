@@ -1,0 +1,27 @@
+"""Figure 12: MoPAC-D slowdown vs the drain-on-REF rate (0/1/2/4).
+
+Paper: without draining even T_RH = 1000 suffers (3.1%); the required
+drain rate rises as the threshold falls (250 needs 4 per REF).
+"""
+
+from _common import (bench_instructions, bench_workloads, record, run_once)
+
+from repro.analysis import experiments as ex
+from repro.analysis import tables
+
+
+def test_fig12_drain_sweep(benchmark):
+    table = run_once(benchmark, lambda: ex.fig12_drain_sweep(
+        workloads=bench_workloads(), instructions=bench_instructions()))
+    record("fig12_drain_sweep", tables.render_slowdown_table(
+        table, "Figure 12: MoPAC-D vs drain-on-REF rate"))
+    averages = table.averages()
+    for trh in (1000, 500, 250):
+        # more draining never hurts
+        series = [averages[f"trh{trh}/drain{d}"] for d in (0, 1, 2, 4)]
+        assert series[0] >= series[-1] - 0.005
+    # zero-drain overhead grows as the threshold falls
+    assert averages["trh1000/drain0"] <= averages["trh250/drain0"] + 0.01
+    # the Table 8 drain rates keep the overhead tiny at T_RH >= 500
+    assert averages["trh500/drain2"] < 0.03
+    assert averages["trh1000/drain1"] < 0.02

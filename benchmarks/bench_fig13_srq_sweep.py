@@ -1,0 +1,24 @@
+"""Figure 13: MoPAC-D slowdown vs SRQ size (8/16/32 entries).
+
+Paper: lower thresholds fill the queue faster, so T_RH = 250 benefits
+most from a larger SRQ (9.0% -> 3.5% -> 2.7%).
+"""
+
+from _common import (bench_instructions, bench_workloads, record, run_once)
+
+from repro.analysis import experiments as ex
+from repro.analysis import tables
+
+
+def test_fig13_srq_sweep(benchmark):
+    table = run_once(benchmark, lambda: ex.fig13_srq_sweep(
+        workloads=bench_workloads(), instructions=bench_instructions()))
+    record("fig13_srq_sweep", tables.render_slowdown_table(
+        table, "Figure 13: MoPAC-D vs SRQ size"))
+    averages = table.averages()
+    for trh in (1000, 500, 250):
+        series = [averages[f"trh{trh}/srq{s}"] for s in (8, 16, 32)]
+        # a bigger queue never hurts
+        assert series[0] >= series[-1] - 0.005
+    # the smallest queue hurts low thresholds the most
+    assert averages["trh1000/srq8"] <= averages["trh250/srq8"] + 0.01

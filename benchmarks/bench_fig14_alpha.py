@@ -1,0 +1,31 @@
+"""Section 7.2 / Figure 14: Monte-Carlo estimate of the multi-bank race
+factor alpha (paper reports ~0.55 over 32 banks)."""
+
+from _common import record, run_once
+
+from repro.analysis import experiments as ex
+from repro.security.attacks_model import estimate_alpha
+from repro.security.csearch import mopac_c_params
+
+
+def test_fig14_alpha(benchmark):
+    alpha = run_once(benchmark, lambda: ex.fig14_alpha(trials=30_000))
+    lines = [f"Multi-bank race factor alpha (paper: ~0.55)",
+             f"  T_RH=500 (C=22, p=1/8): alpha = {alpha:.3f}"]
+    for trh in (250, 1000):
+        params = mopac_c_params(trh)
+        a = estimate_alpha(params.critical_updates, params.p, trials=30_000)
+        lines.append(f"  T_RH={trh} (C={params.critical_updates}, "
+                     f"p=1/{params.inv_p}): alpha = {a:.3f}")
+    record("fig14_alpha", "\n".join(lines) + "\n")
+    assert 0.4 < alpha < 0.8
+
+
+def test_fig14_alpha_grows_with_c(benchmark):
+    """Dispersion shrinks with more updates, so alpha rises with C."""
+    def run():
+        return [estimate_alpha(c, 1 / 8, trials=10_000)
+                for c in (5, 20, 80)]
+
+    alphas = run_once(benchmark, run)
+    assert alphas == sorted(alphas)

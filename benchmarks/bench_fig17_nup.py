@@ -1,0 +1,23 @@
+"""Figure 17: MoPAC-D with and without Non-Uniform Probability.
+
+Paper: NUP cuts the average slowdowns from 0.1 / 0.8 / 3.5% to
+0 / 0 / 1.1% at T_RH 1000 / 500 / 250.
+"""
+
+from _common import (bench_instructions, bench_workloads, record, run_once)
+
+from repro.analysis import experiments as ex
+from repro.analysis import tables
+
+
+def test_fig17_nup(benchmark):
+    table = run_once(benchmark, lambda: ex.fig17_nup(
+        workloads=bench_workloads(), instructions=bench_instructions()))
+    record("fig17_nup", tables.render_slowdown_table(
+        table, "Figure 17: MoPAC-D uniform vs NUP"))
+    averages = table.averages()
+    for trh in (1000, 500, 250):
+        # NUP never makes it meaningfully worse
+        assert averages[f"nup@{trh}"] <= averages[f"uniform@{trh}"] + 0.01
+    # and both stay far below PRAC territory
+    assert averages["nup@500"] < 0.03

@@ -1,0 +1,27 @@
+"""Figure 19 (Appendix B): MoPAC-D sensitivity to the number of DRAM
+chips per sub-channel.
+
+Paper: negligible variation at T_RH 500/1000; at 250 the 1/4 sampling
+oversamples with more chips (2.7% at 1 chip -> 4.2% at 16 chips).
+"""
+
+from _common import (bench_instructions, bench_workloads, record, run_once)
+
+from repro.analysis import experiments as ex
+from repro.analysis import tables
+
+
+def test_fig19_chips(benchmark):
+    table = run_once(benchmark, lambda: ex.fig19_chips(
+        workloads=bench_workloads(), instructions=bench_instructions(),
+        chip_counts=(1, 4, 16)))
+    record("fig19_chips", tables.render_slowdown_table(
+        table, "Figure 19: MoPAC-D vs chips per sub-channel"))
+    averages = table.averages()
+    # high thresholds stay flat
+    for trh in (500, 1000):
+        spread = (averages[f"trh{trh}/chips16"]
+                  - averages[f"trh{trh}/chips1"])
+        assert abs(spread) < 0.03
+    # the low threshold is the sensitive one
+    assert averages["trh250/chips16"] >= averages["trh250/chips1"] - 0.01

@@ -1,0 +1,48 @@
+"""Randomized security regression: fuzz the secure designs.
+
+A Blacksmith-style campaign of random structured patterns (aggressor
+counts, frequencies, phases, bank spread, dilution) against each secure
+design. The ground-truth ledger must never see a row cross T_RH.
+"""
+
+import random
+
+from _common import record, run_once
+
+from repro.attacks.fuzzer import fuzz
+from repro.mitigations.mopac_c import MoPACCPolicy
+from repro.mitigations.mopac_d import MoPACDPolicy
+from repro.mitigations.prac import PRACMoatPolicy
+
+GEO = dict(banks=4, rows=1024, refresh_groups=64)
+TRH = 500
+
+
+def campaign():
+    designs = {
+        "prac": lambda: PRACMoatPolicy(TRH, **GEO),
+        "mopac-c": lambda: MoPACCPolicy(TRH, **GEO,
+                                        rng=random.Random(21)),
+        "mopac-d": lambda: MoPACDPolicy(TRH, **GEO,
+                                        rng=random.Random(22)),
+        "mopac-d-nup": lambda: MoPACDPolicy(TRH, nup=True, **GEO,
+                                            rng=random.Random(23)),
+    }
+    return {
+        name: fuzz(factory, trh=TRH, cases=12, acts_per_case=60_000,
+                   seed=0xF00 + i, **GEO)
+        for i, (name, factory) in enumerate(designs.items())
+    }
+
+
+def test_fuzzer_campaign(benchmark):
+    results = run_once(benchmark, campaign)
+    lines = [f"Fuzzing campaign: 12 random patterns x 60K ACTs, "
+             f"T_RH = {TRH}",
+             f"{'design':>12s} {'worst count':>12s}  worst pattern"]
+    for name, result in results.items():
+        lines.append(f"{name:>12s} {result.worst_count:>12d}  "
+                     f"{result.worst_case}")
+    record("fuzzer_campaign", "\n".join(lines) + "\n")
+    for name, result in results.items():
+        assert not result.broken, f"{name} broken by {result.worst_case}"

@@ -1,0 +1,12 @@
+"""Table 2: MOAT's ALERT threshold per Rowhammer threshold."""
+
+from _common import record, run_once
+
+from repro.analysis import experiments as ex
+from repro.analysis import tables
+
+
+def test_tab02_moat_ath(benchmark):
+    ath = run_once(benchmark, ex.tab2_moat_ath)
+    record("tab02_moat_ath", tables.render_tab2(ath))
+    assert ath == {1000: 975, 500: 472, 250: 219}

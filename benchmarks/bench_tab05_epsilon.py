@@ -1,0 +1,16 @@
+"""Table 5: failure budget F and per-side escape budget epsilon."""
+
+import pytest
+from _common import record, run_once
+
+from repro.analysis import experiments as ex
+from repro.analysis import tables
+
+
+def test_tab05_epsilon(benchmark):
+    budgets = run_once(benchmark, ex.tab5_budgets)
+    record("tab05_epsilon", tables.render_tab5(budgets))
+    by_trh = {b.trh: b for b in budgets}
+    assert by_trh[250].failure_probability == pytest.approx(3.59e-17,
+                                                            rel=0.01)
+    assert by_trh[500].epsilon == pytest.approx(8.48e-9, rel=0.01)

@@ -1,0 +1,18 @@
+"""Table 6: row failure probability P_e1 as C varies from 20 to 25."""
+
+import pytest
+from _common import record, run_once
+
+from repro.analysis import experiments as ex
+from repro.analysis import tables
+
+
+def test_tab06_pe1_grid(benchmark):
+    grid = run_once(benchmark, ex.tab6_pe1_grid)
+    record("tab06_pe1", tables.render_tab6(grid))
+    # the boldface (largest safe C) entries of the paper
+    assert grid[250][20][1] < 1 < grid[250][21][1]
+    assert grid[500][22][1] < 1 < grid[500][23][1]
+    assert grid[1000][23][1] < 1 < grid[1000][24][1]
+    # spot value: T=500, C=22 -> 5.9e-9
+    assert grid[500][22][0] == pytest.approx(5.9e-9, rel=0.03)

@@ -1,0 +1,19 @@
+"""Table 7: MoPAC-C parameters (p, C, ATH*) per threshold."""
+
+from _common import record, run_once
+
+from repro.analysis import experiments as ex
+from repro.analysis import tables
+
+
+def test_tab07_mopac_c_params(benchmark):
+    params = run_once(benchmark, ex.tab7_mopac_c)
+    record("tab07_mopac_c_params", tables.render_params_table(
+        params, "Table 7: MoPAC-C parameters", "tab7_ath_star"))
+    by_trh = {p.trh: p for p in params}
+    assert (by_trh[250].p, by_trh[250].critical_updates,
+            by_trh[250].ath_star) == (1 / 4, 20, 80)
+    assert (by_trh[500].p, by_trh[500].critical_updates,
+            by_trh[500].ath_star) == (1 / 8, 22, 176)
+    assert (by_trh[1000].p, by_trh[1000].critical_updates,
+            by_trh[1000].ath_star) == (1 / 16, 23, 368)

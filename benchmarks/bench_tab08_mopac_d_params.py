@@ -1,0 +1,21 @@
+"""Table 8: MoPAC-D parameters (A', p, C, ATH*, drain-on-REF)."""
+
+from _common import record, run_once
+
+from repro.analysis import experiments as ex
+from repro.analysis import tables
+from repro.security.csearch import drain_on_ref_default
+
+
+def test_tab08_mopac_d_params(benchmark):
+    params = run_once(benchmark, ex.tab8_mopac_d)
+    text = tables.render_params_table(
+        params, "Table 8: MoPAC-D parameters", "tab8_ath_star")
+    text += "drain-on-REF: " + ", ".join(
+        f"T={p.trh}: {drain_on_ref_default(p.trh)}" for p in params) + "\n"
+    record("tab08_mopac_d_params", text)
+    by_trh = {p.trh: p for p in params}
+    assert by_trh[250].ath_star == 60
+    assert by_trh[500].ath_star == 152
+    assert by_trh[1000].ath_star == 336
+    assert [drain_on_ref_default(t) for t in (250, 500, 1000)] == [4, 2, 1]

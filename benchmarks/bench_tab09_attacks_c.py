@@ -1,0 +1,40 @@
+"""Table 9: performance attacks on MoPAC-C — analytical model plus an
+actual attack run through the activation-level harness."""
+
+import random
+
+import pytest
+from _common import record, run_once
+
+from repro.analysis import experiments as ex
+from repro.analysis import tables
+from repro.attacks.harness import measure_slowdown
+from repro.attacks.patterns import multi_bank_single_row
+from repro.mitigations.mopac_c import MoPACCPolicy
+
+
+def test_tab09_analytical(benchmark):
+    reports = run_once(benchmark, ex.tab9_attacks_c)
+    record("tab09_attacks_c", tables.render_tab9(reports))
+    by_trh = {r.trh: r for r in reports}
+    assert by_trh[250].slowdown == pytest.approx(0.140, abs=0.01)
+    assert by_trh[500].slowdown == pytest.approx(0.067, abs=0.005)
+    assert by_trh[1000].slowdown == pytest.approx(0.032, abs=0.005)
+
+
+def test_tab09_simulated_attack(benchmark):
+    """The harness-measured multi-bank attack (8 banks saturate under
+    tRRD); throughput loss must be in the analytical ballpark."""
+    geo = dict(banks=8, rows=1024, refresh_groups=64)
+
+    def run():
+        policy = MoPACCPolicy(500, **geo, rng=random.Random(3))
+        return measure_slowdown(
+            policy, lambda: multi_bank_single_row(range(8), 100),
+            300_000, trh=500, **geo)
+
+    slow = run_once(benchmark, run)
+    record("tab09_attacks_c_simulated",
+           f"MoPAC-C multi-bank attack (measured): {slow:.1%} "
+           f"(analytical model: 6.5%, paper: 6.7%)\n")
+    assert 0.01 < slow < 0.15

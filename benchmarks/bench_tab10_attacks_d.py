@@ -1,0 +1,40 @@
+"""Table 10: the three performance attacks on MoPAC-D."""
+
+import random
+
+import pytest
+from _common import record, run_once
+
+from repro.analysis import experiments as ex
+from repro.analysis import tables
+from repro.attacks.harness import measure_slowdown
+from repro.attacks.patterns import srq_fill
+from repro.mitigations.mopac_d import MoPACDPolicy
+
+
+def test_tab10_analytical(benchmark):
+    table = run_once(benchmark, ex.tab10_attacks_d)
+    record("tab10_attacks_d", tables.render_tab10(table))
+    assert table[500]["mitigation"].slowdown == pytest.approx(0.074,
+                                                              abs=0.005)
+    assert table[500]["srq_full"].slowdown == pytest.approx(0.149,
+                                                            abs=0.005)
+    assert table[500]["tardiness"].slowdown == pytest.approx(0.179,
+                                                             abs=0.005)
+
+
+def test_tab10_simulated_srq_attack(benchmark):
+    """SRQ-full flood measured through the harness."""
+    geo = dict(banks=4, rows=1024, refresh_groups=64)
+
+    def run():
+        policy = MoPACDPolicy(500, **geo, rng=random.Random(5),
+                              drain_on_ref=0)
+        return measure_slowdown(policy, lambda: srq_fill(0, 500),
+                                300_000, trh=500, **geo)
+
+    slow = run_once(benchmark, run)
+    record("tab10_attacks_d_simulated",
+           f"MoPAC-D SRQ-full attack (measured): {slow:.1%} "
+           f"(analytical: 14.9%, paper: 14.9%)\n")
+    assert 0.05 < slow < 0.25

@@ -1,0 +1,18 @@
+"""Table 11: ATH* of MoPAC-D with and without NUP (Markov chain)."""
+
+from _common import record, run_once
+
+from repro.analysis import experiments as ex
+from repro.analysis import tables
+
+
+def test_tab11_nup_ath(benchmark):
+    rows = run_once(benchmark, ex.tab11_nup)
+    record("tab11_nup_ath", tables.render_tab11(rows))
+    by_trh = {r.trh: r for r in rows}
+    assert (by_trh[1000].uniform_ath_star,
+            by_trh[1000].nup_ath_star) == (336, 288)
+    assert (by_trh[500].uniform_ath_star,
+            by_trh[500].nup_ath_star) == (152, 136)
+    assert (by_trh[250].uniform_ath_star,
+            by_trh[250].nup_ath_star) == (60, 56)

@@ -1,0 +1,27 @@
+"""Table 12: SRQ insertions per 100 activations, uniform vs NUP.
+
+Paper: 6.2 / 12.5 / 25.0 insertions per 100 ACTs at T_RH 1000/500/250,
+roughly halved by NUP (3.1 / 6.3 / 13.4).
+"""
+
+import pytest
+from _common import bench_instructions, record, run_once
+
+from repro.analysis import experiments as ex
+from repro.analysis import tables
+
+#: insertion-rate measurement needs ACT-rich workloads
+WORKLOADS = ("mcf", "add")
+
+
+def test_tab12_srq_insertions(benchmark):
+    out = run_once(benchmark, lambda: ex.tab12_srq_insertions(
+        workloads=WORKLOADS,
+        instructions=max(bench_instructions(), 60_000)))
+    record("tab12_srq_insertions", tables.render_tab12(out))
+    for trh, expected in ((1000, 6.25), (500, 12.5), (250, 25.0)):
+        # uniform MINT sampling inserts once per 1/p activations
+        assert out[trh]["uniform"] == pytest.approx(expected, rel=0.15)
+        # NUP halves it for cold-row-dominated traffic
+        ratio = out[trh]["nup"] / out[trh]["uniform"]
+        assert 0.4 < ratio < 0.75

@@ -1,0 +1,27 @@
+"""Table 14 + Figure 18: Row-Press-aware parameters and their
+performance impact (Appendix A)."""
+
+from _common import (bench_instructions, bench_workloads, record, run_once)
+
+from repro.analysis import experiments as ex
+from repro.analysis import tables
+
+
+def test_tab14_rowpress_params(benchmark):
+    table = run_once(benchmark, ex.tab14_rowpress)
+    record("tab14_rowpress", tables.render_tab14(table))
+    assert table[500] == {"mopac_c": 80, "mopac_d": 64}
+    assert table[1000] == {"mopac_c": 160, "mopac_d": 144}
+
+
+def test_fig18_rowpress_slowdowns(benchmark):
+    table = run_once(benchmark, lambda: ex.fig18_rowpress(
+        workloads=bench_workloads(), instructions=bench_instructions()))
+    record("fig18_rowpress", tables.render_slowdown_table(
+        table, "Figure 18: slowdowns with Row-Press protection"))
+    averages = table.averages()
+    # Row-Press protection lowers ATH*, so slowdown can only grow
+    for trh in (500, 1000):
+        for design in ("mopac-c", "mopac-d"):
+            assert averages[f"{design}@{trh}+rp"] >= \
+                averages[f"{design}@{trh}"] - 0.01

@@ -1,0 +1,6 @@
+"""Make the shared ``_common`` helpers importable from bench modules."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

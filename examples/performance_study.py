@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Performance study: regenerate the paper's headline comparison.
+
+Sweeps PRAC, MoPAC-C and MoPAC-D (+NUP) across Rowhammer thresholds for
+a set of workloads and prints Figure-9/11/17-style tables. Use
+``--full`` for the whole 23-workload suite (slow) and
+``--instructions N`` to lengthen the runs.
+
+Run:  python examples/performance_study.py [--full] [--instructions N]
+"""
+
+import argparse
+
+from repro.analysis import experiments as ex
+from repro.analysis import tables
+from repro.workloads.catalog import ALL_WORKLOADS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run all 23 workloads (slow)")
+    parser.add_argument("--instructions", type=int, default=60_000,
+                        help="instructions per core per run")
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help="explicit workload list")
+    parser.add_argument("--plot", action="store_true",
+                        help="also draw ASCII bar charts")
+    args = parser.parse_args()
+
+    if args.workloads:
+        workloads = tuple(args.workloads)
+    elif args.full:
+        workloads = ALL_WORKLOADS
+    else:
+        workloads = ("add", "scale", "mcf", "parest", "xalancbmk")
+
+    print(f"workloads: {', '.join(workloads)}")
+    print(f"instructions/core: {args.instructions:,}\n")
+
+    fig9 = ex.fig9_mopac_c(workloads=workloads,
+                           instructions=args.instructions)
+    print(tables.render_slowdown_table(
+        fig9, "PRAC vs MoPAC-C (paper Fig. 9; avg 10% vs 0.8/1.8/3.0%)"))
+
+    fig11 = ex.fig11_mopac_d(workloads=workloads,
+                             instructions=args.instructions)
+    print(tables.render_slowdown_table(
+        fig11, "PRAC vs MoPAC-D (paper Fig. 11; avg 10% vs 0.1/0.8/3.5%)"))
+
+    fig17 = ex.fig17_nup(workloads=workloads,
+                         instructions=args.instructions)
+    print(tables.render_slowdown_table(
+        fig17, "MoPAC-D uniform vs NUP (paper Fig. 17)"))
+
+    if args.plot:
+        from repro.analysis import plots
+        print(plots.figure_from_table(fig9, "Figure 9 (averages)"))
+        print(plots.figure_from_table(fig11, "Figure 11 (averages)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""MoPAC: Efficiently Mitigating Rowhammer with Probabilistic Activation
+Counting — a full-system Python reproduction of the ISCA 2025 paper.
+
+Quick tour (see ``examples/quickstart.py`` for a runnable version):
+
+>>> from repro import security
+>>> params = security.mopac_c_params(trh=500)
+>>> (params.p, params.critical_updates, params.ath_star)
+(0.125, 22, 176)
+
+Run an attack against a mitigation::
+
+    from repro.mitigations import MoPACDPolicy
+    from repro.attacks import run_attack, double_sided
+    policy = MoPACDPolicy(trh=500, banks=4, rows=1024, refresh_groups=64)
+    result = run_attack(policy, double_sided(0, 100), 500_000, trh=500,
+                        banks=4, rows=1024, refresh_groups=64)
+    assert not result.attack_succeeded
+
+Measure benign-workload slowdown::
+
+    from repro.sim import DesignPoint, slowdown
+    print(slowdown(DesignPoint(workload="mcf", design="mopac-c", trh=500)))
+
+Sub-packages:
+
+* :mod:`repro.dram` — DDR5 timing sets, bank state machines, MOP mapping
+* :mod:`repro.mc` — FR-FCFS memory controller, page policies
+* :mod:`repro.cpu` — ROB-window core model, LLC, trace format
+* :mod:`repro.workloads` — Table 4 catalog + synthetic generators
+* :mod:`repro.mitigations` — PRAC+MOAT, MoPAC-C, MoPAC-D(+NUP), baselines
+* :mod:`repro.security` — all the paper's analytical models (Tables 2-14)
+* :mod:`repro.attacks` — attack patterns, harness, ground-truth ledger
+* :mod:`repro.sim` — full-system simulator and experiment runner
+* :mod:`repro.analysis` — table/figure regeneration helpers
+"""
+
+from . import (analysis, attacks, config, cpu, dram, mc, mitigations,
+               security, sim, units, workloads)
+from .config import DRAMConfig, SystemConfig
+from .sim import DesignPoint, simulate, slowdown, sweep
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DRAMConfig", "DesignPoint", "SystemConfig", "analysis", "attacks",
+    "config", "cpu", "dram", "mc", "mitigations", "security", "sim",
+    "simulate", "slowdown", "sweep", "units", "workloads",
+]

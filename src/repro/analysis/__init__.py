@@ -1,0 +1,26 @@
+"""Experiment drivers and table rendering for every paper table/figure."""
+
+from . import experiments, plots, tables
+from .experiments import (FAST_WORKLOADS, SlowdownTable, fig1_overview,
+                          fig2_prac_slowdown, fig4_latency, fig9_mopac_c,
+                          fig11_mopac_d, fig12_drain_sweep, fig13_srq_sweep,
+                          fig14_alpha, fig17_nup, fig18_rowpress,
+                          fig19_chips, instruction_budget,
+                          selected_workloads, stream_subset,
+                          tab2_moat_ath, tab4_characteristics, tab5_budgets,
+                          tab6_pe1_grid, tab7_mopac_c, tab8_mopac_d,
+                          tab9_attacks_c, tab10_attacks_d, tab11_nup,
+                          tab12_srq_insertions, tab13_tolerated,
+                          tab14_rowpress, tab15_closure)
+
+__all__ = [
+    "FAST_WORKLOADS", "SlowdownTable", "experiments", "fig1_overview",
+    "fig2_prac_slowdown", "fig4_latency", "fig9_mopac_c", "fig11_mopac_d",
+    "fig12_drain_sweep", "fig13_srq_sweep", "fig14_alpha", "fig17_nup",
+    "fig18_rowpress", "fig19_chips", "instruction_budget",
+    "selected_workloads", "stream_subset", "tab2_moat_ath",
+    "tab4_characteristics", "tab5_budgets", "tab6_pe1_grid",
+    "tab7_mopac_c", "tab8_mopac_d", "tab9_attacks_c", "tab10_attacks_d",
+    "tab11_nup", "tab12_srq_insertions", "tab13_tolerated",
+    "tab14_rowpress", "tab15_closure", "tables", "plots",
+]

@@ -1,0 +1,349 @@
+"""Experiment drivers: one function per paper table/figure.
+
+Benchmarks, examples, and EXPERIMENTS.md all call these drivers so the
+numbers they show come from a single place. Simulation-backed experiments
+accept ``workloads`` and ``instructions`` so benches can run a fast
+representative subset by default (environment variables ``REPRO_FULL=1``
+and ``REPRO_INSTRUCTIONS=n`` widen them to the full suite).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from .. import security
+from ..dram.timing import ddr5_base, ddr5_prac
+from ..sim.runner import DesignPoint, simulate, slowdown
+from ..units import to_ns
+from ..workloads.catalog import ALL_WORKLOADS, STREAM_NAMES
+
+#: Fast representative subset: two streams, two latency-bound SPEC, one
+#: hot-row-heavy, one low-MPKI, one mix, plus the "hammer" stress
+#: workload that exercises the ALERT path at scaled run lengths.
+FAST_WORKLOADS = ("add", "scale", "mcf", "parest", "omnetpp",
+                  "xalancbmk", "mix1", "hammer")
+
+
+def selected_workloads() -> tuple[str, ...]:
+    """Workload list for simulation experiments (env-expandable)."""
+    if os.environ.get("REPRO_FULL"):
+        return ALL_WORKLOADS
+    return FAST_WORKLOADS
+
+
+def instruction_budget(default: int = 100_000) -> int:
+    value = os.environ.get("REPRO_INSTRUCTIONS")
+    return int(value) if value else default
+
+
+# ----------------------------------------------------------------------
+# Analytical experiments (exact reproductions)
+# ----------------------------------------------------------------------
+def fig4_latency() -> dict[str, float]:
+    """Figure 4: row-conflict read latency, baseline vs PRAC (ns)."""
+    return {
+        "baseline_ns": to_ns(ddr5_base().row_conflict_read_latency()),
+        "prac_ns": to_ns(ddr5_prac().row_conflict_read_latency()),
+    }
+
+
+def tab2_moat_ath(trhs=(1000, 500, 250)) -> dict[int, int]:
+    """Table 2: MOAT's ALERT threshold per T_RH."""
+    return {trh: security.moat_ath(trh) for trh in trhs}
+
+
+def tab5_budgets(trhs=(250, 500, 1000)) -> list[security.FailureBudget]:
+    """Table 5: F and epsilon per threshold."""
+    return [security.budget_for(trh) for trh in trhs]
+
+
+def tab6_pe1_grid() -> dict:
+    """Table 6: row failure probability vs C."""
+    return security.table6()
+
+
+def tab7_mopac_c(trhs=(250, 500, 1000)) -> list[security.MoPACParams]:
+    """Table 7: MoPAC-C p / C / ATH*."""
+    return [security.mopac_c_params(trh) for trh in trhs]
+
+
+def tab8_mopac_d(trhs=(250, 500, 1000)) -> list[security.MoPACParams]:
+    """Table 8: MoPAC-D A' / p / C / ATH* (+ drain-on-REF)."""
+    return [security.mopac_d_params(trh) for trh in trhs]
+
+
+def tab9_attacks_c(trhs=(250, 500, 1000)) -> list[security.AttackReport]:
+    """Table 9: MoPAC-C multi-bank performance attack."""
+    return [security.mopac_c_attack(trh) for trh in trhs]
+
+
+def tab10_attacks_d(trhs=(250, 500, 1000)) -> dict[int, dict]:
+    """Table 10: the three MoPAC-D performance attacks."""
+    return {trh: security.mopac_d_attacks(trh) for trh in trhs}
+
+
+def tab11_nup(trhs=(1000, 500, 250)) -> list[security.NUPParams]:
+    """Table 11: ATH* with and without NUP."""
+    return [security.mopac_d_nup_params(trh) for trh in trhs]
+
+
+def tab13_tolerated() -> list[security.ToleratedRow]:
+    """Table 13: tolerated T_RH for MoPAC-D / MINT / PrIDE."""
+    return security.table13()
+
+
+def tab14_rowpress(trhs=(500, 1000)) -> dict[int, dict[str, int]]:
+    """Table 14: Row-Press-aware ATH*."""
+    return {
+        trh: {
+            "mopac_c": security.mopac_c_rowpress_params(trh).ath_star,
+            "mopac_d": security.mopac_d_rowpress_params(trh).ath_star,
+        }
+        for trh in trhs
+    }
+
+
+def fig14_alpha(trh: int = 500, trials: int = 20_000) -> float:
+    """Section 7.2: Monte-Carlo estimate of the multi-bank factor alpha."""
+    params = security.mopac_c_params(trh)
+    return security.estimate_alpha(params.critical_updates, params.p,
+                                   trials=trials)
+
+
+# ----------------------------------------------------------------------
+# Simulation experiments
+# ----------------------------------------------------------------------
+@dataclass
+class SlowdownTable:
+    """Per-workload slowdowns for several configurations."""
+
+    label: str
+    columns: list[str] = field(default_factory=list)
+    rows: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def add(self, workload: str, column: str, value: float) -> None:
+        if column not in self.columns:
+            self.columns.append(column)
+        self.rows.setdefault(workload, {})[column] = value
+
+    def column_average(self, column: str) -> float:
+        values = [row[column] for row in self.rows.values()
+                  if column in row]
+        return sum(values) / len(values) if values else 0.0
+
+    def averages(self) -> dict[str, float]:
+        return {column: self.column_average(column)
+                for column in self.columns}
+
+
+def _slowdown_table(label: str, design_columns: list[tuple[str, str, int]],
+                    workloads=None, instructions=None,
+                    **overrides) -> SlowdownTable:
+    workloads = workloads or selected_workloads()
+    instructions = instructions or instruction_budget()
+    table = SlowdownTable(label=label)
+    for workload in workloads:
+        for column, design, trh in design_columns:
+            point = DesignPoint(workload=workload, design=design, trh=trh,
+                                instructions=instructions, **overrides)
+            table.add(workload, column, slowdown(point))
+    return table
+
+
+def fig2_prac_slowdown(workloads=None, instructions=None,
+                       trhs=(4000, 500, 100)) -> SlowdownTable:
+    """Figure 2: PRAC slowdown at several thresholds (should be flat)."""
+    columns = [(f"prac@{trh}", "prac", trh) for trh in trhs]
+    return _slowdown_table("fig2", columns, workloads, instructions)
+
+
+def fig9_mopac_c(workloads=None, instructions=None,
+                 trhs=(1000, 500, 250)) -> SlowdownTable:
+    """Figure 9: PRAC vs MoPAC-C at T_RH 1000/500/250."""
+    columns = [("prac", "prac", 500)]
+    columns += [(f"mopac-c@{trh}", "mopac-c", trh) for trh in trhs]
+    return _slowdown_table("fig9", columns, workloads, instructions)
+
+
+def fig11_mopac_d(workloads=None, instructions=None,
+                  trhs=(1000, 500, 250)) -> SlowdownTable:
+    """Figure 11: PRAC vs MoPAC-D at T_RH 1000/500/250."""
+    columns = [("prac", "prac", 500)]
+    columns += [(f"mopac-d@{trh}", "mopac-d", trh) for trh in trhs]
+    return _slowdown_table("fig11", columns, workloads, instructions)
+
+
+def fig1_overview(workloads=None, instructions=None,
+                  trhs=(4000, 2000, 1000, 500, 250)) -> SlowdownTable:
+    """Figure 1(d): average slowdown of PRAC vs MoPAC-C/D across T_RH."""
+    columns = [("prac", "prac", 500)]
+    columns += [(f"mopac-c@{trh}", "mopac-c", trh) for trh in trhs]
+    columns += [(f"mopac-d@{trh}", "mopac-d", trh) for trh in trhs]
+    return _slowdown_table("fig1d", columns, workloads, instructions)
+
+
+def fig12_drain_sweep(workloads=None, instructions=None,
+                      trhs=(1000, 500, 250),
+                      drains=(0, 1, 2, 4)) -> SlowdownTable:
+    """Figure 12: MoPAC-D slowdown vs drain-on-REF rate."""
+    workloads = workloads or selected_workloads()
+    instructions = instructions or instruction_budget()
+    table = SlowdownTable(label="fig12")
+    for workload in workloads:
+        for trh in trhs:
+            for drain in drains:
+                point = DesignPoint(workload=workload, design="mopac-d",
+                                    trh=trh, drain_on_ref=drain,
+                                    instructions=instructions)
+                table.add(workload, f"trh{trh}/drain{drain}",
+                          slowdown(point))
+    return table
+
+
+def fig13_srq_sweep(workloads=None, instructions=None,
+                    trhs=(1000, 500, 250),
+                    sizes=(8, 16, 32)) -> SlowdownTable:
+    """Figure 13: MoPAC-D slowdown vs SRQ size."""
+    workloads = workloads or selected_workloads()
+    instructions = instructions or instruction_budget()
+    table = SlowdownTable(label="fig13")
+    for workload in workloads:
+        for trh in trhs:
+            for size in sizes:
+                point = DesignPoint(workload=workload, design="mopac-d",
+                                    trh=trh, srq_size=size,
+                                    instructions=instructions)
+                table.add(workload, f"trh{trh}/srq{size}", slowdown(point))
+    return table
+
+
+def fig17_nup(workloads=None, instructions=None,
+              trhs=(1000, 500, 250)) -> SlowdownTable:
+    """Figure 17: MoPAC-D with and without NUP."""
+    columns = []
+    for trh in trhs:
+        columns.append((f"uniform@{trh}", "mopac-d", trh))
+        columns.append((f"nup@{trh}", "mopac-d-nup", trh))
+    return _slowdown_table("fig17", columns, workloads, instructions)
+
+
+def tab12_srq_insertions(workloads=None, instructions=None,
+                         trhs=(1000, 500, 250)) -> dict:
+    """Table 12: SRQ insertions per 100 ACTs, uniform vs NUP."""
+    workloads = workloads or selected_workloads()
+    instructions = instructions or instruction_budget()
+    out: dict[int, dict[str, float]] = {}
+    for trh in trhs:
+        rates = {"uniform": [], "nup": []}
+        for workload in workloads:
+            for label, design in (("uniform", "mopac-d"),
+                                  ("nup", "mopac-d-nup")):
+                point = DesignPoint(workload=workload, design=design,
+                                    trh=trh, instructions=instructions)
+                result = simulate(point)
+                acts = sum(s["activations"] for s in result.policy_stats)
+                ins = sum(s["srq_insertions"] for s in result.policy_stats)
+                if acts:
+                    rates[label].append(100.0 * ins / acts)
+        out[trh] = {label: (sum(vals) / len(vals) if vals else 0.0)
+                    for label, vals in rates.items()}
+    return out
+
+
+def fig18_rowpress(workloads=None, instructions=None,
+                   trhs=(1000, 500)) -> SlowdownTable:
+    """Figure 18: slowdowns with Row-Press-aware ATH* (Appendix A)."""
+    workloads = workloads or selected_workloads()
+    instructions = instructions or instruction_budget()
+    table = SlowdownTable(label="fig18")
+    for workload in workloads:
+        for trh in trhs:
+            for design in ("mopac-c", "mopac-d"):
+                for rp in (False, True):
+                    point = DesignPoint(workload=workload, design=design,
+                                        trh=trh, rowpress=rp,
+                                        instructions=instructions)
+                    suffix = "+rp" if rp else ""
+                    table.add(workload, f"{design}@{trh}{suffix}",
+                              slowdown(point))
+    return table
+
+
+def fig19_chips(workloads=None, instructions=None,
+                trhs=(250, 500, 1000),
+                chip_counts=(1, 2, 4, 8, 16)) -> SlowdownTable:
+    """Figure 19: MoPAC-D sensitivity to the number of chips (App. B)."""
+    workloads = workloads or selected_workloads()
+    instructions = instructions or instruction_budget()
+    table = SlowdownTable(label="fig19")
+    for workload in workloads:
+        for trh in trhs:
+            for chips in chip_counts:
+                point = DesignPoint(workload=workload, design="mopac-d",
+                                    trh=trh, chips=chips,
+                                    instructions=instructions)
+                table.add(workload, f"trh{trh}/chips{chips}",
+                          slowdown(point))
+    return table
+
+
+def tab15_closure(workloads=None, instructions=None,
+                  policies=("open", "close", "ton100", "ton200"),
+                  trhs=(1000, 500, 250)) -> dict:
+    """Table 15: PRAC and MoPAC-D under different row-closure policies."""
+    workloads = workloads or selected_workloads()
+    instructions = instructions or instruction_budget()
+    out: dict[str, dict[str, float]] = {}
+    for policy in policies:
+        row: dict[str, float] = {}
+        vals = []
+        for workload in workloads:
+            point = DesignPoint(workload=workload, design="prac", trh=500,
+                                page_policy=policy,
+                                instructions=instructions)
+            vals.append(slowdown(point))
+        row["prac"] = sum(vals) / len(vals)
+        for trh in trhs:
+            vals = []
+            for workload in workloads:
+                point = DesignPoint(workload=workload, design="mopac-d",
+                                    trh=trh, page_policy=policy,
+                                    instructions=instructions)
+                vals.append(slowdown(point))
+            row[f"mopac-d@{trh}"] = sum(vals) / len(vals)
+        out[policy] = row
+    return out
+
+
+def tab4_characteristics(workloads=None, instructions=None) -> dict:
+    """Table 4: measured workload characteristics of the synthetic suite."""
+    workloads = workloads or selected_workloads()
+    instructions = instructions or instruction_budget()
+    out = {}
+    for workload in workloads:
+        point = DesignPoint(workload=workload, design="baseline",
+                            instructions=instructions,
+                            collect_row_activity=True)
+        result = simulate(point)
+        total_inst = sum(s.instructions for s in result.core_stats)
+        activity = result.row_activity
+        out[workload] = {
+            "mpki": 1000.0 * result.total_requests / total_inst,
+            "rbhr": result.row_buffer_hit_rate,
+            "apri": activity.apri if activity else 0.0,
+            "act64": activity.act64 if activity else 0.0,
+            "act200": activity.act200 if activity else 0.0,
+        }
+    return out
+
+
+def stream_subset(table: SlowdownTable) -> dict[str, float]:
+    """Average of each column over the STREAM workloads present."""
+    out = {}
+    for column in table.columns:
+        values = [row[column] for name, row in table.rows.items()
+                  if name in STREAM_NAMES and column in row]
+        if values:
+            out[column] = sum(values) / len(values)
+    return out

@@ -1,0 +1,47 @@
+"""ASCII bar charts — terminal-friendly stand-ins for the paper's plots.
+
+The artifact's Jupyter notebook draws Figures 9/11/12/13/17 as grouped
+bar charts; in a text-only environment we render the same data as
+horizontal ASCII bars so the *shape* of a figure is visible at a glance::
+
+    Figure 9 (T_RH = 500)
+    prac          |############################################| 13.9%
+    mopac-c@500   |#########| 2.9%
+
+Used by ``examples/performance_study.py --plot`` and available for any
+:class:`~repro.analysis.experiments.SlowdownTable`.
+"""
+
+from __future__ import annotations
+
+from .experiments import SlowdownTable
+
+BAR_WIDTH = 48
+
+
+def bar_chart(values: dict[str, float], title: str = "",
+              width: int = BAR_WIDTH, fmt: str = "{:.1%}") -> str:
+    """Horizontal bar chart of a label -> value mapping."""
+    if not values:
+        return (title + "\n") if title else ""
+    peak = max(max(values.values()), 1e-12)
+    label_width = max(len(label) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(round(width * max(value, 0.0) / peak), 0)
+        lines.append(f"{label:<{label_width}s} |{bar}| "
+                     f"{fmt.format(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def figure_from_table(table: SlowdownTable, title: str = "") -> str:
+    """Column-average bar chart of a slowdown table (one bar/config)."""
+    return bar_chart(table.averages(), title or table.label)
+
+
+def per_workload_figure(table: SlowdownTable, column: str,
+                        title: str = "") -> str:
+    """One bar per workload for a single configuration column."""
+    values = {name: row[column] for name, row in table.rows.items()
+              if column in row}
+    return bar_chart(values, title or f"{table.label}: {column}")

@@ -1,0 +1,204 @@
+"""Plain-text rendering of the reproduced tables and figures.
+
+Each ``render_*`` function takes the data structure produced by the
+matching :mod:`repro.analysis.experiments` driver and returns a string
+shaped like the paper's table, with the paper's published value alongside
+where available — this is what the benchmark harness prints and what
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .experiments import SlowdownTable
+
+#: Published reference numbers used in side-by-side rendering.
+PAPER = {
+    "tab2_ath": {1000: 975, 500: 472, 250: 219},
+    "tab7_ath_star": {250: 80, 500: 176, 1000: 368},
+    "tab7_c": {250: 20, 500: 22, 1000: 23},
+    "tab7_p": {250: "1/4", 500: "1/8", 1000: "1/16"},
+    "tab8_ath_star": {250: 60, 500: 152, 1000: 336},
+    "tab8_c": {250: 15, 500: 19, 1000: 21},
+    "tab8_drain": {250: 4, 500: 2, 1000: 1},
+    "tab9_slowdown": {250: 0.140, 500: 0.067, 1000: 0.032},
+    "tab10": {
+        250: {"mitigation": 0.166, "srq_full": 0.259, "tardiness": 0.179},
+        500: {"mitigation": 0.074, "srq_full": 0.149, "tardiness": 0.179},
+        1000: {"mitigation": 0.035, "srq_full": 0.081, "tardiness": 0.179},
+    },
+    "tab11_nup": {1000: 288, 500: 136, 250: 56},
+    "tab13": {
+        240: {"mopac_d": 250, "mint": 1491, "pride": 1975},
+        120: {"mopac_d": 500, "mint": 2920, "pride": 3808},
+        60: {"mopac_d": 1000, "mint": 5725, "pride": 7474},
+    },
+    "tab14": {500: {"mopac_c": 80, "mopac_d": 64},
+              1000: {"mopac_c": 160, "mopac_d": 144}},
+    "fig2_avg": 0.10,
+    "fig9_avg": {1000: 0.008, 500: 0.018, 250: 0.030},
+    "fig11_avg": {1000: 0.001, 500: 0.008, 250: 0.035},
+    "fig17_nup_avg": {1000: 0.00, 500: 0.00, 250: 0.011},
+    "tab12": {1000: {"uniform": 6.2, "nup": 3.1},
+              500: {"uniform": 12.5, "nup": 6.3},
+              250: {"uniform": 25.0, "nup": 13.4}},
+    "alpha": 0.55,
+}
+
+
+def _rows(lines: Iterable[str]) -> str:
+    return "\n".join(lines) + "\n"
+
+
+def render_slowdown_table(table: SlowdownTable,
+                          title: str = "") -> str:
+    """Generic per-workload slowdown table with a column-average footer."""
+    columns = table.columns
+    width = max((len(c) for c in columns), default=8) + 2
+    header = f"{'workload':12s}" + "".join(f"{c:>{width}s}" for c in columns)
+    lines = [title or table.label, header, "-" * len(header)]
+    for workload, row in table.rows.items():
+        cells = "".join(
+            f"{row.get(c, float('nan')):>{width}.1%}" for c in columns)
+        lines.append(f"{workload:12s}{cells}")
+    averages = table.averages()
+    cells = "".join(f"{averages[c]:>{width}.1%}" for c in columns)
+    lines.append("-" * len(header))
+    lines.append(f"{'AVERAGE':12s}{cells}")
+    return _rows(lines)
+
+
+def render_tab2(ath: dict[int, int]) -> str:
+    lines = ["Table 2: MOAT ALERT Threshold (ATH)",
+             f"{'T_RH':>6s} {'ATH (ours)':>12s} {'ATH (paper)':>12s}"]
+    for trh, value in sorted(ath.items(), reverse=True):
+        paper = PAPER["tab2_ath"].get(trh, "-")
+        lines.append(f"{trh:>6d} {value:>12d} {paper!s:>12s}")
+    return _rows(lines)
+
+
+def render_tab5(budgets) -> str:
+    lines = ["Table 5: F and epsilon vs threshold",
+             f"{'T':>6s} {'F':>12s} {'epsilon':>12s}"]
+    for b in budgets:
+        lines.append(f"{b.trh:>6d} {b.failure_probability:>12.3e} "
+                     f"{b.epsilon:>12.3e}")
+    return _rows(lines)
+
+
+def render_tab6(grid: dict) -> str:
+    thresholds = sorted(grid)
+    lines = ["Table 6: P(N <= C) relative to epsilon",
+             f"{'C':>4s}" + "".join(f"{f'T={t}':>22s}" for t in thresholds)]
+    c_values = sorted(next(iter(grid.values())))
+    for c in c_values:
+        cells = ""
+        for t in thresholds:
+            prob, ratio = grid[t][c]
+            cells += f"{prob:>12.1e} ({ratio:>5.2f}x)"
+        lines.append(f"{c:>4d}{cells}")
+    return _rows(lines)
+
+
+def render_params_table(params_list, title: str, paper_key: str) -> str:
+    lines = [title,
+             f"{'T_RH':>6s} {'A':>6s} {'p':>8s} {'C':>4s} "
+             f"{'ATH*':>6s} {'paper ATH*':>11s}"]
+    for p in params_list:
+        paper = PAPER[paper_key].get(p.trh, "-")
+        lines.append(
+            f"{p.trh:>6d} {p.effective_acts:>6d} 1/{p.inv_p:<6d} "
+            f"{p.critical_updates:>4d} {p.ath_star:>6d} {paper!s:>11s}")
+    return _rows(lines)
+
+
+def render_tab9(reports) -> str:
+    lines = ["Table 9: performance attacks on MoPAC-C",
+             f"{'T_RH':>6s} {'ACTs/ABO':>10s} {'slowdown':>10s} "
+             f"{'paper':>8s}"]
+    for r in reports:
+        paper = PAPER["tab9_slowdown"].get(r.trh)
+        lines.append(f"{r.trh:>6d} {r.acts_between_abo:>10.1f} "
+                     f"{r.slowdown:>10.1%} {paper:>8.1%}")
+    return _rows(lines)
+
+
+def render_tab10(table: dict) -> str:
+    lines = ["Table 10: performance attacks on MoPAC-D",
+             f"{'T_RH':>6s} {'attack':>12s} {'slowdown':>10s} "
+             f"{'paper':>8s}"]
+    for trh, attacks in sorted(table.items()):
+        for name, report in attacks.items():
+            paper = PAPER["tab10"][trh][name]
+            lines.append(f"{trh:>6d} {name:>12s} "
+                         f"{report.slowdown:>10.1%} {paper:>8.1%}")
+    return _rows(lines)
+
+
+def render_tab11(rows) -> str:
+    lines = ["Table 11: ATH* with and without NUP",
+             f"{'T_RH':>6s} {'uniform':>9s} {'NUP':>6s} {'paper NUP':>10s}"]
+    for r in rows:
+        paper = PAPER["tab11_nup"].get(r.trh, "-")
+        lines.append(f"{r.trh:>6d} {r.uniform_ath_star:>9d} "
+                     f"{r.nup_ath_star:>6d} {paper!s:>10s}")
+    return _rows(lines)
+
+
+def render_tab13(rows) -> str:
+    lines = ["Table 13: tolerated T_RH vs mitigation time per REF",
+             f"{'ns/REF':>7s} {'MoPAC-D':>8s} {'MINT':>6s} {'(x)':>6s} "
+             f"{'PrIDE':>6s} {'(x)':>6s} {'paper MINT':>11s} "
+             f"{'paper PrIDE':>12s}"]
+    for r in rows:
+        paper = PAPER["tab13"][int(r.mitigation_ns_per_ref)]
+        lines.append(
+            f"{r.mitigation_ns_per_ref:>7.0f} {r.mopac_d:>8d} "
+            f"{r.mint:>6d} {r.mint_ratio:>5.1f}x {r.pride:>6d} "
+            f"{r.pride_ratio:>5.1f}x {paper['mint']:>11d} "
+            f"{paper['pride']:>12d}")
+    return _rows(lines)
+
+
+def render_tab14(table: dict) -> str:
+    lines = ["Table 14: Row-Press-aware ATH*",
+             f"{'T_RH':>6s} {'MoPAC-C':>8s} {'MoPAC-D':>8s} "
+             f"{'paper C':>8s} {'paper D':>8s}"]
+    for trh, row in sorted(table.items()):
+        paper = PAPER["tab14"][trh]
+        lines.append(f"{trh:>6d} {row['mopac_c']:>8d} {row['mopac_d']:>8d} "
+                     f"{paper['mopac_c']:>8d} {paper['mopac_d']:>8d}")
+    return _rows(lines)
+
+
+def render_tab12(table: dict) -> str:
+    lines = ["Table 12: SRQ insertions per 100 ACTs",
+             f"{'T_RH':>6s} {'uniform':>9s} {'NUP':>7s} "
+             f"{'paper uni':>10s} {'paper NUP':>10s}"]
+    for trh, row in sorted(table.items(), reverse=True):
+        paper = PAPER["tab12"][trh]
+        lines.append(f"{trh:>6d} {row['uniform']:>9.1f} {row['nup']:>7.1f} "
+                     f"{paper['uniform']:>10.1f} {paper['nup']:>10.1f}")
+    return _rows(lines)
+
+
+def render_tab4(table: dict) -> str:
+    lines = ["Table 4: measured synthetic workload characteristics",
+             f"{'workload':12s} {'MPKI':>7s} {'RBHR':>6s} {'APRI':>7s} "
+             f"{'ACT64+':>7s} {'ACT200+':>8s}"]
+    for name, row in table.items():
+        lines.append(f"{name:12s} {row['mpki']:>7.1f} {row['rbhr']:>6.2f} "
+                     f"{row['apri']:>7.1f} {row['act64']:>7.1f} "
+                     f"{row['act200']:>8.1f}")
+    return _rows(lines)
+
+
+def render_tab15(table: dict) -> str:
+    columns = list(next(iter(table.values())))
+    header = f"{'policy':>10s}" + "".join(f"{c:>14s}" for c in columns)
+    lines = ["Table 15: slowdowns with proactive row closure", header]
+    for policy, row in table.items():
+        cells = "".join(f"{row[c]:>14.1%}" for c in columns)
+        lines.append(f"{policy:>10s}{cells}")
+    return _rows(lines)

@@ -1,0 +1,23 @@
+"""Attack patterns, the activation-level harness, and the security ledger.
+
+See :mod:`repro.attacks.patterns` for the pattern zoo,
+:mod:`repro.attacks.harness` for the pacing/ABO loop, and
+:mod:`repro.attacks.ledger` for the ground-truth failure criterion.
+"""
+
+from .harness import (AttackHarness, AttackResult, measure_slowdown,
+                      run_attack)
+from .fuzzer import FuzzCase, FuzzResult, fuzz, sample_case
+from .ledger import HammerLedger, LedgerReport
+from .patterns import (blacksmith, decoy_hammer, double_sided, half_double,
+                       many_sided,
+                       multi_bank_single_row, random_spray, single_sided,
+                       srq_fill, tardiness_attack)
+
+__all__ = [
+    "AttackHarness", "AttackResult", "HammerLedger", "LedgerReport", "blacksmith",
+    "FuzzCase", "FuzzResult", "decoy_hammer", "double_sided", "fuzz",
+    "measure_slowdown", "half_double", "many_sided", "sample_case",
+    "multi_bank_single_row", "random_spray", "run_attack", "single_sided",
+    "srq_fill", "tardiness_attack",
+]

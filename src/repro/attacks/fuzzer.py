@@ -1,0 +1,110 @@
+"""Attack fuzzer: randomized pattern search against a mitigation.
+
+Blacksmith's key lesson is that hand-crafted patterns under-explore the
+attack space — its fuzzer found the TRR-breaking patterns. This module
+is the equivalent for our harness: it samples random structured patterns
+(aggressor counts, frequencies, phases, bank spread, decoy dilution),
+runs each against a fresh policy instance, and reports the worst
+unmitigated activation count found.
+
+Used by ``benchmarks/bench_fuzzer.py`` as a randomized security
+regression: across dozens of fuzzed patterns, no secure design may ever
+let a row past T_RH.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..mitigations.base import MitigationPolicy
+from .harness import run_attack
+from .ledger import LedgerReport
+from .patterns import (Target, blacksmith, decoy_hammer, double_sided,
+                       many_sided, multi_bank_single_row, single_sided,
+                       srq_fill)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One sampled attack pattern (self-describing for reproduction)."""
+
+    description: str
+    factory: Callable[[], Iterator[Target]]
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of a fuzzing campaign."""
+
+    worst_count: int
+    worst_case: str
+    cases: int
+    broken: bool
+    per_case: list[tuple[str, int]]
+
+
+def sample_case(rng: random.Random, banks: int, rows: int) -> FuzzCase:
+    """Draw one random structured attack pattern."""
+    kind = rng.choice(("single", "double", "many", "multibank", "srqfill",
+                       "decoy", "blacksmith"))
+    base = rng.randrange(8, rows - 64)
+    if kind == "single":
+        return FuzzCase(f"single(row={base})",
+                        lambda: single_sided(0, base))
+    if kind == "double":
+        return FuzzCase(f"double(victim={base})",
+                        lambda: double_sided(0, base))
+    if kind == "many":
+        count = rng.choice((3, 6, 12, 24, 48))
+        return FuzzCase(
+            f"many(rows={count}@{base})",
+            lambda: many_sided(0, range(base, base + count)))
+    if kind == "multibank":
+        spread = rng.randrange(2, banks + 1)
+        return FuzzCase(
+            f"multibank(banks={spread},row={base})",
+            lambda: multi_bank_single_row(range(spread), base))
+    if kind == "srqfill":
+        count = rng.choice((32, 100, 400))
+        start = min(base, max(rows - count - 1, 0))
+        return FuzzCase(f"srqfill(rows={count}@{start})",
+                        lambda: srq_fill(0, count, start_row=start))
+    if kind == "decoy":
+        fraction = rng.choice((0.3, 0.5, 0.7, 0.9))
+        decoys = rng.choice((20, 100, 500))
+        target = min(base, max(rows - decoys - 16, 1))
+        seed = rng.getrandbits(32)
+        return FuzzCase(
+            f"decoy(f={fraction},decoys={decoys}@{target})",
+            lambda: decoy_hammer(0, target, decoys, fraction,
+                                 rng=random.Random(seed)))
+    pairs = rng.choice((2, 3, 4))
+    freqs = tuple(rng.choice((1, 2, 3, 4, 8)) for _ in range(pairs))
+    return FuzzCase(
+        f"blacksmith(pairs={pairs},freqs={freqs})",
+        lambda: blacksmith(0, base, pairs=pairs, frequencies=freqs))
+
+
+def fuzz(policy_factory: Callable[[], MitigationPolicy], trh: int,
+         cases: int = 20, acts_per_case: int = 100_000,
+         banks: int = 4, rows: int = 1024, refresh_groups: int = 64,
+         seed: int = 0xF422) -> FuzzResult:
+    """Run a fuzzing campaign; returns the worst observation."""
+    rng = random.Random(seed)
+    worst_count, worst_case = 0, "none"
+    per_case: list[tuple[str, int]] = []
+    for _ in range(cases):
+        case = sample_case(rng, banks, rows)
+        result = run_attack(policy_factory(), case.factory(),
+                            acts_per_case, trh=trh, banks=banks,
+                            rows=rows, refresh_groups=refresh_groups,
+                            stop_on_failure=True)
+        count = result.ledger.max_count
+        per_case.append((case.description, count))
+        if count > worst_count:
+            worst_count, worst_case = count, case.description
+    return FuzzResult(worst_count=worst_count, worst_case=worst_case,
+                      cases=cases, broken=worst_count > trh,
+                      per_case=per_case)

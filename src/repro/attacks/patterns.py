@@ -1,0 +1,160 @@
+"""Attack access patterns.
+
+Each pattern is a generator of (bank, row) activation targets. The
+activation-level harness (:mod:`repro.attacks.harness`) paces them at
+maximum legal speed, injects REF commands, and honours ABO stalls — the
+attacker model of Section 2.1 (arbitrary addresses, knows the defence, not
+the RNG outcomes).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Iterator
+
+Target = tuple[int, int]
+
+
+def single_sided(bank: int, row: int) -> Iterator[Target]:
+    """Classic single-sided hammer: one row, as fast as possible."""
+    while True:
+        yield (bank, row)
+
+
+def double_sided(bank: int, victim_row: int) -> Iterator[Target]:
+    """Double-sided hammer: alternate the two neighbours of a victim."""
+    if victim_row < 1:
+        raise ValueError("victim_row must have two neighbours")
+
+    def generate() -> Iterator[Target]:
+        for aggressor in itertools.cycle((victim_row - 1, victim_row + 1)):
+            yield (bank, aggressor)
+
+    return generate()
+
+
+def many_sided(bank: int, rows: Iterable[int]) -> Iterator[Target]:
+    """TRRespass-style many-sided pattern: round-robin a set of aggressors.
+
+    With more aggressors than tracker entries this defeats TRR-class
+    trackers (Section 2.3).
+    """
+    rows = list(rows)
+    if not rows:
+        raise ValueError("need at least one aggressor row")
+    return ((bank, row) for row in itertools.cycle(rows))
+
+
+def multi_bank_single_row(banks: Iterable[int], row: int) -> Iterator[Target]:
+    """Figure 14(b): one hot row in each bank, visited round-robin.
+
+    Randomised sampling makes banks reach ATH* at different times; the
+    fastest bank's ALERT mitigates everyone (the alpha ~= 0.55 effect).
+    """
+    banks = list(banks)
+    if not banks:
+        raise ValueError("need at least one bank")
+    return ((bank, row) for bank in itertools.cycle(banks))
+
+
+def srq_fill(bank: int, num_rows: int, start_row: int = 0) -> Iterator[Target]:
+    """SRQ-full attack (Section 7.4): flood with many unique rows.
+
+    With far more distinct rows than SRQ entries, nearly every MINT
+    selection inserts a fresh entry, forcing an ABO every ~5/p activations.
+    """
+    if num_rows < 1:
+        raise ValueError("num_rows must be >= 1")
+    return ((bank, row) for row in
+            itertools.cycle(range(start_row, start_row + num_rows)))
+
+
+def tardiness_attack(banks: Iterable[int], row: int) -> Iterator[Target]:
+    """TTH attack (Section 7.4): park a row in the SRQ, then hammer it.
+
+    Identical access stream to :func:`multi_bank_single_row`; once the row
+    lands in some bank's SRQ, its ACtr climbs one per activation and trips
+    the tardiness threshold after TTH activations.
+    """
+    return multi_bank_single_row(banks, row)
+
+
+def random_spray(banks: int, rows: int,
+                 rng: random.Random | None = None) -> Iterator[Target]:
+    """Benign-ish background noise: uniformly random activations."""
+    rng = rng or random.Random(0x5EED)
+    while True:
+        yield (rng.randrange(banks), rng.randrange(rows))
+
+
+def decoy_hammer(bank: int, target_row: int, decoy_rows: int,
+                 target_fraction: float = 0.5,
+                 rng: random.Random | None = None) -> Iterator[Target]:
+    """Hammer a target while diluting it among decoys.
+
+    Probabilistic trackers are hardest to fool with pure repetition (every
+    window selects the target); diluting reduces the per-window selection
+    probability at the cost of slower hammering — the trade-off analysed
+    for MINT in Section 9.2.
+    """
+    if not 0 < target_fraction <= 1:
+        raise ValueError("target_fraction must be in (0, 1]")
+    rng = rng or random.Random(0xDEC0)
+    decoy_start = target_row + 10
+
+    def generate() -> Iterator[Target]:
+        while True:
+            if rng.random() < target_fraction:
+                yield (bank, target_row)
+            else:
+                yield (bank, decoy_start + rng.randrange(decoy_rows))
+
+    return generate()
+
+
+def half_double(bank: int, far_row: int) -> Iterator[Target]:
+    """Half-Double-style pattern: hammer at distance two from the victim.
+
+    Exercises the blast-radius-2 victim refresh: mitigating ``far_row``
+    must refresh rows up to two away.
+    """
+    while True:
+        yield (bank, far_row)
+
+
+def blacksmith(bank: int, base_row: int, pairs: int = 4,
+               frequencies: Iterable[int] = (1, 2, 4, 8),
+               phases: Iterable[int] | None = None) -> Iterator[Target]:
+    """Blacksmith-style non-uniform frequency pattern [Jattke+, S&P'22].
+
+    Several double-sided aggressor pairs are hammered at *different*
+    frequencies and phase offsets — the structure that defeated every
+    DDR4 TRR implementation by desynchronising from the sampler. Pair i
+    brackets victim ``base_row + 4 * i`` and is hammered once every
+    ``frequencies[i]`` rounds, starting at its phase offset.
+    """
+    freqs = list(frequencies)
+    if pairs < 1:
+        raise ValueError("need at least one aggressor pair")
+    if len(freqs) < pairs:
+        raise ValueError("need a frequency per pair")
+    phase_list = list(phases) if phases is not None else list(range(pairs))
+
+    def generate() -> Iterator[Target]:
+        round_index = 0
+        while True:
+            emitted = False
+            for i in range(pairs):
+                if (round_index + phase_list[i % len(phase_list)]) \
+                        % freqs[i] == 0:
+                    victim = base_row + 4 * i
+                    yield (bank, victim - 1)
+                    yield (bank, victim + 1)
+                    emitted = True
+            if not emitted:
+                # keep the command bus busy like real Blacksmith fuzzing
+                yield (bank, base_row - 3)
+            round_index += 1
+
+    return generate()

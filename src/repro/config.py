@@ -1,0 +1,112 @@
+"""System configuration (paper Tables 1 and 3).
+
+:class:`DRAMConfig` describes geometry of one DDR5 DIMM as used in the
+paper: 1 rank x 2 sub-channels x 32 banks, 64K rows per bank, 8 KB rows.
+:class:`SystemConfig` adds the CPU side: 8 out-of-order cores at 4 GHz,
+4-wide with a 256-entry ROB, sharing an 8 MB 16-way LLC with 64 B lines.
+
+Both classes are plain frozen dataclasses; experiments construct variants
+with :func:`dataclasses.replace`. Scaled-down geometries (fewer rows,
+shorter refresh window) are used by tests and the default benchmark
+profiles; the ``paper()`` constructors return the full-size configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .dram.timing import TimingSet, ddr5_base
+from .units import ns
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Geometry and policy of the memory system (Table 3)."""
+
+    subchannels: int = 2
+    banks_per_subchannel: int = 32
+    rows_per_bank: int = 65536
+    row_bytes: int = 8192
+    line_bytes: int = 64
+    mop_lines: int = 4  #: consecutive lines per row in MOP mapping
+    chips_per_subchannel: int = 4  #: x8 devices (Appendix B default)
+    timing: TimingSet = field(default_factory=ddr5_base)
+
+    def __post_init__(self) -> None:
+        for name in ("subchannels", "banks_per_subchannel", "rows_per_bank",
+                     "row_bytes", "line_bytes", "mop_lines",
+                     "chips_per_subchannel"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.row_bytes % self.line_bytes:
+            raise ValueError("row_bytes must be a multiple of line_bytes")
+        if self.mop_lines > self.lines_per_row:
+            raise ValueError("mop_lines cannot exceed lines per row")
+
+    @property
+    def lines_per_row(self) -> int:
+        return self.row_bytes // self.line_bytes
+
+    @property
+    def total_banks(self) -> int:
+        return self.subchannels * self.banks_per_subchannel
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.total_banks * self.rows_per_bank * self.row_bytes
+
+    def with_timing(self, timing: TimingSet) -> "DRAMConfig":
+        return replace(self, timing=timing)
+
+    @staticmethod
+    def paper() -> "DRAMConfig":
+        """Full Table 3 geometry: 32 GB, 64K rows/bank."""
+        return DRAMConfig()
+
+    @staticmethod
+    def reduced(rows_per_bank: int = 4096,
+                refresh_scale: float = 1 / 64) -> "DRAMConfig":
+        """Small geometry for fast tests/benches.
+
+        Shrinks the row count and the refresh window; per-access timing is
+        untouched so latency behaviour is identical to the paper geometry.
+        """
+        return DRAMConfig(
+            rows_per_bank=rows_per_bank,
+            timing=ddr5_base().scaled_refresh(refresh_scale),
+        )
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full-system configuration (Table 3 plus the DRAM geometry)."""
+
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    cores: int = 8
+    core_ghz: float = 4.0
+    issue_width: int = 4
+    rob_entries: int = 256
+    llc_bytes: int = 8 * 1024 * 1024
+    llc_ways: int = 16
+    llc_hit_ps: int = ns(25)  #: LLC lookup latency added to every miss
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.issue_width <= 0 or self.rob_entries <= 0:
+            raise ValueError("core parameters must be positive")
+        if self.core_ghz <= 0:
+            raise ValueError("core_ghz must be positive")
+
+    @property
+    def ps_per_instruction(self) -> float:
+        """Retirement time of one instruction at full issue width."""
+        return 1000.0 / (self.core_ghz * self.issue_width)
+
+    @staticmethod
+    def paper() -> "SystemConfig":
+        return SystemConfig(dram=DRAMConfig.paper())
+
+    @staticmethod
+    def reduced(rows_per_bank: int = 4096,
+                refresh_scale: float = 1 / 64) -> "SystemConfig":
+        return SystemConfig(
+            dram=DRAMConfig.reduced(rows_per_bank, refresh_scale))

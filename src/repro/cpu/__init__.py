@@ -1,0 +1,11 @@
+"""CPU substrate: trace format, ROB-window core model, shared LLC."""
+
+from .cache import CacheStats, SetAssociativeCache
+from .core import Core, CoreStats
+from .trace import (TraceItem, load_trace_file, parse_trace_line,
+                    read_trace, trace_mpki)
+
+__all__ = [
+    "CacheStats", "Core", "CoreStats", "SetAssociativeCache", "TraceItem",
+    "load_trace_file", "parse_trace_line", "read_trace", "trace_mpki",
+]

@@ -1,0 +1,90 @@
+"""Trace representation for the core model.
+
+A trace is a stream of :class:`TraceItem` records: "after ``gap``
+non-memory instructions, the core issues a memory access to ``address``".
+The address is a byte address in the core's virtual space; the system maps
+it through the LLC (optionally) and the DRAM address mapper.
+
+Traces can come from the synthetic workload generators
+(:mod:`repro.workloads`), from simple text files (one
+``gap address [W]`` triple per line), or from any Python iterable — the
+core only needs an iterator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceItem:
+    """One memory access: preceded by ``gap`` non-memory instructions."""
+
+    gap: int
+    address: int
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.gap < 0:
+            raise ValueError("gap must be non-negative")
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+
+
+def parse_trace_line(line: str) -> TraceItem | None:
+    """Parse ``gap address [W]``; returns None for blanks/comments."""
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    parts = line.split()
+    if len(parts) not in (2, 3):
+        raise ValueError(f"malformed trace line: {line!r}")
+    gap = int(parts[0])
+    address = int(parts[1], 0)
+    is_write = len(parts) == 3 and parts[2].upper() == "W"
+    return TraceItem(gap, address, is_write)
+
+
+def read_trace(lines: Iterable[str]) -> Iterator[TraceItem]:
+    """Stream trace items from text lines."""
+    for line in lines:
+        item = parse_trace_line(line)
+        if item is not None:
+            yield item
+
+
+def load_trace_file(path: str) -> list[TraceItem]:
+    """Load a whole trace file into memory."""
+    with open(path) as handle:
+        return list(read_trace(handle))
+
+
+def format_trace_item(item: TraceItem) -> str:
+    """Render one item in the ``gap address [W]`` file format."""
+    suffix = " W" if item.is_write else ""
+    return f"{item.gap} 0x{item.address:x}{suffix}"
+
+
+def write_trace_file(path: str, items: Iterable[TraceItem],
+                     header: str | None = None) -> int:
+    """Write a trace file; returns the number of items written."""
+    count = 0
+    with open(path, "w") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for item in items:
+            handle.write(format_trace_item(item) + "\n")
+            count += 1
+    return count
+
+
+def trace_mpki(items: Iterable[TraceItem]) -> float:
+    """Misses per kilo-instruction of a finite trace."""
+    accesses = 0
+    instructions = 0
+    for item in items:
+        accesses += 1
+        instructions += item.gap + 1
+    return 1000.0 * accesses / instructions if instructions else 0.0

@@ -1,0 +1,88 @@
+"""Physical address mapping.
+
+The paper uses the *Minimalist Open Page* (MOP) mapping [Kaseridis+,
+MICRO'11] with 4 lines per row: a small number of consecutive cache lines
+stay in the same row (to harvest spatial locality as row-buffer hits) and
+the next group of lines moves to a different bank (to harvest bank-level
+parallelism). Bit layout, from least-significant line-address bits upward:
+
+    [mop offset within row] [bank] [subchannel] [row] [remaining column]
+
+so a linear sweep touches ``mop_lines`` lines in a row, then the same MOP
+slot of the next bank, round-robins all banks and sub-channels, and only
+then advances to the next row chunk.
+
+A classic fully open-page mapping (whole row contiguous) is also provided
+for comparison experiments.
+"""
+
+from __future__ import annotations
+
+from ..config import DRAMConfig
+from .commands import BankAddress, LineAddress
+
+
+class AddressMapper:
+    """Base interface: map a linear line index to a DRAM location."""
+
+    def __init__(self, config: DRAMConfig):
+        self.config = config
+
+    def map_line(self, line_index: int) -> LineAddress:
+        raise NotImplementedError
+
+    def total_lines(self) -> int:
+        cfg = self.config
+        return cfg.total_banks * cfg.rows_per_bank * cfg.lines_per_row
+
+    def map_address(self, byte_address: int) -> LineAddress:
+        """Map a byte address (wraps around the capacity)."""
+        line = (byte_address // self.config.line_bytes) % self.total_lines()
+        return self.map_line(line)
+
+
+class MOPMapper(AddressMapper):
+    """Minimalist Open Page mapping with ``config.mop_lines`` lines/row."""
+
+    def map_line(self, line_index: int) -> LineAddress:
+        cfg = self.config
+        line_index %= self.total_lines()
+        mop = cfg.mop_lines
+        groups_per_row = cfg.lines_per_row // mop
+
+        offset = line_index % mop
+        rest = line_index // mop
+        bank = rest % cfg.banks_per_subchannel
+        rest //= cfg.banks_per_subchannel
+        subchannel = rest % cfg.subchannels
+        rest //= cfg.subchannels
+        row = rest % cfg.rows_per_bank
+        group = (rest // cfg.rows_per_bank) % groups_per_row
+
+        column = group * mop + offset
+        return LineAddress(BankAddress(subchannel, bank, row), column)
+
+
+class OpenPageMapper(AddressMapper):
+    """Row-contiguous mapping: an entire row's lines are consecutive."""
+
+    def map_line(self, line_index: int) -> LineAddress:
+        cfg = self.config
+        line_index %= self.total_lines()
+
+        column = line_index % cfg.lines_per_row
+        rest = line_index // cfg.lines_per_row
+        bank = rest % cfg.banks_per_subchannel
+        rest //= cfg.banks_per_subchannel
+        subchannel = rest % cfg.subchannels
+        row = (rest // cfg.subchannels) % cfg.rows_per_bank
+        return LineAddress(BankAddress(subchannel, bank, row), column)
+
+
+def make_mapper(config: DRAMConfig, kind: str = "mop") -> AddressMapper:
+    """Factory: ``kind`` is ``"mop"`` (paper default) or ``"open"``."""
+    if kind == "mop":
+        return MOPMapper(config)
+    if kind == "open":
+        return OpenPageMapper(config)
+    raise ValueError(f"unknown mapper kind: {kind!r}")

@@ -1,0 +1,63 @@
+"""DRAM command vocabulary.
+
+The command set mirrors what the memory controller can put on the command
+bus. ``PRE_CU`` is MoPAC-C's second precharge flavour (Section 5.1): it
+performs the PRAC counter read-modify-write and therefore pays the inflated
+PRAC precharge latency, while plain ``PRE`` completes in baseline time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Command(enum.Enum):
+    ACT = "ACT"
+    PRE = "PRE"
+    PRE_CU = "PREcu"  #: precharge with counter update (MoPAC-C)
+    RD = "RD"
+    WR = "WR"
+    REF = "REF"
+    RFM = "RFM"  #: refresh management, issued in response to ALERT
+
+    @property
+    def is_precharge(self) -> bool:
+        return self in (Command.PRE, Command.PRE_CU)
+
+    @property
+    def is_column(self) -> bool:
+        return self in (Command.RD, Command.WR)
+
+
+@dataclass(frozen=True)
+class BankAddress:
+    """Physical location of a row: (sub-channel, bank, row)."""
+
+    subchannel: int
+    bank: int
+    row: int
+
+    def __post_init__(self) -> None:
+        if self.subchannel < 0 or self.bank < 0 or self.row < 0:
+            raise ValueError("address components must be non-negative")
+
+
+@dataclass(frozen=True)
+class LineAddress:
+    """A cache-line address after mapping: bank address plus column index."""
+
+    bank_address: BankAddress
+    column: int
+
+    @property
+    def subchannel(self) -> int:
+        return self.bank_address.subchannel
+
+    @property
+    def bank(self) -> int:
+        return self.bank_address.bank
+
+    @property
+    def row(self) -> int:
+        return self.bank_address.row

@@ -1,0 +1,161 @@
+"""DDR5 timing sets (paper Table 1).
+
+A :class:`TimingSet` is an immutable bundle of the DRAM timing constraints
+the simulator enforces. Two canonical sets are provided:
+
+* :func:`ddr5_base` — DDR5-6000AN without PRAC,
+* :func:`ddr5_prac` — the same device with PRAC's inflated timings
+  (JESD79-5C): tRP 14 ns -> 36 ns, tRCD 14 ns -> 16 ns, tRAS 32 ns -> 16 ns,
+  so tRC rises 46 ns -> 52 ns.
+
+MoPAC-C uses *both*: normal precharges finish in ``ddr5_base`` time while
+counter-update precharges (PREcu) pay the PRAC precharge latency. The
+:class:`MoPACTimings` helper pairs the two sets and exposes the per-command
+choice. MoPAC-D runs entirely on ``ddr5_base`` timings (counter updates are
+paid for with ABO/REF time instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..units import ns, to_ns
+
+
+@dataclass(frozen=True)
+class TimingSet:
+    """DRAM timing constraints, all in integer picoseconds.
+
+    Attributes mirror the JEDEC names used in paper Table 1 plus the handful
+    of additional constraints needed for a working controller (CAS latency,
+    burst time, ACT-to-ACT spacing).
+    """
+
+    name: str
+    tRCD: int  #: ACT -> column command
+    tRP: int  #: PRE -> next ACT (the PRAC pain point)
+    tRAS: int  #: ACT -> PRE (minimum row-open time)
+    tRC: int  #: ACT -> next ACT, same bank
+    tREFW: int  #: refresh window (retention period)
+    tREFI: int  #: average interval between REF commands
+    tRFC: int  #: all-bank REF execution time
+    tRFCsb: int  #: same-bank REF execution time (one bank unavailable)
+    tCAS: int  #: column command -> data (read latency component)
+    tBURST: int  #: data-bus occupancy of one burst (BL16)
+    tRRD: int  #: ACT -> ACT, different banks
+    tFAW: int  #: rolling four-activation window per sub-channel
+    tWR: int  #: write recovery before PRE
+    tALERT_NORMAL: int  #: post-ALERT window where the MC may keep operating
+    tALERT_RFM: int  #: RFM execution time under ABO
+    tPRACU: int  #: per-row PRAC read-modify-write time under ABO/REF (70 ns)
+
+    def __post_init__(self) -> None:
+        if self.tRC != self.tRAS + self.tRP:
+            raise ValueError(
+                f"{self.name}: tRC ({to_ns(self.tRC)} ns) must equal "
+                f"tRAS + tRP ({to_ns(self.tRAS + self.tRP)} ns)"
+            )
+        for field in (
+            "tRCD", "tRP", "tRAS", "tRC", "tREFW", "tREFI", "tRFC",
+            "tCAS", "tBURST", "tRRD", "tFAW", "tWR",
+        ):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{self.name}: {field} must be positive")
+
+    @property
+    def alert_stall(self) -> int:
+        """Total DRAM-unavailable time per ABO episode (paper: 350 ns)."""
+        return self.tALERT_RFM
+
+    @property
+    def alert_total(self) -> int:
+        """Total ALERT wall time: normal window + RFM stall (530 ns)."""
+        return self.tALERT_NORMAL + self.tALERT_RFM
+
+    @property
+    def refs_per_refw(self) -> int:
+        """Number of REF commands in one refresh window."""
+        return self.tREFW // self.tREFI
+
+    def row_conflict_read_latency(self) -> int:
+        """Latency to serve a read that conflicts with an open row.
+
+        Paper Figure 4: PRE + ACT + RD = 14 + 14 + 12 = 40 ns for the
+        baseline and 62 ns with PRAC (the paper's figure keeps tRCD at
+        14 ns; with PRAC's tRCD of 16 ns the value is 64 ns).
+        """
+        return self.tRP + self.tRCD + self.tCAS
+
+    def scaled_refresh(self, scale: float) -> "TimingSet":
+        """Return a copy with the refresh window shrunk by ``scale``.
+
+        Scaled-down runs keep per-access timings identical but shorten
+        tREFW (and tREFI proportionally) so that refresh-window-relative
+        statistics (APRI, hot-row counts, drain-on-REF rates) converge in
+        far fewer simulated instructions. ``scale=1`` is the paper setup.
+        """
+        if not 0 < scale <= 1:
+            raise ValueError("scale must be in (0, 1]")
+        return replace(
+            self,
+            name=f"{self.name}@x{scale:g}",
+            tREFW=max(int(self.tREFW * scale), self.tREFI),
+        )
+
+
+def ddr5_base() -> TimingSet:
+    """DDR5-6000AN timings without PRAC (paper Table 1, 'Base' column)."""
+    return TimingSet(
+        name="DDR5-6000AN",
+        tRCD=ns(14),
+        tRP=ns(14),
+        tRAS=ns(32),
+        tRC=ns(46),
+        tREFW=ns(32_000_000),  # 32 ms
+        tREFI=ns(3900),
+        tRFC=ns(410),
+        tRFCsb=ns(130),
+        tCAS=ns(12),
+        tBURST=ns(2.667),  # BL16 at 6000 MT/s
+        tRRD=ns(2.5),
+        tFAW=ns(13.333),
+        tWR=ns(15),
+        tALERT_NORMAL=ns(180),
+        tALERT_RFM=ns(350),
+        tPRACU=ns(70),
+    )
+
+
+def ddr5_prac() -> TimingSet:
+    """DDR5 timings with PRAC counter-update overheads (Table 1, 'PRAC')."""
+    base = ddr5_base()
+    return replace(
+        base,
+        name="DDR5-6000AN+PRAC",
+        tRCD=ns(16),
+        tRP=ns(36),
+        tRAS=ns(16),
+        tRC=ns(52),
+    )
+
+
+@dataclass(frozen=True)
+class MoPACTimings:
+    """The timing pair used by MoPAC-C.
+
+    ``normal`` governs activations closed with a plain PRE; ``counter_update``
+    governs activations the memory controller selected (with probability p)
+    to be closed with PREcu. The paper, Section 5.1: "PRE uses a longer tRAS,
+    whereas PREcu uses a shorter tRAS".
+    """
+
+    normal: TimingSet
+    counter_update: TimingSet
+
+    @staticmethod
+    def default() -> "MoPACTimings":
+        return MoPACTimings(normal=ddr5_base(), counter_update=ddr5_prac())
+
+    def for_update(self, update: bool) -> TimingSet:
+        """Timing set governing a row-open episode."""
+        return self.counter_update if update else self.normal

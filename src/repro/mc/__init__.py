@@ -1,0 +1,12 @@
+"""Memory-controller substrate: request types, page policies, FR-FCFS."""
+
+from .controller import FRFCFS_WINDOW, MCStats, MemoryController
+from .pagepolicy import (ClosePagePolicy, OpenPagePolicy, PagePolicy,
+                         TimeoutPagePolicy, make_page_policy)
+from .request import MemRequest
+
+__all__ = [
+    "ClosePagePolicy", "FRFCFS_WINDOW", "MCStats", "MemRequest",
+    "MemoryController", "OpenPagePolicy", "PagePolicy", "TimeoutPagePolicy",
+    "make_page_policy",
+]

@@ -1,0 +1,305 @@
+"""Memory controller: one instance per DDR5 sub-channel.
+
+Implements a per-bank-queue FR-FCFS scheduler (row hits first, then oldest)
+over the :class:`~repro.dram.bank.Bank` state machines, a shared data bus,
+ACT-to-ACT spacing, all-bank refresh every tREFI, the ABO ALERT protocol,
+and the pluggable row-closure policies of Appendix C.
+
+The controller is event-driven: the :class:`~repro.sim.system.System` owns
+the event heap and hands it to the controller through the ``scheduler``
+callable (``scheduler(time_ps, callback)``). Every DRAM-side decision asks
+the mitigation policy for the episode's timing set, which is how PRAC's
+inflated timings and MoPAC-C's dual precharge flavours enter the timing
+path.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..config import DRAMConfig
+from ..dram.bank import Bank
+from ..mitigations.base import EpisodeDecision, MitigationPolicy
+from .pagepolicy import OpenPagePolicy, PagePolicy
+from .request import MemRequest
+
+#: How deep into a bank queue FR-FCFS looks for a row hit.
+FRFCFS_WINDOW = 8
+
+
+@dataclass
+class MCStats:
+    requests: int = 0
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    activations: int = 0
+    refreshes: int = 0
+    alerts: int = 0
+    total_latency_ps: int = 0
+
+    @property
+    def row_buffer_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses + self.row_conflicts
+        return self.row_hits / total if total else 0.0
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return (self.total_latency_ps / self.requests / 1000
+                if self.requests else 0.0)
+
+
+class MemoryController:
+    """FR-FCFS controller for one sub-channel."""
+
+    def __init__(self, subchannel: int, config: DRAMConfig,
+                 policy: MitigationPolicy,
+                 scheduler: Callable[[int, Callable[[int], None]], None],
+                 on_complete: Callable[[MemRequest], None],
+                 page_policy: PagePolicy | None = None,
+                 refresh_mode: str = "all-bank"):
+        if refresh_mode not in ("all-bank", "same-bank"):
+            raise ValueError(f"unknown refresh_mode {refresh_mode!r}")
+        self.refresh_mode = refresh_mode
+        self._next_ref_bank = 0
+        self.subchannel = subchannel
+        self.config = config
+        self.policy = policy
+        self.schedule = scheduler
+        self.on_complete = on_complete
+        self.page_policy = page_policy or OpenPagePolicy()
+        n = config.banks_per_subchannel
+        self.banks = [Bank(i) for i in range(n)]
+        self.queues: list[collections.deque[MemRequest]] = [
+            collections.deque() for _ in range(n)
+        ]
+        #: the episode decision governing each bank's current open row
+        self.episodes: list[EpisodeDecision | None] = [None] * n
+        #: whether a service pass is already scheduled per bank
+        self._bank_scheduled = [False] * n
+        self._bank_last_access = [0] * n
+        self.bus_free = 0
+        self.next_act_ok = 0
+        #: issue times of the last four ACTs (tFAW rolling window)
+        self._recent_acts = collections.deque(maxlen=4)
+        self.next_ref = policy.timing.tREFI
+        self._alert_in_flight = False
+        self.stats = MCStats()
+        #: optional callback (time_ps, bank, row) fired on every ACT
+        self.act_hook: Callable[[int, int, int], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Request entry
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the periodic refresh stream.
+
+        All-bank mode issues one REFab every tREFI (the paper's setup);
+        same-bank mode spreads one REFsb per bank across each tREFI, so
+        every bank is still refreshed at the tREFI cadence but only one
+        bank is ever blocked (for the shorter tRFCsb).
+        """
+        if self.refresh_mode == "same-bank":
+            self.next_ref = self.policy.timing.tREFI \
+                // len(self.banks)
+            self.schedule(self.next_ref, self._refsb_event)
+        else:
+            self.schedule(self.next_ref, self._ref_event)
+
+    def enqueue(self, request: MemRequest, now: int) -> None:
+        self.stats.requests += 1
+        if request.is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        self.queues[request.bank].append(request)
+        self._kick(request.bank, max(now, request.arrival_ps))
+
+    def pending(self) -> int:
+        return sum(len(q) for q in self.queues)
+
+    # ------------------------------------------------------------------
+    # Per-bank service
+    # ------------------------------------------------------------------
+    def _kick(self, bank_index: int, when: int) -> None:
+        if self._bank_scheduled[bank_index]:
+            return
+        self._bank_scheduled[bank_index] = True
+        self.schedule(when, lambda now, b=bank_index: self._service(b, now))
+
+    def _service(self, bank_index: int, now: int) -> None:
+        self._bank_scheduled[bank_index] = False
+        queue = self.queues[bank_index]
+        if not queue:
+            return
+        bank = self.banks[bank_index]
+        if bank.blocked_until > now:
+            self._kick(bank_index, bank.blocked_until)
+            return
+
+        request = self._select(queue, bank)
+        t_col, done = self._issue(bank_index, bank, request, now)
+        queue.remove(request)
+        request.completion_ps = done
+        self.stats.total_latency_ps += request.latency_ps
+        self.on_complete(request)
+        self._after_column(bank_index, bank, t_col)
+        if queue:
+            # The bank can take its next column command one burst later;
+            # the data of the previous one drains in the background.
+            self._kick(bank_index, t_col + self.policy.timing.tBURST)
+
+    def _select(self, queue: collections.deque[MemRequest],
+                bank: Bank) -> MemRequest:
+        """FR-FCFS: oldest row hit within the window, else oldest."""
+        if bank.is_open:
+            for request in list(queue)[:FRFCFS_WINDOW]:
+                if request.row == bank.open_row:
+                    return request
+        return queue[0]
+
+    def _issue(self, bank_index: int, bank: Bank, request: MemRequest,
+               now: int) -> tuple[int, int]:
+        """Issue PRE/ACT/column as needed.
+
+        Returns ``(column_issue_time, data_completion_time)``."""
+        timing = self.policy.timing
+        now = max(now, request.arrival_ps)  # cannot serve the future
+        if bank.is_open and bank.open_row == request.row:
+            self.stats.row_hits += 1
+        elif bank.is_open:
+            self.stats.row_conflicts += 1
+            bank.note_conflict()
+            self._close(bank_index, bank, max(now, bank.earliest_precharge()))
+        else:
+            self.stats.row_misses += 1
+
+        if not bank.is_open:
+            t_act = max(now, bank.earliest_activate(), self.next_act_ok)
+            if len(self._recent_acts) == 4:
+                t_act = max(t_act, self._recent_acts[0] + timing.tFAW)
+            decision = self.policy.on_activate(bank_index, request.row, t_act)
+            self.episodes[bank_index] = decision
+            bank.activate(request.row, t_act, decision.act_timing)
+            self.next_act_ok = t_act + timing.tRRD
+            self._recent_acts.append(t_act)
+            self.stats.activations += 1
+            if self.act_hook is not None:
+                self.act_hook(t_act, bank_index, request.row)
+            self._check_alert(t_act)
+
+        # Column command: respect tRCD and data-bus serialisation.
+        t_col = max(now, bank.earliest_column(),
+                    self.bus_free - timing.tCAS)
+        if request.is_write:
+            done = bank.write(request.row, t_col)
+        else:
+            done = bank.read(request.row, t_col)
+        self.bus_free = t_col + timing.tCAS + timing.tBURST
+        self._bank_last_access[bank_index] = t_col
+        return t_col, done
+
+    def _after_column(self, bank_index: int, bank: Bank, now: int) -> None:
+        """Apply the row-closure policy after a column access."""
+        if not bank.is_open:
+            return
+        queued_hits = sum(1 for r in self.queues[bank_index]
+                          if r.row == bank.open_row)
+        if not self.page_policy.keep_open(queued_hits):
+            self._close(bank_index, bank, max(now, bank.earliest_precharge()))
+            return
+        timeout = self.page_policy.timeout_ps()
+        if timeout is not None:
+            access_stamp = self._bank_last_access[bank_index]
+            self.schedule(now + timeout,
+                          lambda t, b=bank_index, s=access_stamp:
+                          self._timeout_close(b, s, t))
+
+    def _timeout_close(self, bank_index: int, access_stamp: int,
+                       now: int) -> None:
+        bank = self.banks[bank_index]
+        if not bank.is_open:
+            return
+        if self._bank_last_access[bank_index] != access_stamp:
+            return  # the row was touched again; a fresh timer is armed
+        self._close(bank_index, bank, max(now, bank.earliest_precharge()))
+
+    def _close(self, bank_index: int, bank: Bank, when: int) -> None:
+        """Precharge the open row, honouring the episode's decision."""
+        decision = self.episodes[bank_index]
+        row = bank.open_row
+        assert decision is not None and row is not None
+        open_since = bank.last_act
+        bank.precharge(when, decision.pre_timing,
+                       counter_update=decision.counter_update)
+        self.policy.on_precharge(bank_index, row, when,
+                                 decision.counter_update)
+        self.policy.note_row_open(bank_index, row, when - open_since)
+        self.episodes[bank_index] = None
+        self._check_alert(when)
+
+    # ------------------------------------------------------------------
+    # Refresh and ALERT
+    # ------------------------------------------------------------------
+    def _ref_event(self, now: int) -> None:
+        self.stats.refreshes += 1
+        close_by = now
+        for index, bank in enumerate(self.banks):
+            if bank.is_open:
+                when = max(now, bank.earliest_precharge())
+                self._close(index, bank, when)
+                close_by = max(close_by, when)
+        ref_end = close_by + self.policy.timing.tRFC
+        for bank in self.banks:
+            bank.block_until(ref_end)
+        self.policy.on_refresh(now)
+        self._check_alert(now)
+        self.next_ref += self.policy.timing.tREFI
+        self.schedule(self.next_ref, self._ref_event)
+        for index in range(len(self.banks)):
+            if self.queues[index]:
+                self._kick(index, ref_end)
+
+    def _refsb_event(self, now: int) -> None:
+        """Same-bank refresh: one bank closed and blocked for tRFCsb."""
+        self.stats.refreshes += 1
+        index = self._next_ref_bank
+        self._next_ref_bank = (index + 1) % len(self.banks)
+        bank = self.banks[index]
+        start = now
+        if bank.is_open:
+            when = max(now, bank.earliest_precharge())
+            self._close(index, bank, when)
+            start = max(start, when)
+        bank.block_until(start + self.policy.timing.tRFCsb)
+        self.policy.on_refresh(now, bank=index)
+        self._check_alert(now)
+        self.next_ref += self.policy.timing.tREFI // len(self.banks)
+        self.schedule(self.next_ref, self._refsb_event)
+        if self.queues[index]:
+            self._kick(index, start + self.policy.timing.tRFCsb)
+
+    def _check_alert(self, now: int) -> None:
+        if self._alert_in_flight or not self.policy.alert_requested():
+            return
+        self._alert_in_flight = True
+        deadline = now + self.policy.timing.tALERT_NORMAL
+        self.schedule(deadline, self._rfm_event)
+
+    def _rfm_event(self, now: int) -> None:
+        level = getattr(self.policy, "abo_level", 1)
+        end = now + level * self.policy.timing.tALERT_RFM
+        for bank in self.banks:
+            bank.block_until(end)
+        for _ in range(level):
+            self.policy.on_rfm(end)
+        self.stats.alerts += 1
+        self._alert_in_flight = False
+        self._check_alert(end)
+        for index in range(len(self.banks)):
+            if self.queues[index]:
+                self._kick(index, end)

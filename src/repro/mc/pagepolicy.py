@@ -1,0 +1,65 @@
+"""Row-buffer closure policies (paper Section 3.1 and Appendix C).
+
+The paper's default is open-page with MOP mapping: a row stays open until a
+conflicting request arrives (or refresh closes it). Appendix C additionally
+evaluates close-page (precharge as soon as no queued request wants the open
+row) and timeout policies that close a row tON after its last access.
+"""
+
+from __future__ import annotations
+
+from ..units import ns
+
+
+class PagePolicy:
+    """Decides whether to keep a row open after servicing a request."""
+
+    name = "open"
+
+    def keep_open(self, queued_hits: int) -> bool:
+        """Called after a column access; ``queued_hits`` counts queued
+        requests that target the currently open row."""
+        return True
+
+    def timeout_ps(self) -> int | None:
+        """Auto-close delay after the last access, or None to never."""
+        return None
+
+
+class OpenPagePolicy(PagePolicy):
+    """Keep the row open until a conflict forces it closed (default)."""
+
+    name = "open"
+
+
+class ClosePagePolicy(PagePolicy):
+    """Close the row as soon as no queued request hits it."""
+
+    name = "close"
+
+    def keep_open(self, queued_hits: int) -> bool:
+        return queued_hits > 0
+
+
+class TimeoutPagePolicy(PagePolicy):
+    """Close the row ``ton_ns`` after its last access (Appendix C)."""
+
+    def __init__(self, ton_ns: float):
+        if ton_ns <= 0:
+            raise ValueError("ton_ns must be positive")
+        self.ton = ns(ton_ns)
+        self.name = f"ton{ton_ns:g}"
+
+    def timeout_ps(self) -> int | None:
+        return self.ton
+
+
+def make_page_policy(kind: str) -> PagePolicy:
+    """Factory: ``"open"``, ``"close"``, or ``"ton<ns>"`` (e.g. ton100)."""
+    if kind == "open":
+        return OpenPagePolicy()
+    if kind == "close":
+        return ClosePagePolicy()
+    if kind.startswith("ton"):
+        return TimeoutPagePolicy(float(kind[3:]))
+    raise ValueError(f"unknown page policy: {kind!r}")

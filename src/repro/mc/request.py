@@ -1,0 +1,44 @@
+"""Memory requests flowing from cores to the memory controller."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..dram.commands import LineAddress
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class MemRequest:
+    """One LLC-miss request.
+
+    ``arrival_ps`` is when it reaches the memory controller; the controller
+    fills in ``completion_ps`` when the data burst finishes.
+    """
+
+    core: int
+    address: LineAddress
+    arrival_ps: int
+    is_write: bool = False
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    completion_ps: int | None = None
+
+    @property
+    def subchannel(self) -> int:
+        return self.address.subchannel
+
+    @property
+    def bank(self) -> int:
+        return self.address.bank
+
+    @property
+    def row(self) -> int:
+        return self.address.row
+
+    @property
+    def latency_ps(self) -> int:
+        if self.completion_ps is None:
+            raise ValueError("request not completed yet")
+        return self.completion_ps - self.arrival_ps

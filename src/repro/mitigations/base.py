@@ -1,0 +1,140 @@
+"""Mitigation policy interface.
+
+A :class:`MitigationPolicy` instance encapsulates everything one
+*sub-channel* worth of DRAM does about Rowhammer: per-row activation
+counters (when the design has them), trackers (MOAT / SRQ / TRR table),
+the probabilistic samplers, and the decision to assert ALERT.
+
+The same policy object is driven by two harnesses:
+
+* the full-system simulator (cores -> MC -> banks), which additionally
+  enforces the per-episode DRAM timings the policy requests, and
+* the fast activation-level attack simulator (``repro.attacks``), which
+  issues back-to-back activations and only consults the hooks — this is
+  how security verification runs millions of activations quickly.
+
+Hooks are synchronous and must be cheap; all are called with the current
+simulation time in picoseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dram.timing import TimingSet, ddr5_base
+
+
+@dataclass(frozen=True)
+class EpisodeDecision:
+    """What the policy decided for one activation episode of a bank.
+
+    ``act_timing`` governs tRCD/tRAS/tRC of this episode; ``pre_timing``
+    governs the closing precharge's tRP. ``counter_update`` marks whether
+    the closing precharge performs the PRAC read-modify-write (and should
+    therefore be a PREcu for MC-side designs).
+    """
+
+    act_timing: TimingSet
+    pre_timing: TimingSet
+    counter_update: bool
+
+
+@dataclass
+class MitigationEvent:
+    """A victim-refresh performed by the policy (for the security ledger)."""
+
+    bank: int
+    row: int
+    time_ps: int
+
+
+@dataclass
+class PolicyStats:
+    """Counters every policy maintains; subclasses may extend."""
+
+    activations: int = 0
+    counter_updates: int = 0
+    alerts: int = 0
+    alerts_mitigation: int = 0
+    alerts_srq_full: int = 0
+    alerts_tardiness: int = 0
+    mitigations: int = 0
+    srq_insertions: int = 0
+    ref_drains: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class MitigationPolicy:
+    """Base class: the do-nothing (baseline, unprotected) policy."""
+
+    #: short name used in experiment output
+    name = "baseline"
+
+    def __init__(self, timing: TimingSet | None = None):
+        self.timing = timing or ddr5_base()
+        self.stats = PolicyStats()
+        #: JEDEC ABO mitigation level: RFMs issued per ALERT (paper: 1).
+        #: The harness stalls abo_level * tALERT_RFM and calls
+        #: :meth:`on_rfm` that many times per ALERT episode.
+        self.abo_level = 1
+        #: mitigation events since last drain, consumed by the harness
+        self.pending_mitigations: list[MitigationEvent] = []
+
+    # -- activation path -------------------------------------------------
+    def on_activate(self, bank: int, row: int, now: int) -> EpisodeDecision:
+        """Called when the MC issues an ACT. Returns the episode timings."""
+        self.stats.activations += 1
+        return EpisodeDecision(self.timing, self.timing, False)
+
+    def on_precharge(self, bank: int, row: int, now: int,
+                     counter_update: bool) -> None:
+        """Called when the episode is closed."""
+
+    def note_row_open(self, bank: int, row: int, open_ps: int) -> None:
+        """Row-open-time report for Row-Press accounting (Appendix A).
+
+        Called alongside the precharge with the episode's total open time;
+        Row-Press-aware designs convert long open times into extra damage
+        units. The default policy ignores it.
+        """
+
+    # -- maintenance path --------------------------------------------------
+    def on_refresh(self, now: int, bank: int | None = None) -> None:
+        """Called at every REF command (policy may drain/mitigate here).
+
+        ``bank`` is None for an all-bank REF (the paper's setup) or the
+        refreshed bank's index for DDR5 same-bank REFsb.
+        """
+
+    def alert_requested(self) -> bool:
+        """True when the sub-channel is asserting ALERT."""
+        return False
+
+    def on_rfm(self, now: int) -> None:
+        """Perform the work of one RFM (the 350 ns ABO service window)."""
+
+    # -- introspection -----------------------------------------------------
+    def counter_value(self, bank: int, row: int) -> int:
+        """Current PRAC counter value for (bank, row); 0 if untracked."""
+        return 0
+
+    def drain_mitigations(self) -> list[MitigationEvent]:
+        """Return and clear mitigation events (harness ledger hookup)."""
+        events, self.pending_mitigations = self.pending_mitigations, []
+        return events
+
+    # -- helpers for subclasses ---------------------------------------------
+    def _record_mitigation(self, bank: int, row: int, now: int) -> None:
+        self.stats.mitigations += 1
+        self.pending_mitigations.append(MitigationEvent(bank, row, now))
+
+
+@dataclass
+class AlertCause:
+    MITIGATION = "mitigation"
+    SRQ_FULL = "srq_full"
+    TARDINESS = "tardiness"
+
+    cause: str = field(default=MITIGATION)

@@ -1,0 +1,70 @@
+"""MINT baseline tracker (Qureshi+, MICRO'24; paper Section 9.2).
+
+MINT is a minimalist in-DRAM tracker: per bank, exactly one activation out
+of every sampling window of W activations is selected uniformly at random,
+and the selected row is mitigated (victim-refreshed) at the next refresh
+opportunity. The DRAM vendor grants one mitigation every
+``refs_per_mitigation`` REF commands (Table 13 varies this from 1 to 4).
+
+MINT never asserts ALERT and runs at baseline timings; its security is
+analysed in :mod:`repro.security.tolerated`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..dram.timing import TimingSet, ddr5_base
+from .base import EpisodeDecision, MitigationPolicy
+from .mopac_d import MintSampler
+
+#: Activations a bank can perform per tREFI (3900 ns / 46 ns).
+DEFAULT_WINDOW = 84
+
+
+class MINTPolicy(MitigationPolicy):
+    """Per-bank MINT sampling with mitigate-on-REF."""
+
+    name = "mint"
+
+    def __init__(self, banks: int = 32, window: int = DEFAULT_WINDOW,
+                 refs_per_mitigation: int = 1,
+                 timing: TimingSet | None = None,
+                 rng: random.Random | None = None):
+        super().__init__(timing or ddr5_base())
+        if refs_per_mitigation < 1:
+            raise ValueError("refs_per_mitigation must be >= 1")
+        rng = rng or random.Random(0x414E54)
+        self.samplers = [
+            MintSampler(window, random.Random(rng.getrandbits(64)))
+            for _ in range(banks)
+        ]
+        self.pending: list[int | None] = [None] * banks
+        self.refs_per_mitigation = refs_per_mitigation
+        self._ref_count = 0
+        self._bank_ref_counts = [0] * banks
+
+    def on_activate(self, bank: int, row: int, now: int) -> EpisodeDecision:
+        self.stats.activations += 1
+        selected = self.samplers[bank].observe(row)
+        if selected is not None:
+            # A new selection replaces an unserviced one (single register).
+            self.pending[bank] = selected
+        return EpisodeDecision(self.timing, self.timing, False)
+
+    def on_refresh(self, now: int, bank: int | None = None) -> None:
+        if bank is not None:
+            self._bank_ref_counts[bank] += 1
+            if self._bank_ref_counts[bank] % self.refs_per_mitigation:
+                return
+            if self.pending[bank] is not None:
+                self._record_mitigation(bank, self.pending[bank], now)
+                self.pending[bank] = None
+            return
+        self._ref_count += 1
+        if self._ref_count % self.refs_per_mitigation:
+            return
+        for index, row in enumerate(self.pending):
+            if row is not None:
+                self._record_mitigation(index, row, now)
+                self.pending[index] = None

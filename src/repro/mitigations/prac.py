@@ -1,0 +1,99 @@
+"""PRAC + ABO with the MOAT tracker (paper Sections 2.5-2.6).
+
+``PRACMoatPolicy`` is the paper's baseline mitigation: every activation
+episode performs a counter read-modify-write during the precharge, so every
+episode pays the inflated PRAC timings (tRP 36 ns, tRC 52 ns). MOAT asserts
+ALERT when the hottest tracked counter reaches ATH, and each bank mitigates
+its tracked row under the resulting RFM if the value is at least ETH.
+"""
+
+from __future__ import annotations
+
+from ..dram.timing import TimingSet, ddr5_base, ddr5_prac
+from ..security.moat_model import moat_ath, moat_eth
+from .base import EpisodeDecision, MitigationPolicy
+from .prac_state import PRACCounters, RefreshSchedule
+
+
+class PRACMoatPolicy(MitigationPolicy):
+    """Deterministic PRAC: counter update on every precharge."""
+
+    name = "prac"
+
+    def __init__(self, trh: int, banks: int = 32, rows: int = 65536,
+                 refresh_groups: int = 8192,
+                 timing: TimingSet | None = None):
+        super().__init__(timing or ddr5_prac())
+        if trh <= 0:
+            raise ValueError("trh must be positive")
+        self.trh = trh
+        self.ath = moat_ath(trh)
+        self.eth = moat_eth(trh)
+        self.state = PRACCounters(banks, rows)
+        self.refresh_schedules = [RefreshSchedule(rows, refresh_groups)
+                                  for _ in range(banks)]
+        self._alert = False
+        self._acts_since_rfm = 1  # ABO requires activations between ALERTs
+
+    # -- activation path --------------------------------------------------
+    def on_activate(self, bank: int, row: int, now: int) -> EpisodeDecision:
+        self.stats.activations += 1
+        self._acts_since_rfm += 1
+        return EpisodeDecision(self.timing, self.timing, True)
+
+    def on_precharge(self, bank: int, row: int, now: int,
+                     counter_update: bool) -> None:
+        if not counter_update:
+            return
+        self.stats.counter_updates += 1
+        value = self.state.update(bank, row, 1)
+        if value >= self.ath:
+            self._request_alert()
+
+    # -- maintenance path --------------------------------------------------
+    def on_refresh(self, now: int, bank: int | None = None) -> None:
+        banks = (range(self.state.banks) if bank is None else (bank,))
+        for index in banks:
+            start, stop = self.refresh_schedules[index].advance()
+            self.state.refresh_rows(index, start, stop)
+
+    def alert_requested(self) -> bool:
+        return self._alert and self._acts_since_rfm > 0
+
+    def on_rfm(self, now: int) -> None:
+        """All banks of the sub-channel mitigate their tracked row."""
+        self.stats.alerts += 1
+        self.stats.alerts_mitigation += 1
+        for bank in range(self.state.banks):
+            tracker = self.state.tracker(bank)
+            if tracker.valid and tracker.value >= self.eth:
+                row = self.state.mitigate(bank)
+                if row is not None:
+                    self._record_mitigation(bank, row, now)
+        self._alert = False
+        self._acts_since_rfm = 0
+        self._recheck_alert()
+
+    # -- introspection -----------------------------------------------------
+    def counter_value(self, bank: int, row: int) -> int:
+        return self.state.value(bank, row)
+
+    # -- internals -----------------------------------------------------------
+    def _request_alert(self) -> None:
+        self._alert = True
+
+    def _recheck_alert(self) -> None:
+        """Re-assert if some bank is still above threshold after RFM."""
+        for bank in range(self.state.banks):
+            if self.state.tracker(bank).value >= self.ath:
+                self._alert = True
+                return
+
+
+class BaselinePolicy(MitigationPolicy):
+    """Unprotected DDR5: baseline timings, no tracking, no mitigation."""
+
+    name = "baseline"
+
+    def __init__(self, timing: TimingSet | None = None):
+        super().__init__(timing or ddr5_base())

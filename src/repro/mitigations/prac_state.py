@@ -1,0 +1,149 @@
+"""Shared PRAC state: per-row counters and the MOAT tracker.
+
+PRAC (Per-Row Activation Counting) stores one activation counter per DRAM
+row, physically inlined with the row. MOAT [Qureshi & Qazi] is the provably
+secure single-entry tracker built on top: each bank remembers only the row
+with the *highest counter value observed since the bank's last mitigation*;
+when that value reaches the ALERT threshold the DRAM asserts ALERT, and
+under the resulting RFM every bank mitigates its tracked row if the value
+is at least the Eligibility Threshold (ETH = ATH / 2).
+
+All MoPAC variants reuse this machinery — they differ only in *when* and
+*by how much* the counters are updated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Victim rows refreshed around a mitigated aggressor (blast radius 2).
+BLAST_RADIUS = 2
+
+
+@dataclass
+class MoatTracker:
+    """Single-entry per-bank tracker: (row, counter value)."""
+
+    row: int = -1
+    value: int = 0
+
+    def observe(self, row: int, value: int) -> None:
+        """Track the row if its counter exceeds the current maximum."""
+        if value > self.value or self.row < 0:
+            self.row = row
+            self.value = value
+
+    def invalidate(self) -> None:
+        self.row = -1
+        self.value = 0
+
+    @property
+    def valid(self) -> bool:
+        return self.row >= 0
+
+
+class PRACCounters:
+    """Per-bank PRAC counter arrays with MOAT trackers.
+
+    One instance models one DRAM chip's view of a sub-channel: ``banks``
+    counter arrays of ``rows`` entries each, plus one :class:`MoatTracker`
+    per bank. Counter updates feed the tracker; refreshes clear counters.
+    """
+
+    def __init__(self, banks: int, rows: int):
+        if banks <= 0 or rows <= 0:
+            raise ValueError("banks and rows must be positive")
+        self.banks = banks
+        self.rows = rows
+        self.counters = [np.zeros(rows, dtype=np.int64) for _ in range(banks)]
+        self.trackers = [MoatTracker() for _ in range(banks)]
+
+    def update(self, bank: int, row: int, increment: int) -> int:
+        """Apply a counter update and inform the MOAT tracker.
+
+        Returns the new counter value.
+        """
+        counters = self.counters[bank]
+        counters[row] += increment
+        value = int(counters[row])
+        self.trackers[bank].observe(row, value)
+        return value
+
+    def value(self, bank: int, row: int) -> int:
+        return int(self.counters[bank][row])
+
+    def tracker(self, bank: int) -> MoatTracker:
+        return self.trackers[bank]
+
+    def mitigate(self, bank: int) -> int | None:
+        """Mitigate the tracked row of ``bank``.
+
+        Performs the victim refresh bookkeeping: the aggressor's counter is
+        reset (its victims are now fresh) and each victim row's counter is
+        incremented by one, because a victim refresh activates the victim
+        (paper footnote 5). Returns the mitigated row, or None if the
+        tracker was empty.
+        """
+        tracker = self.trackers[bank]
+        if not tracker.valid:
+            return None
+        row = tracker.row
+        counters = self.counters[bank]
+        counters[row] = 0
+        tracker.invalidate()
+        for offset in range(1, BLAST_RADIUS + 1):
+            for victim in (row - offset, row + offset):
+                if 0 <= victim < self.rows:
+                    counters[victim] += 1
+                    tracker.observe(victim, int(counters[victim]))
+        return row
+
+    def refresh_rows(self, bank: int, start: int, stop: int) -> None:
+        """Periodic refresh of rows [start, stop): counters reset.
+
+        If the MOAT-tracked row falls in the refreshed range its entry is
+        invalidated (its counter is now zero).
+        """
+        self.counters[bank][start:stop] = 0
+        tracker = self.trackers[bank]
+        if tracker.valid and start <= tracker.row < stop:
+            tracker.invalidate()
+
+    def max_value(self, bank: int) -> int:
+        return int(self.counters[bank].max())
+
+
+@dataclass
+class RefreshSchedule:
+    """Round-robin group refresh: REF k refreshes group k mod groups.
+
+    The paper divides memory into 8192 groups refreshed once per tREFW.
+    Scaled-down geometries use fewer groups so that every row is still
+    refreshed exactly once per (scaled) refresh window.
+    """
+
+    rows: int
+    groups: int = 8192
+    next_group: int = 0
+    rounds: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0:
+            raise ValueError("rows must be positive")
+        self.groups = max(1, min(self.groups, self.rows))
+
+    @property
+    def rows_per_group(self) -> int:
+        return (self.rows + self.groups - 1) // self.groups
+
+    def advance(self) -> tuple[int, int]:
+        """Return the [start, stop) row range refreshed by the next REF."""
+        start = self.next_group * self.rows_per_group
+        stop = min(start + self.rows_per_group, self.rows)
+        self.next_group += 1
+        if self.next_group >= self.groups:
+            self.next_group = 0
+            self.rounds += 1
+        return start, stop

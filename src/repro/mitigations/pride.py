@@ -1,0 +1,70 @@
+"""PrIDE baseline tracker (Jaleel+, ISCA'24; paper Section 9.2).
+
+PrIDE samples each activation with a fixed Bernoulli probability (one
+expected sample per mitigation window) into a small per-bank FIFO; one
+entry is mitigated per mitigation opportunity (every
+``refs_per_mitigation`` REFs). The FIFO is lossy — a sample arriving when
+the queue is full is dropped — which is the structural weakness that makes
+PrIDE tolerate a higher T_RH than MINT in Table 13.
+"""
+
+from __future__ import annotations
+
+import collections
+import random
+
+from ..dram.timing import TimingSet, ddr5_base
+from .base import EpisodeDecision, MitigationPolicy
+from .mint import DEFAULT_WINDOW
+
+
+class PrIDEPolicy(MitigationPolicy):
+    """Bernoulli sampling into a lossy per-bank FIFO, drain-on-REF."""
+
+    name = "pride"
+
+    def __init__(self, banks: int = 32, window: int = DEFAULT_WINDOW,
+                 queue_size: int = 2, refs_per_mitigation: int = 1,
+                 timing: TimingSet | None = None,
+                 rng: random.Random | None = None):
+        super().__init__(timing or ddr5_base())
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        if refs_per_mitigation < 1:
+            raise ValueError("refs_per_mitigation must be >= 1")
+        self.probability = 1.0 / window
+        self.queues: list[collections.deque[int]] = [
+            collections.deque() for _ in range(banks)
+        ]
+        self.queue_size = queue_size
+        self.refs_per_mitigation = refs_per_mitigation
+        self.rng = rng or random.Random(0x1DE)
+        self.dropped_samples = 0
+        self._ref_count = 0
+        self._bank_ref_counts = [0] * banks
+
+    def on_activate(self, bank: int, row: int, now: int) -> EpisodeDecision:
+        self.stats.activations += 1
+        if self.rng.random() < self.probability:
+            queue = self.queues[bank]
+            if len(queue) < self.queue_size:
+                queue.append(row)
+            else:
+                self.dropped_samples += 1
+        return EpisodeDecision(self.timing, self.timing, False)
+
+    def on_refresh(self, now: int, bank: int | None = None) -> None:
+        if bank is not None:
+            self._bank_ref_counts[bank] += 1
+            if self._bank_ref_counts[bank] % self.refs_per_mitigation:
+                return
+            if self.queues[bank]:
+                self._record_mitigation(bank, self.queues[bank].popleft(),
+                                        now)
+            return
+        self._ref_count += 1
+        if self._ref_count % self.refs_per_mitigation:
+            return
+        for index, queue in enumerate(self.queues):
+            if queue:
+                self._record_mitigation(index, queue.popleft(), now)

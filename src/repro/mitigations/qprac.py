@@ -1,0 +1,146 @@
+"""QPRAC-style priority-queue PRAC service (paper Section 9.1).
+
+QPRAC [Woo+, HPCA'25] keeps PRAC's per-row counters and deterministic
+updates but services mitigations *proactively*: each bank maintains a
+small priority queue of hot rows (enqueued when their counter crosses an
+eligibility threshold at precharge time) and mitigates the hottest entry
+during every REF, reserving ABO as a rarely-used backstop for rows that
+still manage to reach the ALERT threshold.
+
+This is a simplified reconstruction (the HPCA paper has additional
+service opportunities); it exists as the second secure PRAC servicing
+discipline next to MOAT, to compare ABO rates —
+``benchmarks/bench_ablation_qprac.py``.
+
+Like PRAC+MOAT it pays the full inflated PRAC timings, so its benign
+slowdown matches PRAC's; the interesting difference is *when* mitigations
+are served.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..dram.timing import TimingSet, ddr5_prac
+from ..security.moat_model import moat_ath, moat_eth
+from .base import EpisodeDecision, MitigationPolicy
+from .prac_state import PRACCounters, RefreshSchedule
+
+#: Default per-bank priority-queue capacity.
+DEFAULT_QUEUE_SIZE = 8
+
+
+class QPRACPolicy(MitigationPolicy):
+    """PRAC with proactive priority-queue mitigation service."""
+
+    name = "qprac"
+
+    def __init__(self, trh: int, banks: int = 32, rows: int = 65536,
+                 refresh_groups: int = 8192,
+                 queue_size: int = DEFAULT_QUEUE_SIZE,
+                 timing: TimingSet | None = None):
+        super().__init__(timing or ddr5_prac())
+        if trh <= 0:
+            raise ValueError("trh must be positive")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.trh = trh
+        self.ath = moat_ath(trh)
+        self.eth = moat_eth(trh)  # enqueue threshold
+        self.state = PRACCounters(banks, rows)
+        self.refresh_schedules = [RefreshSchedule(rows, refresh_groups)
+                                  for _ in range(banks)]
+        self.queue_size = queue_size
+        # per-bank max-heaps of (-value, row); membership via sets
+        self._heaps: list[list[tuple[int, int]]] = [[] for _ in range(banks)]
+        self._queued: list[set[int]] = [set() for _ in range(banks)]
+        self._alert = False
+        self._acts_since_rfm = 1
+        self.proactive_mitigations = 0
+
+    # ------------------------------------------------------------------
+    def on_activate(self, bank: int, row: int, now: int) -> EpisodeDecision:
+        self.stats.activations += 1
+        self._acts_since_rfm += 1
+        return EpisodeDecision(self.timing, self.timing, True)
+
+    def on_precharge(self, bank: int, row: int, now: int,
+                     counter_update: bool) -> None:
+        if not counter_update:
+            return
+        self.stats.counter_updates += 1
+        value = self.state.update(bank, row, 1)
+        if value >= self.eth:
+            self._enqueue(bank, row, value)
+        if value >= self.ath:
+            self._alert = True
+
+    def _enqueue(self, bank: int, row: int, value: int) -> None:
+        if row in self._queued[bank]:
+            return  # stale heap entries are refreshed lazily at pop time
+        if len(self._queued[bank]) >= self.queue_size:
+            return  # full queue: the row keeps counting toward ATH
+        heapq.heappush(self._heaps[bank], (-value, row))
+        self._queued[bank].add(row)
+
+    # ------------------------------------------------------------------
+    def on_refresh(self, now: int, bank: int | None = None) -> None:
+        banks = (range(self.state.banks) if bank is None else (bank,))
+        for index in banks:
+            start, stop = self.refresh_schedules[index].advance()
+            self.state.refresh_rows(index, start, stop)
+            if self._service_queue(index, now):
+                self.proactive_mitigations += 1
+
+    def _service_queue(self, bank: int, now: int) -> bool:
+        """Mitigate the hottest queued row of ``bank``; True if served."""
+        heap = self._heaps[bank]
+        while heap:
+            _, row = heapq.heappop(heap)
+            if row not in self._queued[bank]:
+                continue  # stale
+            self._queued[bank].discard(row)
+            value = self.state.value(bank, row)
+            if value <= 0:
+                continue  # refreshed in the meantime
+            self._mitigate_row(bank, row, now)
+            return True
+        return False
+
+    def _mitigate_row(self, bank: int, row: int, now: int) -> None:
+        tracker = self.state.tracker(bank)
+        # Reuse the counter machinery: point the tracker at the row.
+        tracker.row = row
+        tracker.value = self.state.value(bank, row)
+        mitigated = self.state.mitigate(bank)
+        if mitigated is not None:
+            self._record_mitigation(bank, mitigated, now)
+
+    # ------------------------------------------------------------------
+    def alert_requested(self) -> bool:
+        return self._alert and self._acts_since_rfm > 0
+
+    def on_rfm(self, now: int) -> None:
+        """Backstop: mitigate every bank's hottest row under ABO."""
+        self.stats.alerts += 1
+        self.stats.alerts_mitigation += 1
+        for bank in range(self.state.banks):
+            tracker = self.state.tracker(bank)
+            if tracker.valid and tracker.value >= self.eth:
+                row = self.state.mitigate(bank)
+                if row is not None:
+                    self._queued[bank].discard(row)
+                    self._record_mitigation(bank, row, now)
+        self._alert = False
+        self._acts_since_rfm = 0
+        for bank in range(self.state.banks):
+            if self.state.tracker(bank).value >= self.ath:
+                self._alert = True
+                break
+
+    # ------------------------------------------------------------------
+    def counter_value(self, bank: int, row: int) -> int:
+        return self.state.value(bank, row)
+
+    def queue_occupancy(self, bank: int) -> int:
+        return len(self._queued[bank])

@@ -1,0 +1,75 @@
+"""TRR-style small tracker (paper Section 2.3 — the broken DDR4 strawman).
+
+Commercial Target-Row-Refresh trackers keep a handful of counter entries
+per bank (1-32) and mitigate the hottest entry under the shadow of REF.
+Because the table is tiny, patterns with more aggressor rows than entries
+(TRRespass / Blacksmith style) evict the real aggressors and hammer
+through. We implement a Misra-Gries frequent-item tracker — a *charitable*
+reconstruction of TRR — and the attack tests show it still breaks, which
+is exactly the paper's motivation for PRAC.
+"""
+
+from __future__ import annotations
+
+from ..dram.timing import TimingSet, ddr5_base
+from .base import EpisodeDecision, MitigationPolicy
+
+
+class TRRPolicy(MitigationPolicy):
+    """Misra-Gries tracker with ``entries`` counters per bank."""
+
+    name = "trr"
+
+    def __init__(self, banks: int = 32, entries: int = 16,
+                 mitigation_threshold: int = 64,
+                 refs_per_mitigation: int = 4,
+                 timing: TimingSet | None = None):
+        super().__init__(timing or ddr5_base())
+        if entries < 1:
+            raise ValueError("entries must be >= 1")
+        self.entries = entries
+        self.mitigation_threshold = mitigation_threshold
+        self.refs_per_mitigation = refs_per_mitigation
+        self.tables: list[dict[int, int]] = [{} for _ in range(banks)]
+        self._ref_count = 0
+        self._bank_ref_counts = [0] * banks
+
+    def on_activate(self, bank: int, row: int, now: int) -> EpisodeDecision:
+        self.stats.activations += 1
+        table = self.tables[bank]
+        if row in table:
+            table[row] += 1
+        elif len(table) < self.entries:
+            table[row] = 1
+        else:
+            # Misra-Gries decrement: all counters shrink by one.
+            for key in list(table):
+                table[key] -= 1
+                if table[key] <= 0:
+                    del table[key]
+        return EpisodeDecision(self.timing, self.timing, False)
+
+    def on_refresh(self, now: int, bank: int | None = None) -> None:
+        if bank is not None:
+            self._bank_ref_counts[bank] += 1
+            if self._bank_ref_counts[bank] % self.refs_per_mitigation:
+                return
+            self._service_bank(bank, now)
+            return
+        self._ref_count += 1
+        if self._ref_count % self.refs_per_mitigation:
+            return
+        for index in range(len(self.tables)):
+            self._service_bank(index, now)
+
+    def _service_bank(self, bank: int, now: int) -> None:
+        table = self.tables[bank]
+        if not table:
+            return
+        row, count = max(table.items(), key=lambda item: item[1])
+        if count >= self.mitigation_threshold:
+            self._record_mitigation(bank, row, now)
+            del table[row]
+
+    def tracked_rows(self, bank: int) -> dict[int, int]:
+        return dict(self.tables[bank])

@@ -1,0 +1,158 @@
+"""Critical-update search and MoPAC parameter derivation (Sections 5.3-5.4,
+6.4-6.5; Tables 6, 7, 8).
+
+Given a Rowhammer threshold T:
+
+1. epsilon = sqrt(T * tRC / 3.2e20)                       (Table 5)
+2. A = ATH(T) for MoPAC-C, or A' = ATH(T) - TTH for MoPAC-D (tardiness)
+3. C = the largest count with P(Binomial(A, p) < C) <= epsilon  (Table 6)
+4. ATH* = C / p                                           (Eq. 7)
+
+The sampling probability p is restricted to powers of two. The paper's
+choices (1/4 at 250, 1/8 at 500, 1/16 at 1000, ..., 1/64 at 4000) follow
+p = 62.5 / T rounded to a power of two, with a floor keeping ATH* >= 10
+to avoid frequent ABO (Section 5.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .binomial import undercount_probability
+from .failure import DEFAULT_TRC_NS, epsilon_for
+from .moat_model import moat_ath
+
+#: Default tardiness threshold (Section 6.3).
+DEFAULT_TTH = 32
+
+#: Paper's drain-on-REF rates per threshold (Table 8, right column).
+DRAIN_ON_REF = {250: 4, 500: 2, 1000: 1}
+
+
+@dataclass(frozen=True)
+class MoPACParams:
+    """Derived parameters for one (design, T_RH) point."""
+
+    trh: int
+    ath: int  #: MOAT ALERT threshold without MoPAC
+    effective_acts: int  #: A (MoPAC-C) or A' = ATH - TTH (MoPAC-D)
+    p: float
+    critical_updates: int  #: C
+    ath_star: int  #: ATH* = C / p
+    epsilon: float
+    undercount_probability: float  #: failure probability P(N <= C)
+
+    @property
+    def inv_p(self) -> int:
+        return round(1 / self.p)
+
+    @property
+    def update_reduction(self) -> float:
+        """How many x fewer counter updates than PRAC (= 1/p)."""
+        return 1 / self.p
+
+
+def default_p(trh: int) -> float:
+    """Power-of-two sampling probability for a threshold (Section 5.4).
+
+    Matches the paper's menu: T_RH 250 -> 1/4, 500 -> 1/8, 1000 -> 1/16,
+    2000 -> 1/32, 4000 -> 1/64. Clamped to at most 1/2.
+    """
+    if trh <= 0:
+        raise ValueError("trh must be positive")
+    exponent = max(round(math.log2(trh / 62.5)), 1)
+    return 2.0 ** -exponent
+
+
+def critical_updates(effective_acts: int, p: float, epsilon: float) -> int:
+    """Largest C whose failure probability stays within epsilon (Sec. 5.3).
+
+    The paper's Table 6 numbers correspond to a failure event of "at most C
+    updates" — ABO fires once the update count *exceeds* C — so the search
+    finds the largest C with P(N <= C) <= epsilon. (Reading Eq. 2 literally
+    as P(N < C) shifts every table entry by one row; the published C and
+    ATH* values match the <= convention, which we therefore use.)
+    """
+    if not 0 < p <= 1:
+        raise ValueError("p must be in (0, 1]")
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must be in (0, 1)")
+    best = 0
+    for c in range(effective_acts + 1):
+        if undercount_probability(c + 1, effective_acts, p) <= epsilon:
+            best = c
+        else:
+            break
+    return best
+
+
+def mopac_c_params(trh: int, p: float | None = None,
+                   trc_ns: float = DEFAULT_TRC_NS) -> MoPACParams:
+    """Derive MoPAC-C parameters (Table 7 row) for a threshold."""
+    p = default_p(trh) if p is None else p
+    ath = moat_ath(trh)
+    eps = epsilon_for(trh, trc_ns)
+    c = critical_updates(ath, p, eps)
+    return MoPACParams(
+        trh=trh, ath=ath, effective_acts=ath, p=p, critical_updates=c,
+        ath_star=round(c / p), epsilon=eps,
+        undercount_probability=undercount_probability(c + 1, ath, p),
+    )
+
+
+def mopac_d_params(trh: int, p: float | None = None, tth: int = DEFAULT_TTH,
+                   trc_ns: float = DEFAULT_TRC_NS) -> MoPACParams:
+    """Derive MoPAC-D parameters (Table 8 row) for a threshold.
+
+    Tardiness (Section 6.3) lets a buffered row take up to TTH extra
+    activations before its update lands, so the binomial search runs over
+    A' = ATH - TTH (Eq. 8).
+    """
+    p = default_p(trh) if p is None else p
+    ath = moat_ath(trh)
+    effective = ath - tth
+    if effective <= 0:
+        raise ValueError(f"TTH {tth} leaves no activation budget at "
+                         f"T_RH {trh}")
+    eps = epsilon_for(trh, trc_ns)
+    c = critical_updates(effective, p, eps)
+    return MoPACParams(
+        trh=trh, ath=ath, effective_acts=effective, p=p,
+        critical_updates=c, ath_star=round(c / p), epsilon=eps,
+        undercount_probability=undercount_probability(c + 1, effective, p),
+    )
+
+
+def drain_on_ref_default(trh: int) -> int:
+    """Paper's drain-on-REF rate for a threshold (Table 8)."""
+    if trh in DRAIN_ON_REF:
+        return DRAIN_ON_REF[trh]
+    # Lower thresholds sample more and need faster draining.
+    if trh < 250:
+        return 4
+    if trh < 500:
+        return 4
+    if trh < 1000:
+        return 2
+    return 1
+
+
+def table6(c_values: range = range(20, 26),
+           thresholds: tuple[int, ...] = (250, 500, 1000)) -> dict:
+    """Reproduce paper Table 6: P(N < C) grid, normalised to epsilon.
+
+    Returns ``{trh: {c: (probability, ratio_to_epsilon)}}`` using each
+    threshold's default p and A = ATH (the MoPAC-C setting).
+    """
+    grid: dict[int, dict[int, tuple[float, float]]] = {}
+    for trh in thresholds:
+        eps = epsilon_for(trh)
+        ath = moat_ath(trh)
+        p = default_p(trh)
+        grid[trh] = {
+            c: (undercount_probability(c + 1, ath, p),
+                undercount_probability(c + 1, ath, p) / eps)
+            for c in c_values
+        }
+    return grid

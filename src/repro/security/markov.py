@@ -1,0 +1,123 @@
+"""Markov-chain security model for Non-Uniform Probability (Section 8.2).
+
+MoPAC-D with NUP samples a row with probability p/2 while its PRAC counter
+is zero and probability p afterwards. The counter's trajectory over A
+activations is the Markov chain of Figure 16:
+
+    state 0 --p/2--> state 1 --p--> state 2 --p--> ...
+
+(each state also self-loops with the complementary probability). After A
+steps the chain's distribution y gives the probability the row ends with
+each number of updates; the critical count C is the largest value whose
+cumulative mass stays below the escape budget P_e1 (Eq. 9), and
+ATH* = C / p as usual.
+
+With uniform edge probabilities the chain reproduces the binomial model
+exactly (the paper's footnote-8 sanity check, covered by our tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csearch import DEFAULT_TTH, MoPACParams, default_p
+from .failure import DEFAULT_TRC_NS, epsilon_for
+from .moat_model import moat_ath
+
+
+def counter_distribution(activations: int, p: float,
+                         p_first: float | None = None) -> np.ndarray:
+    """Distribution of the update count after ``activations`` steps.
+
+    ``p_first`` is the transition probability out of state 0 (p/2 for NUP,
+    p for the uniform sanity check). Returns a vector y where ``y[i]`` is
+    the probability of exactly i updates.
+    """
+    if activations < 0:
+        raise ValueError("activations must be non-negative")
+    if not 0 < p <= 1:
+        raise ValueError("p must be in (0, 1]")
+    p_first = p / 2 if p_first is None else p_first
+
+    y = np.zeros(activations + 1, dtype=np.float64)
+    y[0] = 1.0
+    for _ in range(activations):
+        moved = np.empty_like(y)
+        moved[0] = 0.0
+        # state 0 advances with p_first, states >= 1 with p
+        moved[1] = y[0] * p_first
+        moved[2:] = y[1:-1] * p
+        stay = y.copy()
+        stay[0] *= 1.0 - p_first
+        stay[1:] *= 1.0 - p
+        y = stay
+        y[1:] += moved[1:]
+    return y
+
+
+def critical_updates_markov(activations: int, p: float, epsilon: float,
+                            p_first: float | None = None) -> int:
+    """Largest C with P(N <= C) <= epsilon under the NUP chain (Eq. 9)."""
+    y = counter_distribution(activations, p, p_first)
+    cumulative = np.cumsum(y)
+    best = 0
+    for c in range(activations + 1):
+        if cumulative[c] <= epsilon:
+            best = c
+        else:
+            break
+    return best
+
+
+@dataclass(frozen=True)
+class NUPParams:
+    """Derived NUP parameters alongside the uniform baseline (Table 11)."""
+
+    trh: int
+    p: float
+    uniform_ath_star: int
+    nup_ath_star: int
+    uniform_c: int
+    nup_c: int
+
+
+def mopac_d_nup_params(trh: int, p: float | None = None,
+                       tth: int = DEFAULT_TTH,
+                       trc_ns: float = DEFAULT_TRC_NS) -> NUPParams:
+    """Derive MoPAC-D parameters with and without NUP (Table 11 row).
+
+    Following the paper: the *uniform* column runs the model over
+    A' = ATH - TTH (identical to the Table 8 binomial result), while the
+    NUP column runs the Markov chain over the full ATH window ("the
+    likelihood that the PRAC counter reaches a particular value after
+    receiving ATH activations", Section 8.2). Both reproduce the published
+    Table 11 values exactly.
+    """
+    p = default_p(trh) if p is None else p
+    ath = moat_ath(trh)
+    effective = ath - tth
+    if effective <= 0:
+        raise ValueError("TTH leaves no activation budget")
+    eps = epsilon_for(trh, trc_ns)
+    uniform_c = critical_updates_markov(effective, p, eps, p_first=p)
+    nup_c = critical_updates_markov(ath, p, eps, p_first=p / 2)
+    return NUPParams(
+        trh=trh, p=p,
+        uniform_ath_star=round(uniform_c / p),
+        nup_ath_star=round(nup_c / p),
+        uniform_c=uniform_c, nup_c=nup_c,
+    )
+
+
+def markov_params_to_mopac(params: NUPParams) -> MoPACParams:
+    """Convert NUP params to the common MoPACParams shape (NUP variant)."""
+    ath = moat_ath(params.trh)
+    return MoPACParams(
+        trh=params.trh, ath=ath, effective_acts=ath,
+        p=params.p, critical_updates=params.nup_c,
+        ath_star=params.nup_ath_star, epsilon=epsilon_for(params.trh),
+        undercount_probability=float(
+            np.cumsum(counter_distribution(ath, params.p))[params.nup_c]),
+    )

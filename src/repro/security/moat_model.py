@@ -1,0 +1,51 @@
+"""MOAT ALERT-threshold model (Section 2.6, Table 2).
+
+MOAT [Qureshi & Qazi, 2024] asserts ALERT when its tracked row reaches the
+*ALERT Threshold* (ATH). Because the ABO protocol lets the memory controller
+keep operating for 180 ns after ALERT, an attacker can slip extra
+activations in before the mitigation lands, so ATH sits below T_RH by a
+slippage margin.
+
+The paper gives three anchor points (Table 2):
+
+    T_RH:  1000   500   250
+    ATH:    975   472   219
+
+i.e. slippage margins of 25, 28 and 31 activations. The margins fit
+``slack(T) = 28 - 3 * log2(T / 500)`` exactly at all three anchors; we use
+the anchors verbatim and the fitted model for other thresholds (e.g. the
+T_RH = 4000 and 2000 points of Figures 1 and 2). The Eligibility Threshold
+is ETH = ATH / 2 (paper footnote 3).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Exact anchor points from paper Table 2.
+PAPER_ATH = {250: 219, 500: 472, 1000: 975}
+
+
+def moat_slack(trh: int) -> int:
+    """Slippage margin between T_RH and ATH (fitted to Table 2)."""
+    if trh <= 0:
+        raise ValueError("trh must be positive")
+    return max(round(28 - 3 * math.log2(trh / 500)), 4)
+
+
+def moat_ath(trh: int) -> int:
+    """ALERT threshold for a given Rowhammer threshold.
+
+    Exact at the paper's Table 2 anchors; fitted model elsewhere.
+    """
+    if trh in PAPER_ATH:
+        return PAPER_ATH[trh]
+    ath = trh - moat_slack(trh)
+    if ath < 1:
+        raise ValueError(f"T_RH {trh} too small for the MOAT model")
+    return ath
+
+
+def moat_eth(trh: int) -> int:
+    """Eligibility threshold: ETH = ATH / 2 (footnote 3)."""
+    return moat_ath(trh) // 2

@@ -1,0 +1,82 @@
+"""Row-Press-aware MoPAC parameters (Appendix A, Table 14).
+
+Row-Press [Luo+, ISCA'23] amplifies read disturbance when a row stays open:
+keeping a row open for 180 ns deals about 1.5x the damage of one
+fast-cycled activation. The MoPAC extension bounds row-open time to 180 ns
+(MoPAC-C closes the row; MoPAC-D charges SCtr by ceil(tON / 180 ns)) and
+derates every activation to 1.5 damage units, which shrinks the usable
+activation budget by 1.5x:
+
+    A_rp  = floor(ATH / 1.5)            (MoPAC-C)
+    A'_rp = floor((ATH - TTH) / 1.5)    (MoPAC-D; tardiness slack derates too)
+
+and the C-search proceeds as usual. Both conventions reproduce the
+published Table 14 values exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .csearch import (DEFAULT_TTH, MoPACParams, critical_updates, default_p)
+from .binomial import undercount_probability
+from .failure import DEFAULT_TRC_NS, epsilon_for
+from .moat_model import moat_ath
+
+#: Relative damage of one 180 ns-open activation vs one fast activation.
+ROWPRESS_DAMAGE = 1.5
+
+#: Row-open cap enforced by the Row-Press-aware designs (ns).
+ROWPRESS_TON_CAP_NS = 180.0
+
+
+def rowpress_budget(trh: int, damage: float = ROWPRESS_DAMAGE) -> int:
+    """Activation budget after derating each ACT to ``damage`` units."""
+    return int(moat_ath(trh) / damage)
+
+
+def _params(trh: int, effective: int, p: float) -> MoPACParams:
+    eps = epsilon_for(trh, DEFAULT_TRC_NS)
+    c = critical_updates(effective, p, eps)
+    if c < 1:
+        # Footnote 9: the Row-Press-derated budget is too small for a
+        # usable ATH*; the paper recommends circuit-level techniques here.
+        raise ValueError(
+            f"Row-Press budget at T_RH {trh} yields C = 0; use "
+            "circuit-level mitigation instead (paper footnote 9)")
+    return MoPACParams(
+        trh=trh, ath=moat_ath(trh), effective_acts=effective, p=p,
+        critical_updates=c, ath_star=round(c / p), epsilon=eps,
+        undercount_probability=undercount_probability(c + 1, effective, p),
+    )
+
+
+def mopac_c_rowpress_params(trh: int, p: float | None = None,
+                            damage: float = ROWPRESS_DAMAGE) -> MoPACParams:
+    """Row-Press-aware MoPAC-C parameters (Table 14, MoPAC-C column)."""
+    p = default_p(trh) if p is None else p
+    return _params(trh, rowpress_budget(trh, damage), p)
+
+
+def mopac_d_rowpress_params(trh: int, p: float | None = None,
+                            tth: int = DEFAULT_TTH,
+                            damage: float = ROWPRESS_DAMAGE) -> MoPACParams:
+    """Row-Press-aware MoPAC-D parameters (Table 14, MoPAC-D column)."""
+    p = default_p(trh) if p is None else p
+    effective = int((moat_ath(trh) - tth) / damage)
+    if effective <= 0:
+        raise ValueError("Row-Press budget exhausted by TTH at this T_RH")
+    return _params(trh, effective, p)
+
+
+@dataclass(frozen=True)
+class RowPressDamage:
+    """Damage accounting for one row-open episode."""
+
+    open_time_ns: float
+
+    @property
+    def sctr_increment(self) -> int:
+        """MoPAC-D: SCtr += ceil(tON / 180 ns) (Appendix A)."""
+        import math
+        return max(1, math.ceil(self.open_time_ns / ROWPRESS_TON_CAP_NS))

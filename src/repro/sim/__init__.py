@@ -1,0 +1,16 @@
+"""System simulation: event loop, experiment runner, multi-chip helpers."""
+
+from .runner import (DEFAULT_INSTRUCTIONS, DESIGNS, DesignPoint, SweepResult,
+                     build_config, build_traces, clear_cache, fairness,
+                     harmonic_speedup, make_policy_factory, simulate,
+                     slowdown, sweep, weighted_speedup)
+from .replication import Replication, replicate, significantly_faster
+from .system import RowActivityStats, System, SystemResult
+
+__all__ = [
+    "DEFAULT_INSTRUCTIONS", "DESIGNS", "DesignPoint", "Replication", "RowActivityStats",
+    "SweepResult", "System", "SystemResult", "build_config", "build_traces",
+    "clear_cache", "fairness", "harmonic_speedup", "make_policy_factory",
+    "replicate", "significantly_faster",
+    "simulate", "slowdown", "sweep", "weighted_speedup",
+]

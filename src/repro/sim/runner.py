@@ -1,0 +1,246 @@
+"""Experiment runner: named configurations, weighted speedup, caching.
+
+This is the layer the benchmarks and examples talk to. A *design point* is
+``(workload, design, trh, overrides)``; :func:`simulate` builds the traces
+and policies, runs the :class:`~repro.sim.system.System`, and caches the
+result so a sweep reuses its baseline runs.
+
+Designs (paper nomenclature):
+
+* ``baseline``   — unprotected DDR5,
+* ``prac``       — PRAC + ABO with MOAT (Figure 2's 10% offender),
+* ``mopac-c``    — Section 5,
+* ``mopac-d``    — Section 6,
+* ``mopac-d-nup``— Section 8.
+
+Slowdown is reported as the paper does: 1 - WS(design)/WS(baseline) with
+weighted speedup normalised per-core against the baseline run of the same
+workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..config import SystemConfig
+from ..mitigations.base import MitigationPolicy
+from ..mitigations.mopac_c import MoPACCPolicy
+from ..mitigations.mopac_d import MoPACDPolicy
+from ..mitigations.prac import BaselinePolicy, PRACMoatPolicy
+from ..workloads.catalog import workload_cores
+from ..workloads.synthetic import TraceGenerator
+from .system import System, SystemResult
+
+DESIGNS = ("baseline", "prac", "mopac-c", "mopac-d", "mopac-d-nup")
+
+#: Default experiment scale: instructions per core. The paper runs 100M;
+#: slowdown ratios are stationary, so the scaled default converges to the
+#: same relative numbers (see EXPERIMENTS.md for the convergence check).
+DEFAULT_INSTRUCTIONS = 150_000
+
+#: Refresh-window scale for reduced runs (keeps tREFI, shrinks tREFW).
+DEFAULT_REFRESH_SCALE = 1 / 64
+
+#: Rows per bank in reduced geometry.
+DEFAULT_ROWS = 4096
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """A fully-specified simulation configuration."""
+
+    workload: str
+    design: str
+    trh: int = 500
+    instructions: int = DEFAULT_INSTRUCTIONS
+    seed: int = 0x5EED
+    page_policy: str = "open"
+    chips: int = 1
+    srq_size: int = 16
+    drain_on_ref: int | None = None
+    p: float | None = None
+    rows_per_bank: int = DEFAULT_ROWS
+    refresh_scale: float = DEFAULT_REFRESH_SCALE
+    collect_row_activity: bool = False
+    #: use the Row-Press-derated ATH* parameters (Appendix A)
+    rowpress: bool = False
+    #: MoPAC-D selection mechanism: "mint" (paper) or "para" (footnote 6)
+    sampler: str = "mint"
+    #: JEDEC ABO mitigation level: RFMs per ALERT (paper: 1)
+    abo_level: int = 1
+    #: REF style: "all-bank" (paper) or "same-bank" (DDR5 REFsb)
+    refresh_mode: str = "all-bank"
+
+    def __post_init__(self) -> None:
+        if self.design not in DESIGNS:
+            raise ValueError(f"unknown design {self.design!r}; "
+                             f"choose from {DESIGNS}")
+
+    def baseline(self) -> "DesignPoint":
+        """The matching baseline point (same everything, no mitigation)."""
+        return DesignPoint(
+            workload=self.workload, design="baseline", trh=self.trh,
+            instructions=self.instructions, seed=self.seed,
+            page_policy=self.page_policy,
+            rows_per_bank=self.rows_per_bank,
+            refresh_scale=self.refresh_scale,
+            refresh_mode=self.refresh_mode,
+        )
+
+
+def make_policy_factory(point: DesignPoint,
+                        config: SystemConfig) -> Callable[[int], MitigationPolicy]:
+    """Build the per-sub-channel policy constructor for a design point."""
+    banks = config.dram.banks_per_subchannel
+    rows = config.dram.rows_per_bank
+    groups = min(8192, rows)
+    timing = config.dram.timing
+
+    def factory(subchannel: int) -> MitigationPolicy:
+        if point.design == "baseline":
+            return BaselinePolicy(timing=timing)
+        if point.design == "prac":
+            from ..dram.timing import ddr5_prac
+            prac_timing = ddr5_prac().scaled_refresh(point.refresh_scale) \
+                if point.refresh_scale < 1 else ddr5_prac()
+            return PRACMoatPolicy(point.trh, banks, rows, groups,
+                                  timing=prac_timing)
+        if point.design == "mopac-c":
+            import random
+            from ..dram.timing import MoPACTimings, ddr5_prac
+            from ..security.rowpress import mopac_c_rowpress_params
+            cu = ddr5_prac().scaled_refresh(point.refresh_scale) \
+                if point.refresh_scale < 1 else ddr5_prac()
+            pair = MoPACTimings(normal=timing, counter_update=cu)
+            params = (mopac_c_rowpress_params(point.trh, point.p)
+                      if point.rowpress else None)
+            return MoPACCPolicy(point.trh, banks, rows, p=point.p,
+                                refresh_groups=groups, timings=pair,
+                                rng=random.Random(point.seed ^ subchannel),
+                                params=params)
+        if point.design in ("mopac-d", "mopac-d-nup"):
+            import random
+            from ..security.rowpress import mopac_d_rowpress_params
+            params = (mopac_d_rowpress_params(point.trh, point.p)
+                      if point.rowpress else None)
+            return MoPACDPolicy(
+                point.trh, banks, rows, p=point.p,
+                srq_size=point.srq_size,
+                drain_on_ref=point.drain_on_ref,
+                nup=(point.design == "mopac-d-nup"),
+                chips=point.chips, refresh_groups=groups, timing=timing,
+                rng=random.Random(point.seed ^ (subchannel << 4)),
+                params=params, sampler=point.sampler,
+                abo_level=point.abo_level)
+        raise AssertionError(point.design)
+
+    return factory
+
+
+def build_config(point: DesignPoint) -> SystemConfig:
+    return SystemConfig.reduced(point.rows_per_bank, point.refresh_scale)
+
+
+def build_traces(point: DesignPoint, config: SystemConfig) -> list:
+    specs = workload_cores(point.workload, config.cores)
+    return [TraceGenerator(spec, config.dram, core_id=i, seed=point.seed)
+            for i, spec in enumerate(specs)]
+
+
+_cache: dict[DesignPoint, SystemResult] = {}
+
+
+def simulate(point: DesignPoint, use_cache: bool = True) -> SystemResult:
+    """Run (or fetch) one design point."""
+    if use_cache and point in _cache:
+        return _cache[point]
+    config = build_config(point)
+    specs = workload_cores(point.workload, config.cores)
+    windows = [round(config.rob_entries * spec.mlp_boost) for spec in specs]
+    system = System(
+        config=config,
+        policy_factory=make_policy_factory(point, config),
+        traces=build_traces(point, config),
+        instruction_limit=point.instructions,
+        page_policy=point.page_policy,
+        collect_row_activity=point.collect_row_activity,
+        windows=windows,
+        refresh_mode=point.refresh_mode,
+    )
+    result = system.run()
+    if use_cache:
+        _cache[point] = result
+    return result
+
+
+def clear_cache() -> None:
+    _cache.clear()
+
+
+def weighted_speedup(result: SystemResult,
+                     baseline: SystemResult) -> float:
+    """Per-core-normalised weighted speedup (paper Section 3.2)."""
+    pairs = list(zip(result.ipcs, baseline.ipcs))
+    if not pairs:
+        return 0.0
+    return sum(x / b for x, b in pairs if b > 0) / len(pairs)
+
+
+def harmonic_speedup(result: SystemResult,
+                     baseline: SystemResult) -> float:
+    """Harmonic-mean speedup: balances throughput and fairness."""
+    pairs = [(x, b) for x, b in zip(result.ipcs, baseline.ipcs)
+             if x > 0 and b > 0]
+    if not pairs:
+        return 0.0
+    return len(pairs) / sum(b / x for x, b in pairs)
+
+
+def fairness(result: SystemResult, baseline: SystemResult) -> float:
+    """Min/max per-core relative-progress ratio (1.0 = perfectly fair).
+
+    A mitigation that stalls one core's hot bank while others run free
+    shows up here even when the weighted speedup looks fine.
+    """
+    ratios = [x / b for x, b in zip(result.ipcs, baseline.ipcs) if b > 0]
+    if not ratios:
+        return 0.0
+    return min(ratios) / max(ratios)
+
+
+def slowdown(point: DesignPoint, use_cache: bool = True) -> float:
+    """Slowdown of a design point vs its baseline: 1 - WS."""
+    result = simulate(point, use_cache)
+    base = simulate(point.baseline(), use_cache)
+    return 1.0 - weighted_speedup(result, base)
+
+
+@dataclass
+class SweepResult:
+    """Per-workload slowdowns for one design/threshold."""
+
+    design: str
+    trh: int
+    slowdowns: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def average(self) -> float:
+        if not self.slowdowns:
+            return 0.0
+        return sum(self.slowdowns.values()) / len(self.slowdowns)
+
+    @property
+    def worst(self) -> tuple[str, float]:
+        return max(self.slowdowns.items(), key=lambda kv: kv[1])
+
+
+def sweep(workloads: list[str], design: str, trh: int,
+          **overrides: Any) -> SweepResult:
+    """Slowdown of ``design`` across ``workloads`` at one threshold."""
+    result = SweepResult(design=design, trh=trh)
+    for name in workloads:
+        point = DesignPoint(workload=name, design=design, trh=trh,
+                            **overrides)
+        result.slowdowns[name] = slowdown(point)
+    return result

@@ -1,0 +1,311 @@
+"""Full-system simulator: cores -> (LLC) -> address mapper -> controllers.
+
+The :class:`System` owns a global event heap (time-ordered callbacks) and
+wires together:
+
+* one :class:`~repro.cpu.core.Core` per trace,
+* optionally the shared LLC (by default the calibrated workloads generate
+  miss streams, so the LLC is bypassed — see
+  :mod:`repro.cpu.cache` for the rationale),
+* the MOP address mapper,
+* one :class:`~repro.mc.controller.MemoryController` per sub-channel, each
+  with its own :class:`~repro.mitigations.base.MitigationPolicy` instance.
+
+``System.run()`` executes until every core has retired its instruction
+budget and returns a :class:`SystemResult` with per-core IPCs and all
+subsystem statistics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from ..config import SystemConfig
+from ..cpu.cache import SetAssociativeCache
+from ..cpu.core import Core, CoreStats
+from ..cpu.trace import TraceItem
+from ..dram.address import make_mapper
+from ..mc.controller import MCStats, MemoryController
+from ..mc.pagepolicy import make_page_policy
+from ..mitigations.base import MitigationPolicy
+from ..mc.request import MemRequest
+
+PolicyFactory = Callable[[int], MitigationPolicy]
+
+
+@dataclass
+class SystemResult:
+    """Everything a run produces."""
+
+    config: SystemConfig
+    core_stats: list[CoreStats]
+    mc_stats: list[MCStats]
+    policy_stats: list[dict]
+    elapsed_ps: int
+    row_activity: "RowActivityStats | None" = None
+
+    @property
+    def ipcs(self) -> list[float]:
+        ghz = self.config.core_ghz
+        return [stats.ipc(ghz) for stats in self.core_stats]
+
+    @property
+    def total_requests(self) -> int:
+        return sum(stats.requests for stats in self.mc_stats)
+
+    @property
+    def row_buffer_hit_rate(self) -> float:
+        hits = sum(s.row_hits for s in self.mc_stats)
+        total = sum(s.row_hits + s.row_misses + s.row_conflicts
+                    for s in self.mc_stats)
+        return hits / total if total else 0.0
+
+    @property
+    def total_alerts(self) -> int:
+        return sum(s.alerts for s in self.mc_stats)
+
+    @property
+    def total_activations(self) -> int:
+        return sum(s.activations for s in self.mc_stats)
+
+    def bus_utilization(self) -> float:
+        """Fraction of wall time the data buses carried bursts."""
+        if self.elapsed_ps <= 0:
+            return 0.0
+        timing = self.config.dram.timing
+        busy = self.total_requests * timing.tBURST
+        return busy / (self.elapsed_ps * self.config.dram.subchannels)
+
+    def mean_ipc(self) -> float:
+        ipcs = self.ipcs
+        return sum(ipcs) / len(ipcs) if ipcs else 0.0
+
+    def bandwidth_gbps(self) -> float:
+        """Achieved DRAM bandwidth in GB/s."""
+        if self.elapsed_ps <= 0:
+            return 0.0
+        bytes_moved = self.total_requests * self.config.dram.line_bytes
+        return bytes_moved / (self.elapsed_ps / 1e12) / 1e9
+
+    def summary(self) -> str:
+        """One-paragraph human-readable run summary."""
+        return (
+            f"elapsed {self.elapsed_ps / 1e6:.1f} us | "
+            f"{self.total_requests} requests, "
+            f"{self.total_activations} ACTs | "
+            f"RBHR {self.row_buffer_hit_rate:.2f} | "
+            f"bus {self.bus_utilization():.0%} | "
+            f"{self.bandwidth_gbps():.1f} GB/s | "
+            f"mean IPC {self.mean_ipc():.2f} | "
+            f"{self.total_alerts} ALERTs"
+        )
+
+
+@dataclass
+class RowActivityStats:
+    """Per-refresh-window row-activation census (Table 4 columns).
+
+    ``windows`` counts completed tREFW windows; the hot-row tallies are
+    means per window per bank, directly comparable to the paper's ACT-64+
+    and ACT-200+ columns (which use the full 32 ms window — scaled runs
+    report the scaled-window equivalent).
+    """
+
+    windows: int = 0
+    total_acts: int = 0
+    total_refis: int = 0
+    banks: int = 0
+    act64_total: int = 0
+    act200_total: int = 0
+
+    @property
+    def apri(self) -> float:
+        """Mean activations per tREFI per bank."""
+        if not self.total_refis or not self.banks:
+            return 0.0
+        return self.total_acts / self.total_refis / self.banks
+
+    @property
+    def act64(self) -> float:
+        if not self.windows or not self.banks:
+            return 0.0
+        return self.act64_total / self.windows / self.banks
+
+    @property
+    def act200(self) -> float:
+        if not self.windows or not self.banks:
+            return 0.0
+        return self.act200_total / self.windows / self.banks
+
+
+class _RowActivityMonitor:
+    """Collects :class:`RowActivityStats` from activation callbacks."""
+
+    def __init__(self, banks_total: int, trefw_ps: int, trefi_ps: int):
+        self.stats = RowActivityStats(banks=banks_total)
+        self.trefw = trefw_ps
+        self.trefi = trefi_ps
+        self.window_end = trefw_ps
+        self.counts: dict[tuple[int, int, int], int] = {}
+
+    def notify(self, time_ps: int, subchannel: int, bank: int,
+               row: int) -> None:
+        while time_ps >= self.window_end:
+            self._roll_window()
+        self.counts[(subchannel, bank, row)] = \
+            self.counts.get((subchannel, bank, row), 0) + 1
+        self.stats.total_acts += 1
+
+    def finalize(self, elapsed_ps: int) -> RowActivityStats:
+        if self.counts:
+            self._roll_window()
+        self.stats.total_refis = max(elapsed_ps // self.trefi, 1)
+        return self.stats
+
+    def _roll_window(self) -> None:
+        self.stats.windows += 1
+        for count in self.counts.values():
+            if count >= 64:
+                self.stats.act64_total += 1
+            if count >= 200:
+                self.stats.act200_total += 1
+        self.counts.clear()
+        self.window_end += self.trefw
+
+
+class System:
+    """One simulation instance."""
+
+    def __init__(self, config: SystemConfig,
+                 policy_factory: PolicyFactory,
+                 traces: list[Iterator[TraceItem]],
+                 instruction_limit: int,
+                 mapper_kind: str = "mop",
+                 page_policy: str = "open",
+                 use_llc: bool = False,
+                 collect_row_activity: bool = False,
+                 windows: list[int] | None = None,
+                 refresh_mode: str = "all-bank"):
+        if len(traces) != config.cores:
+            raise ValueError(
+                f"need {config.cores} traces, got {len(traces)}")
+        self.config = config
+        self.mapper = make_mapper(config.dram, mapper_kind)
+        self._heap: list[tuple[int, int, Callable[[int], None]]] = []
+        self._seq = itertools.count()
+        self.policies = [policy_factory(i)
+                         for i in range(config.dram.subchannels)]
+        self.controllers = [
+            MemoryController(i, config.dram, self.policies[i],
+                             self._schedule, self._on_complete,
+                             make_page_policy(page_policy),
+                             refresh_mode=refresh_mode)
+            for i in range(config.dram.subchannels)
+        ]
+        if windows is not None and len(windows) != len(traces):
+            raise ValueError("windows must match traces")
+        self.cores = [
+            Core(i, trace, config, instruction_limit,
+                 window=windows[i] if windows is not None else None)
+            for i, trace in enumerate(traces)
+        ]
+        self.llc = (SetAssociativeCache(config.llc_bytes, config.llc_ways,
+                                        config.dram.line_bytes)
+                    if use_llc else None)
+        self._request_owner: dict[int, int] = {}
+        self._waiters: dict[int, int] = {}
+        self._monitor: _RowActivityMonitor | None = None
+        if collect_row_activity:
+            timing = config.dram.timing
+            self._monitor = _RowActivityMonitor(
+                config.dram.total_banks, timing.tREFW, timing.tREFI)
+            for mc in self.controllers:
+                mc.act_hook = (
+                    lambda t, bank, row, _sub=mc.subchannel:
+                    self._monitor.notify(t, _sub, bank, row))
+        self._now = 0
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+    def _schedule(self, time_ps: int, callback: Callable[[int], None]) -> None:
+        heapq.heappush(self._heap, (int(time_ps), next(self._seq), callback))
+
+    def _on_complete(self, request: MemRequest) -> None:
+        core_index = self._request_owner.pop(request.request_id, None)
+        if core_index is None:
+            return  # untracked writeback
+        core = self.cores[core_index]
+        done = request.completion_ps
+        assert done is not None
+        return_time = done + self.config.llc_hit_ps
+        self._schedule(return_time,
+                       lambda now, c=core, r=request.request_id:
+                       self._core_completion(c, r, now))
+
+    def _core_completion(self, core: Core, request_id: int,
+                         now: int) -> None:
+        core.on_completion(request_id, now)
+        if self._waiters.get(request_id) == core.core_id:
+            del self._waiters[request_id]
+        self._drive_core(core, now)
+
+    # ------------------------------------------------------------------
+    # Core driving
+    # ------------------------------------------------------------------
+    def _drive_core(self, core: Core, now: int) -> None:
+        while True:
+            action, value = core.next_action()
+            if action == "finish":
+                return
+            if action == "wait":
+                self._waiters[int(value)] = core.core_id
+                return
+            issue = int(value)
+            if issue > now:
+                self._schedule(issue,
+                               lambda t, c=core: self._drive_core(c, t))
+                return
+            item = core.take_request(float(issue))
+            self._dispatch(core, item, issue)
+
+    def _dispatch(self, core: Core, item: TraceItem, issue: int) -> None:
+        if self.llc is not None and self.llc.access(item.address,
+                                                    item.is_write):
+            # LLC hit: completes after the LLC latency, no DRAM traffic.
+            return
+        arrival = issue + self.config.llc_hit_ps
+        line = self.mapper.map_address(item.address)
+        request = MemRequest(core.core_id, line, arrival, item.is_write)
+        if not item.is_write:
+            # Writes are dirty-line writebacks: they consume DRAM bandwidth
+            # but never block retirement, so the core does not track them.
+            core.track(request.request_id)
+            self._request_owner[request.request_id] = core.core_id
+        self.controllers[line.subchannel].enqueue(request, arrival)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SystemResult:
+        for mc in self.controllers:
+            mc.start()
+        for core in self.cores:
+            self._drive_core(core, 0)
+        while self._heap and not all(core.done for core in self.cores):
+            time_ps, _, callback = heapq.heappop(self._heap)
+            self._now = time_ps
+            callback(time_ps)
+        core_stats = [core.finalize() for core in self.cores]
+        elapsed = max((s.finish_ps for s in core_stats), default=0)
+        activity = (self._monitor.finalize(elapsed)
+                    if self._monitor is not None else None)
+        return SystemResult(
+            config=self.config,
+            core_stats=core_stats,
+            mc_stats=[mc.stats for mc in self.controllers],
+            policy_stats=[p.stats.as_dict() for p in self.policies],
+            elapsed_ps=elapsed,
+            row_activity=activity,
+        )

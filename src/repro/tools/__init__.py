@@ -1,0 +1,12 @@
+"""Command-line tools.
+
+* ``python -m repro.tools.tables <name>`` — print any reproduced paper
+  table/figure by name (``tab02``, ``tab05`` ... ``fig09`` ...),
+* ``python -m repro.tools.hammer`` — run an attack pattern against a
+  mitigation and print the referee's verdict,
+* ``python -m repro.tools.tracegen`` — dump a calibrated synthetic trace
+  to the ``gap address [W]`` text format,
+* ``python -m repro.tools.campaign`` — plan / run / aggregate a full
+  evaluation campaign from INI files (the artifact's
+  ``make_ini.py`` + ``run.py`` + ``stats.py`` workflow).
+"""

@@ -1,0 +1,139 @@
+"""Evaluation campaign runner (artifact §11.5 parity).
+
+The paper's artifact workflow is: generate configurations
+(``make_ini.py``), generate the run commands (``scripts/prac/run.py``),
+execute them, then aggregate per-run stats into CSVs
+(``scripts/prac/stats.py``). This tool is the equivalent:
+
+* ``plan``  — write one INI per (workload, design, T_RH) evaluation
+  point into a campaign directory,
+* ``run``   — execute every INI in the directory, appending one CSV row
+  per run (weighted-speedup slowdown, RBHR, ALERTs, energy),
+* ``stats`` — aggregate the CSV into a per-configuration summary table.
+
+Example::
+
+    python -m repro.tools.campaign plan  --dir camp --workloads add mcf
+    python -m repro.tools.campaign run   --dir camp
+    python -m repro.tools.campaign stats --dir camp
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import pathlib
+import sys
+from dataclasses import replace
+
+from ..config_io import load_design_point, save_design_point
+from ..dram.energy import energy_overhead
+from ..sim.runner import DesignPoint, simulate, weighted_speedup
+
+DEFAULT_DESIGNS = ("prac", "mopac-c", "mopac-d")
+DEFAULT_TRHS = (1000, 500, 250)
+CSV_FIELDS = ("name", "workload", "design", "trh", "slowdown",
+              "weighted_speedup", "rbhr", "alerts", "energy_overhead",
+              "elapsed_us", "requests")
+
+
+def plan(directory: pathlib.Path, workloads, designs, trhs,
+         instructions: int) -> list[pathlib.Path]:
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for workload in workloads:
+        for design in designs:
+            for trh in trhs:
+                point = DesignPoint(workload=workload, design=design,
+                                    trh=trh, instructions=instructions)
+                name = f"{workload}.{design}.t{trh}.ini"
+                path = directory / name
+                save_design_point(point, str(path))
+                paths.append(path)
+    return paths
+
+
+def run(directory: pathlib.Path) -> pathlib.Path:
+    csv_path = directory / "results.csv"
+    ini_paths = sorted(directory.glob("*.ini"))
+    if not ini_paths:
+        raise FileNotFoundError(f"no .ini files in {directory}")
+    with open(csv_path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=CSV_FIELDS)
+        writer.writeheader()
+        for path in ini_paths:
+            point = load_design_point(str(path))
+            result = simulate(point)
+            baseline = simulate(point.baseline())
+            ws = weighted_speedup(result, baseline)
+            writer.writerow({
+                "name": path.stem,
+                "workload": point.workload,
+                "design": point.design,
+                "trh": point.trh,
+                "slowdown": f"{1 - ws:.6f}",
+                "weighted_speedup": f"{ws:.6f}",
+                "rbhr": f"{result.row_buffer_hit_rate:.4f}",
+                "alerts": result.total_alerts,
+                "energy_overhead":
+                    f"{energy_overhead(result, baseline):.6f}",
+                "elapsed_us": f"{result.elapsed_ps / 1e6:.2f}",
+                "requests": result.total_requests,
+            })
+    return csv_path
+
+
+def stats(directory: pathlib.Path) -> str:
+    csv_path = directory / "results.csv"
+    if not csv_path.exists():
+        raise FileNotFoundError(f"{csv_path} missing; run the campaign")
+    groups: dict[tuple[str, int], list[float]] = {}
+    with open(csv_path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            key = (row["design"], int(row["trh"]))
+            groups.setdefault(key, []).append(float(row["slowdown"]))
+    lines = [f"{'design':>10s} {'T_RH':>6s} {'runs':>5s} "
+             f"{'avg slowdown':>13s} {'worst':>8s}"]
+    for (design, trh), values in sorted(groups.items()):
+        lines.append(f"{design:>10s} {trh:>6d} {len(values):>5d} "
+                     f"{sum(values) / len(values):>13.1%} "
+                     f"{max(values):>8.1%}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.campaign",
+        description="Plan, run, and aggregate an evaluation campaign.")
+    parser.add_argument("command", choices=("plan", "run", "stats"))
+    parser.add_argument("--dir", default="campaign",
+                        help="campaign directory")
+    parser.add_argument("--workloads", nargs="*",
+                        default=["add", "mcf", "xalancbmk"])
+    parser.add_argument("--designs", nargs="*",
+                        default=list(DEFAULT_DESIGNS))
+    parser.add_argument("--trhs", nargs="*", type=int,
+                        default=list(DEFAULT_TRHS))
+    parser.add_argument("--instructions", type=int, default=60_000)
+    args = parser.parse_args(argv)
+    directory = pathlib.Path(args.dir)
+
+    if args.command == "plan":
+        paths = plan(directory, args.workloads, args.designs, args.trhs,
+                     args.instructions)
+        print(f"planned {len(paths)} evaluations in {directory}/")
+        return 0
+    if args.command == "run":
+        csv_path = run(directory)
+        print(f"wrote {csv_path}")
+        return 0
+    try:
+        print(stats(directory), end="")
+    except FileNotFoundError as error:
+        print(error, file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""Print reproduced paper tables/figures by name.
+
+Usage::
+
+    python -m repro.tools.tables tab07
+    python -m repro.tools.tables fig09 --workloads add mcf --instructions 50000
+    python -m repro.tools.tables --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..analysis import experiments as ex
+from ..analysis import tables as render
+
+
+def _analytic(name: str) -> str:
+    if name == "tab02":
+        return render.render_tab2(ex.tab2_moat_ath())
+    if name == "tab05":
+        return render.render_tab5(ex.tab5_budgets())
+    if name == "tab06":
+        return render.render_tab6(ex.tab6_pe1_grid())
+    if name == "tab07":
+        return render.render_params_table(
+            ex.tab7_mopac_c(), "Table 7: MoPAC-C parameters",
+            "tab7_ath_star")
+    if name == "tab08":
+        return render.render_params_table(
+            ex.tab8_mopac_d(), "Table 8: MoPAC-D parameters",
+            "tab8_ath_star")
+    if name == "tab09":
+        return render.render_tab9(ex.tab9_attacks_c())
+    if name == "tab10":
+        return render.render_tab10(ex.tab10_attacks_d())
+    if name == "tab11":
+        return render.render_tab11(ex.tab11_nup())
+    if name == "tab13":
+        return render.render_tab13(ex.tab13_tolerated())
+    if name == "tab14":
+        return render.render_tab14(ex.tab14_rowpress())
+    if name == "fig04":
+        data = ex.fig4_latency()
+        return (f"Figure 4: conflict read latency: baseline "
+                f"{data['baseline_ns']:.0f} ns, PRAC "
+                f"{data['prac_ns']:.0f} ns\n")
+    if name == "fig14":
+        return f"alpha = {ex.fig14_alpha():.3f} (paper: ~0.55)\n"
+    raise KeyError(name)
+
+
+#: simulation-backed drivers: name -> (driver, title)
+_SIMULATED = {
+    "fig01": (ex.fig1_overview, "Figure 1(d): PRAC vs MoPAC"),
+    "fig02": (ex.fig2_prac_slowdown, "Figure 2: PRAC slowdown"),
+    "fig09": (ex.fig9_mopac_c, "Figure 9: PRAC vs MoPAC-C"),
+    "fig11": (ex.fig11_mopac_d, "Figure 11: PRAC vs MoPAC-D"),
+    "fig12": (ex.fig12_drain_sweep, "Figure 12: drain-on-REF sweep"),
+    "fig13": (ex.fig13_srq_sweep, "Figure 13: SRQ-size sweep"),
+    "fig17": (ex.fig17_nup, "Figure 17: NUP"),
+    "fig18": (ex.fig18_rowpress, "Figure 18: Row-Press"),
+    "fig19": (ex.fig19_chips, "Figure 19: chip-count sweep"),
+}
+
+ANALYTIC_NAMES = ("tab02", "tab05", "tab06", "tab07", "tab08", "tab09",
+                  "tab10", "tab11", "tab13", "tab14", "fig04", "fig14")
+
+
+def available() -> list[str]:
+    return sorted((*ANALYTIC_NAMES, *_SIMULATED))
+
+
+def render_table(name: str, workloads=None, instructions=None) -> str:
+    """Produce the rendered text for one table/figure name."""
+    if name in ANALYTIC_NAMES:
+        return _analytic(name)
+    if name in _SIMULATED:
+        driver, title = _SIMULATED[name]
+        table = driver(workloads=workloads, instructions=instructions)
+        return render.render_slowdown_table(table, title)
+    raise KeyError(f"unknown table {name!r}; choose from {available()}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.tables",
+        description="Print reproduced paper tables/figures.")
+    parser.add_argument("name", nargs="?", help="table/figure name")
+    parser.add_argument("--list", action="store_true",
+                        help="list available names")
+    parser.add_argument("--workloads", nargs="*", default=None)
+    parser.add_argument("--instructions", type=int, default=None)
+    parser.add_argument("--plot", action="store_true",
+                        help="render simulated figures as ASCII bars")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.name:
+        print("\n".join(available()))
+        return 0
+    try:
+        if args.plot and args.name in _SIMULATED:
+            from .. analysis.plots import figure_from_table
+            driver, title = _SIMULATED[args.name]
+            table = driver(workloads=args.workloads,
+                           instructions=args.instructions)
+            print(figure_from_table(table, title), end="")
+            return 0
+        text = render_table(args.name, workloads=args.workloads,
+                            instructions=args.instructions)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

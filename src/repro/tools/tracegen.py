@@ -1,0 +1,53 @@
+"""Synthetic trace dumper.
+
+Usage::
+
+    python -m repro.tools.tracegen mcf --accesses 10000 -o mcf.trace
+    python -m repro.tools.tracegen --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..config import DRAMConfig
+from ..cpu.trace import trace_mpki, write_trace_file
+from ..workloads.catalog import SPEC_WORKLOADS
+from ..workloads.synthetic import generate_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.tracegen",
+        description="Dump a calibrated synthetic trace to a text file.")
+    parser.add_argument("workload", nargs="?")
+    parser.add_argument("--list", action="store_true")
+    parser.add_argument("--accesses", type=int, default=10_000)
+    parser.add_argument("--core", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=0x7ACE)
+    parser.add_argument("-o", "--output", default=None)
+    args = parser.parse_args(argv)
+
+    if args.list or not args.workload:
+        print("\n".join(sorted(SPEC_WORKLOADS)))
+        return 0
+    try:
+        spec = SPEC_WORKLOADS[args.workload]
+    except KeyError:
+        print(f"unknown workload {args.workload!r}", file=sys.stderr)
+        return 2
+    items = generate_trace(spec, DRAMConfig(), args.accesses,
+                           core_id=args.core, seed=args.seed)
+    path = args.output or f"{args.workload}.trace"
+    header = (f"workload={spec.name} accesses={len(items)} "
+              f"core={args.core} seed={args.seed} "
+              f"measured_mpki={trace_mpki(items):.2f}")
+    count = write_trace_file(path, items, header=header)
+    print(f"wrote {count} accesses to {path} "
+          f"(MPKI {trace_mpki(items):.1f}, target {spec.mpki})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""Time units and arithmetic for the simulator.
+
+All simulator time is kept in integer **picoseconds**. Integer time makes
+event ordering exact and reproducible; picosecond granularity is fine enough
+to represent DDR5 clock periods (tCK = 1/3 ns at DDR5-6000) without rounding
+drift over a simulation.
+
+The public helpers convert between human-friendly units and picoseconds.
+"""
+
+from __future__ import annotations
+
+# One picosecond is the base tick.
+PS = 1
+NS = 1_000 * PS
+US = 1_000 * NS
+MS = 1_000 * US
+SECOND = 1_000 * MS
+
+#: Number of nanoseconds in 10,000 years — the Mean-Time-To-Failure target
+#: used by the paper's security analysis (Section 5.3): "There are
+#: 3.2e20 nanoseconds within our target MTTF period of 10K years."
+NS_PER_10K_YEARS = 3.2e20
+
+
+def ns(value: float) -> int:
+    """Convert nanoseconds to integer picoseconds (rounded)."""
+    return round(value * NS)
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer picoseconds (rounded)."""
+    return round(value * US)
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to integer picoseconds (rounded)."""
+    return round(value * MS)
+
+
+def to_ns(picoseconds: int) -> float:
+    """Convert integer picoseconds back to (float) nanoseconds."""
+    return picoseconds / NS
+
+
+def to_us(picoseconds: int) -> float:
+    """Convert integer picoseconds back to (float) microseconds."""
+    return picoseconds / US
+
+
+def to_ms(picoseconds: int) -> float:
+    """Convert integer picoseconds back to (float) milliseconds."""
+    return picoseconds / MS

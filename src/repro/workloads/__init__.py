@@ -1,0 +1,12 @@
+"""Workload substrate: the Table 4 catalog and synthetic trace generators."""
+
+from .catalog import (ALL_WORKLOADS, MIX_PAPER, MIX_WORKLOADS,
+                      SPEC_WORKLOADS, STREAM_NAMES, PaperStats,
+                      WorkloadSpec, get_spec, workload_cores)
+from .synthetic import TraceGenerator, generate_trace, inverse_map_line
+
+__all__ = [
+    "ALL_WORKLOADS", "MIX_PAPER", "MIX_WORKLOADS", "PaperStats",
+    "SPEC_WORKLOADS", "STREAM_NAMES", "TraceGenerator", "WorkloadSpec",
+    "generate_trace", "get_spec", "inverse_map_line", "workload_cores",
+]

@@ -1,0 +1,191 @@
+"""Workload catalog calibrated to paper Table 4.
+
+Each :class:`WorkloadSpec` drives the synthetic trace generator
+(:mod:`repro.workloads.synthetic`) and records the paper's measured
+characteristics (MPKI, row-buffer hit rate, activations per tREFI per bank,
+and hot-row counts) for the Table 4 reproduction bench to compare against.
+
+SPEC-2017 / STREAM / masstree traces are proprietary; the generator knobs
+below were chosen so the *measured* statistics of the synthetic streams
+land near the published columns. ``kind`` selects the access skeleton:
+
+* ``stream`` — long sequential runs (STREAM add/triad/copy/scale),
+* ``random`` — uniform pointer-chase over the footprint (xz, cactuBSSN),
+* ``mixed`` — sequential runs interleaved with random jumps, weighted to
+  hit the RBHR target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """The Table 4 reference columns for one workload."""
+
+    mpki: float
+    rbhr: float
+    apri: float
+    act64: float
+    act200: float
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Generator parameters for one workload (one core's trace)."""
+
+    name: str
+    mpki: float  #: target LLC misses per kilo-instruction
+    kind: str  #: "stream" | "random" | "mixed"
+    stream_weight: float = 0.0  #: fraction of accesses in sequential runs
+    run_lines: int = 4  #: sequential run length (lines) before a jump
+    footprint_lines: int = 1 << 18  #: distinct lines the workload touches
+    hot_rows: int = 0  #: per-core hot rows (Table 4 ACT-64+ proxy)
+    hot_fraction: float = 0.0  #: fraction of accesses aimed at hot rows
+    write_fraction: float = 0.25
+    #: gap burstiness: 0 = deterministic (stream), k >= 1 = Erlang-k
+    #: (k = 1 is geometric/bursty, larger k is smoother)
+    gap_shape: int = 2
+    #: hardware-prefetch model: multiplies the ROB window the core may
+    #: keep misses in flight across (streams are trivially prefetchable
+    #: and run far ahead; irregular codes get modest coverage)
+    mlp_boost: float = 2.0
+    paper: PaperStats | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.mpki <= 0:
+            raise ValueError("mpki must be positive")
+        if self.kind not in ("stream", "random", "mixed"):
+            raise ValueError(f"unknown kind {self.kind!r}")
+        if not 0 <= self.stream_weight <= 1:
+            raise ValueError("stream_weight must be in [0, 1]")
+        if not 0 <= self.hot_fraction < 1:
+            raise ValueError("hot_fraction must be in [0, 1)")
+        if self.hot_fraction > 0 and self.hot_rows <= 0:
+            raise ValueError("hot_fraction needs hot_rows > 0")
+
+    @property
+    def mean_gap(self) -> float:
+        """Mean non-memory instructions between misses."""
+        return max(1000.0 / self.mpki - 1.0, 0.0)
+
+
+def _spec(name: str, mpki: float, rbhr: float, apri: float, act64: float,
+          act200: float, kind: str, stream_weight: float,
+          hot_rows: int = 0, hot_fraction: float = 0.0,
+          footprint_lines: int = 1 << 18,
+          run_lines: int = 4) -> WorkloadSpec:
+    gap_shape = 0 if kind == "stream" else 2
+    mlp_boost = 16.0 if kind == "stream" else 10.0
+    return WorkloadSpec(
+        name=name, mpki=mpki, kind=kind, stream_weight=stream_weight,
+        run_lines=run_lines, footprint_lines=footprint_lines,
+        hot_rows=hot_rows, hot_fraction=hot_fraction, gap_shape=gap_shape,
+        mlp_boost=mlp_boost,
+        paper=PaperStats(mpki, rbhr, apri, act64, act200),
+    )
+
+
+#: SPEC-2017 (MPKI > 1), masstree and STREAM — paper Table 4 order.
+SPEC_WORKLOADS: dict[str, WorkloadSpec] = {
+    s.name: s for s in [
+        _spec("bwaves", 42.3, 0.51, 14.1, 0.0, 0.0, "mixed", 0.70),
+        _spec("parest", 28.9, 0.61, 12.6, 155.4, 10.5, "mixed", 0.72,
+              hot_rows=48, hot_fraction=0.22),
+        _spec("mcf", 28.8, 0.47, 16.9, 3.1, 0.0, "mixed", 0.62,
+              hot_rows=4, hot_fraction=0.02),
+        _spec("lbm", 28.2, 0.29, 19.4, 13.3, 0.0, "mixed", 0.40,
+              hot_rows=8, hot_fraction=0.04),
+        _spec("fotonik3d", 25.4, 0.23, 19.5, 0.4, 0.0, "mixed", 0.32),
+        _spec("omnetpp", 10.2, 0.25, 19.7, 49.3, 10.1, "mixed", 0.30,
+              hot_rows=24, hot_fraction=0.28),
+        _spec("roms", 8.2, 0.62, 10.4, 1.2, 0.0, "mixed", 0.78),
+        _spec("xz", 6.1, 0.05, 20.7, 164.0, 0.0, "random", 0.0,
+              hot_rows=64, hot_fraction=0.30),
+        _spec("cactuBSSN", 3.5, 0.00, 16.3, 0.0, 0.0, "random", 0.0),
+        _spec("xalancbmk", 2.0, 0.54, 8.7, 0.0, 0.0, "mixed", 0.68),
+        _spec("cam4", 1.6, 0.58, 5.6, 0.0, 0.0, "mixed", 0.72),
+        _spec("blender", 1.5, 0.37, 6.0, 0.0, 0.0, "mixed", 0.48),
+        _spec("masstree", 20.3, 0.55, 13.6, 14.3, 0.0, "mixed", 0.66,
+              hot_rows=10, hot_fraction=0.05),
+        _spec("add", 62.5, 0.69, 10.2, 0.0, 0.0, "stream", 1.0,
+              run_lines=64),
+        _spec("triad", 53.6, 0.69, 10.3, 0.0, 0.0, "stream", 1.0,
+              run_lines=64),
+        _spec("copy", 50.0, 0.70, 9.8, 0.0, 0.0, "stream", 1.0,
+              run_lines=64),
+        _spec("scale", 41.7, 0.70, 9.7, 0.0, 0.0, "stream", 1.0,
+              run_lines=64),
+        # Not in Table 4: a hot-row stress workload of ours. A handful of
+        # rows per core receive hundreds of activations per refresh
+        # window, exercising the mitigation-ALERT path (ATH*/drain/SRQ
+        # dynamics) at the scaled run lengths the benches use. Think of a
+        # skewed key-value store far beyond masstree's skew. mlp_boost is
+        # 1 (no prefetching): dependent pointer chases re-visit the hot
+        # rows one ROB window apart, so FR-FCFS cannot coalesce the
+        # visits into a single activation.
+        WorkloadSpec(
+            name="hammer", mpki=25.0, kind="mixed", stream_weight=0.40,
+            hot_rows=4, hot_fraction=0.55, gap_shape=2, mlp_boost=1.0,
+            paper=None),
+    ]
+}
+
+#: The six mixed workloads: randomly-drawn SPEC benchmarks (paper §3.2).
+#: The draws below were fixed once (seeded) and are now part of the
+#: experiment definition, like the paper's mixes.
+MIX_WORKLOADS: dict[str, tuple[str, ...]] = {
+    "mix1": ("parest", "omnetpp", "mcf", "xz",
+             "lbm", "parest", "omnetpp", "bwaves"),
+    "mix2": ("parest", "mcf", "roms", "omnetpp",
+             "xz", "blender", "parest", "cam4"),
+    "mix3": ("omnetpp", "xz", "parest", "lbm",
+             "mcf", "xalancbmk", "roms", "omnetpp"),
+    "mix4": ("parest", "parest", "omnetpp", "omnetpp",
+             "xz", "mcf", "lbm", "bwaves"),
+    "mix5": ("omnetpp", "parest", "mcf", "cam4",
+             "xz", "roms", "lbm", "xalancbmk"),
+    "mix6": ("parest", "blender", "omnetpp", "mcf",
+             "xz", "cactuBSSN", "roms", "cam4"),
+}
+
+#: Paper Table 4 rows for the mixes (reference only).
+MIX_PAPER: dict[str, PaperStats] = {
+    "mix1": PaperStats(8.6, 0.45, 16.4, 168.9, 13.3),
+    "mix2": PaperStats(7.1, 0.42, 15.8, 139.6, 4.5),
+    "mix3": PaperStats(6.4, 0.41, 17.2, 127.1, 11.0),
+    "mix4": PaperStats(5.0, 0.44, 15.9, 209.6, 13.6),
+    "mix5": PaperStats(4.9, 0.47, 15.1, 136.8, 9.9),
+    "mix6": PaperStats(4.6, 0.44, 15.8, 123.8, 9.7),
+}
+
+#: Workloads the paper calls out as bandwidth-bound / PRAC-insensitive.
+STREAM_NAMES = ("add", "triad", "copy", "scale")
+
+#: Extra stress workloads of ours (not rows of Table 4).
+EXTRA_WORKLOADS = ("hammer",)
+
+#: Canonical evaluation order: the 23 Table 4 workloads.
+ALL_WORKLOADS: tuple[str, ...] = tuple(
+    name for name in SPEC_WORKLOADS if name not in EXTRA_WORKLOADS
+) + tuple(MIX_WORKLOADS)
+
+
+def get_spec(name: str) -> WorkloadSpec:
+    """Look up a single-benchmark spec by name."""
+    try:
+        return SPEC_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; mixes are resolved via "
+                       "MIX_WORKLOADS") from None
+
+
+def workload_cores(name: str, cores: int = 8) -> list[WorkloadSpec]:
+    """Per-core spec list: rate mode for benchmarks, the mix table for
+    mixes (paper Section 3.2)."""
+    if name in MIX_WORKLOADS:
+        members = MIX_WORKLOADS[name]
+        return [SPEC_WORKLOADS[m] for m in members[:cores]]
+    spec = get_spec(name)
+    return [spec] * cores

@@ -1,0 +1,150 @@
+"""Synthetic trace generation from a :class:`WorkloadSpec`.
+
+The generator produces an endless stream of :class:`TraceItem` accesses
+whose aggregate statistics (MPKI, row-buffer behaviour, hot-row activation
+counts) approximate the paper's Table 4 workloads:
+
+* **gaps** between misses are geometric with the spec's MPKI mean;
+* **stream** accesses advance a sequential cursor in runs of
+  ``run_lines`` consecutive cache lines (MOP then spreads each run over
+  rows/banks exactly like real streaming code);
+* **random** accesses pick a uniform line in the footprint;
+* **hot** accesses target a small set of per-core rows, addressed through
+  the *inverse* DRAM mapping so a hot row is a genuine DRAM row no matter
+  the address-mapping scheme. Hot accesses cycle among the hot set so each
+  visit conflicts with the previously open row — this is what produces the
+  ACT-64+ / ACT-200+ rows the trackers must catch.
+
+Every core gets its own seeded stream plus a private address offset so
+rate-mode copies do not alias to the same rows.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..config import DRAMConfig
+from ..cpu.trace import TraceItem
+from ..rng import derive_seed
+from .catalog import WorkloadSpec
+
+
+def inverse_map_line(config: DRAMConfig, subchannel: int, bank: int,
+                     row: int, column: int = 0) -> int:
+    """Linear line index of (subchannel, bank, row, column) under MOP.
+
+    Inverse of :meth:`repro.dram.address.MOPMapper.map_line`.
+    """
+    mop = config.mop_lines
+    group, offset = divmod(column, mop)
+    rest = group
+    rest = rest * config.rows_per_bank + row
+    rest = rest * config.subchannels + subchannel
+    rest = rest * config.banks_per_subchannel + bank
+    return rest * mop + offset
+
+
+class TraceGenerator:
+    """Endless per-core synthetic trace."""
+
+    def __init__(self, spec: WorkloadSpec, config: DRAMConfig,
+                 core_id: int = 0, seed: int = 0x7ACE):
+        self.spec = spec
+        self.config = config
+        self.rng = random.Random(
+            derive_seed((seed << 8) ^ core_id, spec.name))
+        total_lines = (config.total_banks * config.rows_per_bank
+                       * config.lines_per_row)
+        self.footprint = min(spec.footprint_lines, total_lines)
+        # Private slice of the address space per core.
+        self.base_line = (core_id * 2 * self.footprint) % total_lines
+        self._cursor = self.rng.randrange(self.footprint)
+        self._run_left = 0
+        self._hot_lines = self._build_hot_set(core_id)
+        self._hot_index = 0
+
+    def _build_hot_set(self, core_id: int) -> list[int]:
+        """Pick the spec's hot rows as concrete (bank, row) locations.
+
+        Hot rows are placed in same-bank *pairs*: with an open-page policy
+        a lone hot row would be activated once and then serve every later
+        access as a row hit, but two hot rows thrashing one bank conflict
+        on every visit — which is what makes a row "hot" in the
+        activation-count sense of Table 4's ACT-64+ column.
+        """
+        cfg = self.config
+        lines = []
+        for i in range(self.spec.hot_rows):
+            pair = i // 2
+            subchannel = (core_id + pair) % cfg.subchannels
+            bank = (core_id * 5 + pair * 3) % cfg.banks_per_subchannel
+            row = (1000 + core_id * 97 + i * 13) % cfg.rows_per_bank
+            lines.append(inverse_map_line(cfg, subchannel, bank, row))
+        return lines
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[TraceItem]:
+        while True:
+            yield self.next_item()
+
+    def next_item(self) -> TraceItem:
+        gap = self._draw_gap()
+        address = self._draw_line() * self.config.line_bytes
+        is_write = self.rng.random() < self.spec.write_fraction
+        return TraceItem(gap, address, is_write)
+
+    # ------------------------------------------------------------------
+    def _draw_gap(self) -> int:
+        mean = self.spec.mean_gap
+        if mean <= 0:
+            return 0
+        k = self.spec.gap_shape
+        if k == 0:
+            # Deterministic gaps: streaming kernels miss like clockwork,
+            # which is what lets them saturate bandwidth (and what makes
+            # them insensitive to PRAC latency, Figure 2).
+            return round(mean)
+        # Erlang-k keeps the MPKI mean while tuning burstiness: k = 1 is
+        # geometric (pointer chasing), larger k smooths the stream.
+        total = 0.0
+        for _ in range(k):
+            total += -(mean / k) * _log1m(self.rng.random())
+        return int(total)
+
+    def _draw_line(self) -> int:
+        spec = self.spec
+        if spec.hot_fraction and self.rng.random() < spec.hot_fraction:
+            return self._next_hot_line()
+        if self._run_left > 0:
+            self._run_left -= 1
+            self._cursor = (self._cursor + 1) % self.footprint
+            return self.base_line + self._cursor
+        if self.rng.random() < spec.stream_weight:
+            self._run_left = spec.run_lines - 1
+            self._cursor = (self._cursor + 1) % self.footprint
+            return self.base_line + self._cursor
+        self._cursor = self.rng.randrange(self.footprint)
+        return self.base_line + self._cursor
+
+    def _next_hot_line(self) -> int:
+        # Cycle the hot set so consecutive hot accesses hit different rows
+        # (each visit is a fresh activation, like a pointer-chasing loop
+        # over a hot working set slightly larger than the row buffers).
+        line = self._hot_lines[self._hot_index]
+        self._hot_index = (self._hot_index + 1) % len(self._hot_lines)
+        # Touch a random column so hot rows still see some locality.
+        return line + self.rng.randrange(self.config.mop_lines)
+
+
+def _log1m(u: float) -> float:
+    import math
+    return math.log(max(1.0 - u, 1e-12))
+
+
+def generate_trace(spec: WorkloadSpec, config: DRAMConfig,
+                   accesses: int, core_id: int = 0,
+                   seed: int = 0x7ACE) -> list[TraceItem]:
+    """Materialise a finite trace (mostly for tests and examples)."""
+    gen = TraceGenerator(spec, config, core_id, seed)
+    return [gen.next_item() for _ in range(accesses)]

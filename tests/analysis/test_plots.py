@@ -1,0 +1,57 @@
+"""ASCII plotting."""
+
+import pytest
+
+from repro.analysis.experiments import SlowdownTable
+from repro.analysis.plots import (bar_chart, figure_from_table,
+                                  per_workload_figure)
+
+
+@pytest.fixture
+def table():
+    t = SlowdownTable(label="demo")
+    t.add("mcf", "prac", 0.14)
+    t.add("mcf", "mopac", 0.02)
+    t.add("add", "prac", 0.01)
+    t.add("add", "mopac", 0.0)
+    return t
+
+
+class TestBarChart:
+    def test_peak_gets_full_bar(self):
+        text = bar_chart({"a": 0.5, "b": 0.25}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_title_included(self):
+        assert bar_chart({"a": 1.0}, title="Figure 9").startswith(
+            "Figure 9")
+
+    def test_values_rendered(self):
+        assert "50.0%" in bar_chart({"a": 0.5})
+
+    def test_empty_values(self):
+        assert bar_chart({}, title="t") == "t\n"
+
+    def test_zero_values_no_crash(self):
+        text = bar_chart({"a": 0.0, "b": 0.0})
+        assert "|| 0.0%" in text.replace("| |", "||") or "0.0%" in text
+
+    def test_custom_format(self):
+        assert "3.0x" in bar_chart({"a": 3.0}, fmt="{:.1f}x")
+
+
+class TestTableFigures:
+    def test_column_average_figure(self, table):
+        text = figure_from_table(table, "averages")
+        assert "prac" in text and "mopac" in text
+        assert "7.5%" in text  # (14 + 1) / 2
+
+    def test_per_workload_figure(self, table):
+        text = per_workload_figure(table, "prac")
+        assert "mcf" in text and "add" in text
+        # mcf's bar dwarfs add's
+        mcf_line = next(l for l in text.splitlines() if "mcf" in l)
+        add_line = next(l for l in text.splitlines() if "add" in l)
+        assert mcf_line.count("#") > add_line.count("#")

@@ -1,0 +1,92 @@
+"""Table rendering."""
+
+import pytest
+
+from repro.analysis import experiments as ex
+from repro.analysis import tables
+
+
+class TestAnalyticalRendering:
+    def test_tab2_contains_anchor_values(self):
+        text = tables.render_tab2(ex.tab2_moat_ath())
+        assert "975" in text and "472" in text and "219" in text
+
+    def test_tab5_scientific_notation(self):
+        text = tables.render_tab5(ex.tab5_budgets())
+        assert "e-17" in text
+
+    def test_tab6_grid(self):
+        text = tables.render_tab6(ex.tab6_pe1_grid())
+        assert "T=500" in text
+
+    def test_tab7_params(self):
+        text = tables.render_params_table(
+            ex.tab7_mopac_c(), "Table 7", "tab7_ath_star")
+        assert "176" in text and "1/8" in text
+
+    def test_tab8_params(self):
+        text = tables.render_params_table(
+            ex.tab8_mopac_d(), "Table 8", "tab8_ath_star")
+        assert "152" in text
+
+    def test_tab9(self):
+        text = tables.render_tab9(ex.tab9_attacks_c())
+        assert "%" in text
+
+    def test_tab10(self):
+        text = tables.render_tab10(ex.tab10_attacks_d())
+        assert "srq_full" in text
+
+    def test_tab11(self):
+        text = tables.render_tab11(ex.tab11_nup())
+        assert "136" in text
+
+    def test_tab13(self):
+        text = tables.render_tab13(ex.tab13_tolerated())
+        assert "1491" in text  # the paper column is shown alongside
+
+    def test_tab14(self):
+        text = tables.render_tab14(ex.tab14_rowpress())
+        assert "64" in text
+
+
+class TestSlowdownRendering:
+    def test_table_with_footer(self):
+        table = ex.SlowdownTable(label="demo")
+        table.add("mcf", "prac", 0.15)
+        table.add("add", "prac", 0.01)
+        text = tables.render_slowdown_table(table, "My Title")
+        assert "My Title" in text
+        assert "mcf" in text
+        assert "AVERAGE" in text
+        assert "8.0%" in text  # (15 + 1) / 2
+
+    def test_missing_cell_rendered_as_nan(self):
+        table = ex.SlowdownTable(label="demo")
+        table.add("mcf", "a", 0.1)
+        table.add("add", "b", 0.2)
+        text = tables.render_slowdown_table(table)
+        assert "nan" in text
+
+
+class TestPaperReference:
+    def test_reference_dict_complete(self):
+        for key in ("tab2_ath", "tab7_ath_star", "tab8_ath_star",
+                    "tab11_nup", "tab13", "fig2_avg", "alpha"):
+            assert key in tables.PAPER
+
+    def test_tab12_rendering(self):
+        data = {500: {"uniform": 12.0, "nup": 6.1}}
+        text = tables.render_tab12(data)
+        assert "12.0" in text and "6.1" in text
+
+    def test_tab4_rendering(self):
+        data = {"mcf": dict(mpki=28.8, rbhr=0.47, apri=16.9, act64=3.1,
+                            act200=0.0)}
+        text = tables.render_tab4(data)
+        assert "28.8" in text
+
+    def test_tab15_rendering(self):
+        data = {"open": {"prac": 0.10, "mopac-d@500": 0.008}}
+        text = tables.render_tab15(data)
+        assert "open" in text and "10.0%" in text

@@ -1,0 +1,63 @@
+"""Blacksmith-style non-uniform patterns."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.attacks.harness import run_attack
+from repro.attacks.patterns import blacksmith
+from repro.mitigations.mopac_d import MoPACDPolicy
+from repro.mitigations.prac import PRACMoatPolicy
+from repro.mitigations.trr import TRRPolicy
+
+
+def take(gen, n):
+    return list(itertools.islice(gen, n))
+
+
+class TestPatternStructure:
+    def test_pairs_bracket_their_victims(self):
+        got = take(blacksmith(0, 100, pairs=2, frequencies=(1, 1)), 4)
+        assert got == [(0, 99), (0, 101), (0, 103), (0, 105)]
+
+    def test_frequencies_shape_rates(self):
+        got = take(blacksmith(0, 100, pairs=2, frequencies=(1, 4),
+                              phases=(0, 0)), 4000)
+        fast = sum(1 for _, r in got if r in (99, 101))
+        slow = sum(1 for _, r in got if r in (103, 105))
+        assert fast > 3 * slow
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            blacksmith(0, 100, pairs=0)
+        with pytest.raises(ValueError):
+            blacksmith(0, 100, pairs=5, frequencies=(1, 2))
+
+
+class TestAgainstMitigations:
+    GEO = dict(banks=4, rows=1024, refresh_groups=1024)
+    TRH = 500
+
+    def pattern(self):
+        return blacksmith(0, 100, pairs=4, frequencies=(1, 2, 4, 8))
+
+    def test_trr_falls_to_blacksmith(self):
+        policy = TRRPolicy(banks=4, entries=4, mitigation_threshold=64,
+                           refs_per_mitigation=4)
+        result = run_attack(policy, self.pattern(), 400_000, trh=self.TRH,
+                            stop_on_failure=True, **self.GEO)
+        assert result.attack_succeeded
+
+    def test_prac_defeats_blacksmith(self):
+        policy = PRACMoatPolicy(self.TRH, **self.GEO)
+        result = run_attack(policy, self.pattern(), 250_000, trh=self.TRH,
+                            **self.GEO)
+        assert not result.attack_succeeded
+
+    def test_mopac_d_defeats_blacksmith(self):
+        policy = MoPACDPolicy(self.TRH, **self.GEO,
+                              rng=random.Random(4))
+        result = run_attack(policy, self.pattern(), 250_000, trh=self.TRH,
+                            **self.GEO)
+        assert not result.attack_succeeded

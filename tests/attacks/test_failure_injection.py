@@ -1,0 +1,87 @@
+"""Failure injection: the security verifier must catch weakened designs.
+
+The security-verification suite would be vacuous if it passed everything;
+here we deliberately sabotage each design's safety parameter and confirm
+the ground-truth ledger flags the break. This is a mutation test for the
+verification harness itself.
+"""
+
+import random
+
+import pytest
+
+from repro.attacks.harness import run_attack
+from repro.attacks.patterns import single_sided, srq_fill
+from repro.mitigations.mopac_c import MoPACCPolicy
+from repro.mitigations.mopac_d import MoPACDPolicy
+from repro.mitigations.prac import PRACMoatPolicy
+from repro.security.csearch import MoPACParams
+from repro.security.failure import epsilon_for
+
+GEO = dict(banks=4, rows=1024, refresh_groups=1024)
+TRH = 500
+ACTS = 120_000
+
+
+def forged_params(ath_star: int, p: float = 1 / 8) -> MoPACParams:
+    """Parameters with a deliberately unsafe ALERT threshold."""
+    return MoPACParams(
+        trh=TRH, ath=472, effective_acts=472, p=p,
+        critical_updates=round(ath_star * p), ath_star=ath_star,
+        epsilon=epsilon_for(TRH), undercount_probability=1.0,
+    )
+
+
+class TestSabotagedDesignsAreCaught:
+    def test_prac_with_huge_ath_breaks(self):
+        policy = PRACMoatPolicy(TRH, **GEO)
+        policy.ath = TRH * 3  # ALERT far beyond the threshold
+        policy.eth = TRH
+        result = run_attack(policy, single_sided(0, 100), ACTS, trh=TRH,
+                            stop_on_failure=True, **GEO)
+        assert result.attack_succeeded
+
+    def test_mopac_c_with_huge_ath_star_breaks(self):
+        policy = MoPACCPolicy(TRH, **GEO, rng=random.Random(1),
+                              params=forged_params(ath_star=1600))
+        result = run_attack(policy, single_sided(0, 100), ACTS, trh=TRH,
+                            stop_on_failure=True, **GEO)
+        assert result.attack_succeeded
+
+    def test_mopac_d_without_tardiness_bound_breaks(self):
+        """TTH is what stops a buffered row from being hammered forever."""
+        policy = MoPACDPolicy(TRH, **GEO, tth=10**9, drain_on_ref=0,
+                              rng=random.Random(2),
+                              params=forged_params(ath_star=1600))
+        result = run_attack(policy, single_sided(0, 100), ACTS, trh=TRH,
+                            stop_on_failure=True, **GEO)
+        assert result.attack_succeeded
+
+    def test_mopac_c_with_tiny_p_and_paper_ath_star_breaks(self):
+        """Keeping ATH* but sampling far less often than the analysis
+        assumed lets rows slip through: p and ATH* must move together."""
+        worst = 0
+        for seed in range(6):
+            policy = MoPACCPolicy(
+                TRH, **GEO, rng=random.Random(seed),
+                params=forged_params(ath_star=176, p=1 / 256))
+            result = run_attack(policy, single_sided(0, 100), ACTS,
+                                trh=TRH, stop_on_failure=True, **GEO)
+            worst = max(worst, result.ledger.max_count)
+        assert worst > TRH
+
+
+class TestProperlyParameterisedControls:
+    """The same designs with honest parameters hold (control group)."""
+
+    def test_mopac_c_control(self):
+        policy = MoPACCPolicy(TRH, **GEO, rng=random.Random(1))
+        result = run_attack(policy, single_sided(0, 100), ACTS, trh=TRH,
+                            **GEO)
+        assert not result.attack_succeeded
+
+    def test_mopac_d_control(self):
+        policy = MoPACDPolicy(TRH, **GEO, rng=random.Random(2))
+        result = run_attack(policy, srq_fill(0, 500), ACTS, trh=TRH,
+                            **GEO)
+        assert not result.attack_succeeded

@@ -1,0 +1,56 @@
+"""Attack fuzzer."""
+
+import random
+
+import pytest
+
+from repro.attacks.fuzzer import FuzzResult, fuzz, sample_case
+from repro.mitigations.mopac_d import MoPACDPolicy
+from repro.mitigations.prac import BaselinePolicy
+
+GEO = dict(banks=4, rows=1024, refresh_groups=64)
+
+
+class TestSampleCase:
+    def test_cases_are_reproducible(self):
+        a = sample_case(random.Random(7), 4, 1024)
+        b = sample_case(random.Random(7), 4, 1024)
+        assert a.description == b.description
+
+    def test_case_yields_valid_targets(self):
+        rng = random.Random(3)
+        for _ in range(30):
+            case = sample_case(rng, 4, 1024)
+            for _, (bank, row) in zip(range(50), case.factory()):
+                assert 0 <= bank < 4
+                assert 0 <= row < 1024 + 64  # blacksmith may go +1
+
+    def test_descriptions_vary(self):
+        rng = random.Random(0)
+        descriptions = {sample_case(rng, 4, 1024).description
+                        for _ in range(20)}
+        assert len(descriptions) > 5
+
+
+class TestFuzzCampaign:
+    def test_secure_design_survives_fuzzing(self):
+        result = fuzz(
+            lambda: MoPACDPolicy(500, **GEO, rng=random.Random(1)),
+            trh=500, cases=10, acts_per_case=40_000, seed=11)
+        assert isinstance(result, FuzzResult)
+        assert not result.broken
+        assert result.worst_count < 500
+        assert len(result.per_case) == 10
+
+    def test_unprotected_design_broken(self):
+        result = fuzz(lambda: BaselinePolicy(), trh=500, cases=6,
+                      acts_per_case=40_000, refresh_groups=1024, seed=12)
+        assert result.broken
+        assert result.worst_case != "none"
+
+    def test_deterministic_given_seed(self):
+        factory = lambda: MoPACDPolicy(  # noqa: E731
+            500, **GEO, rng=random.Random(2))
+        a = fuzz(factory, trh=500, cases=4, acts_per_case=20_000, seed=5)
+        b = fuzz(factory, trh=500, cases=4, acts_per_case=20_000, seed=5)
+        assert a.per_case == b.per_case

@@ -1,0 +1,85 @@
+"""Attack pattern generators."""
+
+import itertools
+
+import pytest
+
+from repro.attacks import patterns
+
+
+def take(gen, n):
+    return list(itertools.islice(gen, n))
+
+
+class TestSingleSided:
+    def test_constant_target(self):
+        assert take(patterns.single_sided(2, 7), 5) == [(2, 7)] * 5
+
+
+class TestDoubleSided:
+    def test_alternates_neighbours(self):
+        got = take(patterns.double_sided(0, 10), 4)
+        assert got == [(0, 9), (0, 11), (0, 9), (0, 11)]
+
+    def test_edge_victim_rejected(self):
+        with pytest.raises(ValueError):
+            patterns.double_sided(0, 0)
+
+
+class TestManySided:
+    def test_round_robin(self):
+        got = take(patterns.many_sided(1, [5, 6, 7]), 6)
+        assert got == [(1, 5), (1, 6), (1, 7)] * 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            patterns.many_sided(0, [])
+
+
+class TestMultiBank:
+    def test_cycles_banks_same_row(self):
+        got = take(patterns.multi_bank_single_row(range(3), 9), 6)
+        assert got == [(0, 9), (1, 9), (2, 9)] * 2
+
+    def test_empty_banks_rejected(self):
+        with pytest.raises(ValueError):
+            patterns.multi_bank_single_row([], 9)
+
+    def test_tardiness_alias(self):
+        a = take(patterns.tardiness_attack(range(4), 3), 8)
+        b = take(patterns.multi_bank_single_row(range(4), 3), 8)
+        assert a == b
+
+
+class TestSRQFill:
+    def test_unique_rows_cycle(self):
+        got = take(patterns.srq_fill(0, 3, start_row=10), 6)
+        assert got == [(0, 10), (0, 11), (0, 12)] * 2
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            patterns.srq_fill(0, 0)
+
+
+class TestDecoyHammer:
+    def test_target_fraction_respected(self):
+        got = take(patterns.decoy_hammer(0, 5, decoy_rows=100,
+                                         target_fraction=0.5), 4000)
+        hits = sum(1 for _, row in got if row == 5)
+        assert hits / len(got) == pytest.approx(0.5, abs=0.05)
+
+    def test_decoys_avoid_target(self):
+        got = take(patterns.decoy_hammer(0, 5, decoy_rows=10,
+                                         target_fraction=0.1), 1000)
+        decoys = {row for _, row in got if row != 5}
+        assert all(row >= 15 for row in decoys)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            patterns.decoy_hammer(0, 5, 10, target_fraction=0)
+
+
+class TestRandomSpray:
+    def test_stays_in_bounds(self):
+        got = take(patterns.random_spray(4, 32), 500)
+        assert all(0 <= b < 4 and 0 <= r < 32 for b, r in got)

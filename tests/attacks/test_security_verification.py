@@ -1,0 +1,145 @@
+"""End-to-end security verification (threat model, Section 2.1).
+
+Every secure design is run against every attack pattern at maximum legal
+speed; the ground-truth ledger must never record a row exceeding T_RH
+activations without an intervening mitigation or refresh. The insecure
+baselines (no protection, TRR) are shown to break — the paper's
+motivation.
+
+These runs use a reduced geometry (4-32 banks, 1K rows) and hundreds of
+thousands of activations; the designed bounds (ATH + ABO slippage, or
+ATH* + TTH + slippage) are far below T_RH, so the margin these tests
+assert is real, not an artefact of scale.
+"""
+
+import random
+
+import pytest
+
+from repro.attacks.harness import run_attack
+from repro.attacks.patterns import (decoy_hammer, double_sided, half_double,
+                                    many_sided, multi_bank_single_row,
+                                    single_sided, srq_fill)
+from repro.mitigations.mopac_c import MoPACCPolicy
+from repro.mitigations.mopac_d import MoPACDPolicy
+from repro.mitigations.prac import BaselinePolicy, PRACMoatPolicy
+from repro.mitigations.trr import TRRPolicy
+
+GEO = dict(banks=4, rows=1024, refresh_groups=64)
+ACTS = 250_000
+TRH = 500
+
+
+def policies():
+    yield "prac", lambda: PRACMoatPolicy(TRH, **GEO)
+    yield "mopac-c", lambda: MoPACCPolicy(TRH, **GEO,
+                                          rng=random.Random(11))
+    yield "mopac-d", lambda: MoPACDPolicy(TRH, **GEO,
+                                          rng=random.Random(22))
+    yield "mopac-d-nup", lambda: MoPACDPolicy(TRH, nup=True, **GEO,
+                                              rng=random.Random(33))
+    yield "mopac-d-2chip", lambda: MoPACDPolicy(TRH, chips=2, **GEO,
+                                                rng=random.Random(44))
+
+
+def attack_patterns():
+    yield "single_sided", lambda: single_sided(0, 100)
+    yield "double_sided", lambda: double_sided(0, 100)
+    yield "many_sided_24", lambda: many_sided(0, range(100, 124))
+    yield "srq_fill", lambda: srq_fill(0, 500)
+    yield "decoy", lambda: decoy_hammer(0, 100, decoy_rows=200,
+                                        target_fraction=0.6,
+                                        rng=random.Random(5))
+    yield "half_double", lambda: half_double(0, 100)
+
+
+@pytest.mark.parametrize("policy_name,policy_factory", list(policies()))
+@pytest.mark.parametrize("pattern_name,pattern_factory",
+                         list(attack_patterns()))
+def test_secure_designs_hold(policy_name, policy_factory, pattern_name,
+                             pattern_factory):
+    result = run_attack(policy_factory(), pattern_factory(), ACTS,
+                        trh=TRH, **GEO)
+    assert not result.attack_succeeded, (
+        f"{policy_name} broken by {pattern_name}: row "
+        f"({result.ledger.max_bank}, {result.ledger.max_row}) reached "
+        f"{result.ledger.max_count} > {TRH} activations")
+
+
+@pytest.mark.parametrize("policy_name,policy_factory", list(policies()))
+def test_secure_designs_hold_multibank(policy_name, policy_factory):
+    geo = dict(banks=32, rows=1024, refresh_groups=64)
+    if policy_name == "prac":
+        policy = PRACMoatPolicy(TRH, **geo)
+    elif policy_name == "mopac-c":
+        policy = MoPACCPolicy(TRH, **geo, rng=random.Random(11))
+    elif policy_name == "mopac-d":
+        policy = MoPACDPolicy(TRH, **geo, rng=random.Random(22))
+    elif policy_name == "mopac-d-nup":
+        policy = MoPACDPolicy(TRH, nup=True, **geo, rng=random.Random(33))
+    else:
+        policy = MoPACDPolicy(TRH, chips=2, **geo, rng=random.Random(44))
+    result = run_attack(policy, multi_bank_single_row(range(32), 100),
+                        ACTS, trh=TRH, **geo)
+    assert not result.attack_succeeded
+
+
+class TestDesignedBounds:
+    """Beyond not failing, the designs respect their analytical bounds."""
+
+    def test_prac_max_near_ath(self):
+        result = run_attack(PRACMoatPolicy(TRH, **GEO),
+                            single_sided(0, 100), ACTS, trh=TRH, **GEO)
+        policy_ath = 472
+        slippage_allowance = 40  # ABO window at full ACT rate
+        assert result.ledger.max_count <= policy_ath + slippage_allowance
+
+    def test_mopac_d_max_below_ath_star_plus_tth_band(self):
+        policy = MoPACDPolicy(TRH, **GEO, rng=random.Random(7))
+        result = run_attack(policy, single_sided(0, 100), ACTS, trh=TRH,
+                            **GEO)
+        # ATH* (152) + TTH (32) + sampling noise stays well under T_RH.
+        assert result.ledger.max_count < TRH * 0.7
+
+    def test_lower_trh_also_holds(self):
+        geo = GEO
+        policy = MoPACDPolicy(250, **geo, rng=random.Random(8))
+        result = run_attack(policy, double_sided(0, 100), ACTS, trh=250,
+                            **geo)
+        assert not result.attack_succeeded
+
+    def test_higher_trh_also_holds(self):
+        policy = MoPACCPolicy(1000, **GEO, rng=random.Random(9))
+        result = run_attack(policy, single_sided(0, 100), ACTS, trh=1000,
+                            **GEO)
+        assert not result.attack_succeeded
+
+
+class TestInsecureBaselines:
+    """Unprotected DRAM and TRR must break — the paper's motivation."""
+
+    def test_unprotected_fails_fast(self):
+        result = run_attack(BaselinePolicy(), single_sided(0, 100),
+                            5_000, trh=TRH, stop_on_failure=True, **GEO)
+        assert result.attack_succeeded
+
+    # The TRR tests need a long refresh window (1024 groups ~= 4 ms) so
+    # that periodic refresh alone cannot save the victim — the same
+    # regime real TRRespass attacks operate in.
+    TRR_GEO = dict(banks=4, rows=1024, refresh_groups=1024)
+
+    def test_trr_survives_single_sided(self):
+        policy = TRRPolicy(banks=4, entries=16, mitigation_threshold=64,
+                           refs_per_mitigation=4)
+        result = run_attack(policy, single_sided(0, 100), 100_000,
+                            trh=TRH, **self.TRR_GEO)
+        assert not result.attack_succeeded
+
+    def test_trr_broken_by_many_sided(self):
+        """TRRespass: more aggressors than tracker entries (Section 2.3)."""
+        policy = TRRPolicy(banks=4, entries=16, mitigation_threshold=64,
+                           refs_per_mitigation=4)
+        result = run_attack(policy, many_sided(0, range(100, 124)),
+                            400_000, trh=TRH, stop_on_failure=True,
+                            **self.TRR_GEO)
+        assert result.attack_succeeded

@@ -1,0 +1,51 @@
+"""Security across the full threshold range, including non-paper values.
+
+The headline verification suite runs at T_RH = 500; this matrix confirms
+the parameter derivation generalises: every secure design holds at every
+threshold the paper sweeps (250-1000) plus an off-menu value (750) whose
+parameters come purely from the analytical pipeline, never from a lookup
+table.
+"""
+
+import random
+
+import pytest
+
+from repro.attacks.harness import run_attack
+from repro.attacks.patterns import double_sided
+from repro.mitigations.mopac_c import MoPACCPolicy
+from repro.mitigations.mopac_d import MoPACDPolicy
+from repro.mitigations.prac import PRACMoatPolicy
+
+GEO = dict(banks=4, rows=1024, refresh_groups=64)
+ACTS = 150_000
+
+
+@pytest.mark.parametrize("trh", [250, 500, 750, 1000])
+class TestThresholdMatrix:
+    def test_prac(self, trh):
+        result = run_attack(PRACMoatPolicy(trh, **GEO),
+                            double_sided(0, 100), ACTS, trh=trh, **GEO)
+        assert not result.attack_succeeded
+
+    def test_mopac_c(self, trh):
+        policy = MoPACCPolicy(trh, **GEO, rng=random.Random(trh))
+        result = run_attack(policy, double_sided(0, 100), ACTS, trh=trh,
+                            **GEO)
+        assert not result.attack_succeeded
+
+    def test_mopac_d(self, trh):
+        policy = MoPACDPolicy(trh, **GEO, rng=random.Random(trh))
+        result = run_attack(policy, double_sided(0, 100), ACTS, trh=trh,
+                            **GEO)
+        assert not result.attack_succeeded
+
+
+class TestOffMenuParameters:
+    def test_trh_750_derivation_is_pure_analysis(self):
+        """750 is not in any paper table; the pipeline must still derive
+        consistent, conservative parameters."""
+        policy = MoPACCPolicy(750, **GEO, rng=random.Random(7))
+        assert policy.params.ath_star < 750
+        assert policy.params.undercount_probability <= \
+            policy.params.epsilon

@@ -1,0 +1,108 @@
+"""Set-associative LLC substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.cache import SetAssociativeCache
+
+
+def make_cache(capacity=16 * 64, ways=4, line=64):
+    return SetAssociativeCache(capacity, ways, line)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.access(0)
+        assert cache.access(0)
+
+    def test_same_line_aliases(self):
+        cache = make_cache()
+        cache.access(0)
+        assert cache.access(63)  # same 64 B line
+        assert not cache.access(64)
+
+    def test_stats(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(64)
+        assert cache.stats.accesses == 3
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        cache = make_cache(capacity=4 * 64, ways=4)  # 1 set, 4 ways
+        for i in range(4):
+            cache.access(i * 64)
+        cache.access(0)  # refresh line 0
+        cache.access(4 * 64)  # evicts line 1 (LRU)
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+    def test_eviction_counted(self):
+        cache = make_cache(capacity=4 * 64, ways=4)
+        for i in range(5):
+            cache.access(i * 64)
+        assert cache.stats.evictions == 1
+
+    def test_dirty_eviction_writes_back(self):
+        cache = make_cache(capacity=4 * 64, ways=4)
+        cache.access(0, is_write=True)
+        for i in range(1, 5):
+            cache.access(i * 64)
+        assert cache.stats.writebacks == 1
+
+    def test_write_hit_marks_dirty(self):
+        cache = make_cache(capacity=4 * 64, ways=4)
+        cache.access(0)
+        cache.access(0, is_write=True)
+        for i in range(1, 5):
+            cache.access(i * 64)
+        assert cache.stats.writebacks == 1
+
+
+class TestFlush:
+    def test_flush_reports_dirty_lines(self):
+        cache = make_cache()
+        cache.access(0, is_write=True)
+        cache.access(64)
+        assert cache.flush() == 1
+        assert not cache.contains(0)
+
+
+class TestGeometry:
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 4)
+
+    def test_indivisible_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(3 * 64, 2)
+
+    def test_too_small_for_ways(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(64, 4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 4095), min_size=1, max_size=300))
+def test_occupancy_never_exceeds_capacity(addresses):
+    cache = SetAssociativeCache(8 * 64, 2, 64)
+    for address in addresses:
+        cache.access(address)
+    total = sum(len(s) for s in cache._sets)
+    assert total <= 8
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 1023), min_size=1, max_size=200))
+def test_hits_plus_misses_equals_accesses(addresses):
+    cache = SetAssociativeCache(8 * 64, 2, 64)
+    for address in addresses:
+        cache.access(address)
+    assert cache.stats.hits + cache.stats.misses == cache.stats.accesses

@@ -1,0 +1,146 @@
+"""ROB-window core model: dispatch pacing, MLP limits, finish times."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.cpu.core import Core
+from repro.cpu.trace import TraceItem
+
+
+def make_core(items, limit=10**9, window=None, config=None):
+    config = config or SystemConfig()
+    return Core(0, iter(items), config, limit, window=window)
+
+
+class TestDispatchPacing:
+    def test_first_issue_time(self):
+        core = make_core([TraceItem(40, 0)])
+        action, when = core.next_action()
+        assert action == "issue"
+        # 40 instructions at 4-wide 4 GHz = 2.5 ns
+        assert when == pytest.approx(40 * 62.5)
+
+    def test_back_to_back_gap_zero(self):
+        core = make_core([TraceItem(0, 0), TraceItem(0, 64)])
+        action, when = core.next_action()
+        core.take_request(when)
+        action, when2 = core.next_action()
+        assert action == "issue"
+        assert when2 == pytest.approx(when)
+
+    def test_cursor_advances_with_issue_time(self):
+        core = make_core([TraceItem(0, 0), TraceItem(4, 64)])
+        core.next_action()
+        core.take_request(1000.0)  # system issued late (queueing)
+        _, when = core.next_action()
+        assert when == pytest.approx(1000.0 + 4 * 62.5)
+
+
+class TestROBBlocking:
+    def test_window_limits_outstanding(self):
+        # gap 15 -> one miss per 16 instructions; window 64 -> 4 misses
+        items = [TraceItem(15, i * 64) for i in range(20)]
+        core = make_core(items, window=64)
+        outstanding = 0
+        while True:
+            action, value = core.next_action()
+            if action != "issue":
+                break
+            core.take_request(float(value))
+            core.track(outstanding)
+            outstanding += 1
+        assert action == "wait"
+        assert outstanding == 4
+        assert value == 0  # blocked on the oldest miss
+
+    def test_completion_unblocks(self):
+        items = [TraceItem(15, i * 64) for i in range(20)]
+        core = make_core(items, window=64)
+        rid = 0
+        while core.next_action()[0] == "issue":
+            _, when = core.next_action()
+            core.take_request(float(when))
+            core.track(rid)
+            rid += 1
+        core.on_completion(0, 50_000)
+        action, when = core.next_action()
+        assert action == "issue"
+        assert when >= 50_000
+
+    def test_out_of_order_completion_keeps_blocking(self):
+        items = [TraceItem(15, i * 64) for i in range(20)]
+        core = make_core(items, window=64)
+        rid = 0
+        while core.next_action()[0] == "issue":
+            _, when = core.next_action()
+            core.take_request(float(when))
+            core.track(rid)
+            rid += 1
+        core.on_completion(2, 10_000)  # younger miss returns first
+        action, value = core.next_action()
+        assert action == "wait"
+        assert value == 0
+
+
+class TestFinish:
+    def test_finish_includes_tail_instructions(self):
+        core = make_core([TraceItem(0, 0)], limit=1000)
+        action, when = core.next_action()
+        core.take_request(float(when))
+        action, finish = core.next_action()
+        assert action == "finish"
+        # 999 remaining instructions at 62.5 ps each
+        assert finish == pytest.approx(999 * 62.5, rel=0.01)
+
+    def test_finish_waits_for_last_completion(self):
+        core = make_core([TraceItem(0, 0)], limit=10)
+        _, when = core.next_action()
+        core.take_request(float(when))
+        core.track(0)
+        core.on_completion(0, 1_000_000)
+        _, finish = core.next_action()
+        assert finish >= 1_000_000
+
+    def test_done_requires_no_outstanding(self):
+        core = make_core([TraceItem(0, 0)], limit=1)
+        _, when = core.next_action()
+        core.take_request(float(when))
+        core.track(0)
+        assert not core.done
+        core.on_completion(0, 100)
+        assert core.done
+
+    def test_finalize_reports_full_budget(self):
+        core = make_core([TraceItem(0, 0)], limit=500)
+        _, when = core.next_action()
+        core.take_request(float(when))
+        stats = core.finalize()
+        assert stats.instructions == 500
+
+
+class TestIPC:
+    def test_ipc_computation(self):
+        core = make_core([], limit=0)
+        stats = core.finalize()
+        stats.instructions = 4000
+        stats.finish_ps = 1000 * 1000  # 1 us at 4 GHz = 4000 cycles
+        assert stats.ipc(4.0) == pytest.approx(1.0)
+
+    def test_zero_time_ipc(self):
+        core = make_core([], limit=0)
+        stats = core.finalize()
+        assert stats.ipc(4.0) == 0.0
+
+
+class TestBudget:
+    def test_trace_cut_at_instruction_limit(self):
+        items = [TraceItem(99, i * 64) for i in range(100)]
+        core = make_core(items, limit=250)  # room for 2 accesses only
+        issued = 0
+        while True:
+            action, value = core.next_action()
+            if action != "issue":
+                break
+            core.take_request(float(value))
+            issued += 1
+        assert issued == 2

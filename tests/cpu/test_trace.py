@@ -1,0 +1,60 @@
+"""Trace format parsing and statistics."""
+
+import pytest
+
+from repro.cpu.trace import (TraceItem, parse_trace_line, read_trace,
+                             trace_mpki)
+
+
+class TestTraceItem:
+    def test_fields(self):
+        item = TraceItem(10, 0x1000, True)
+        assert (item.gap, item.address, item.is_write) == (10, 0x1000, True)
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            TraceItem(-1, 0)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            TraceItem(0, -1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            TraceItem(0, 0).gap = 5
+
+
+class TestParsing:
+    def test_basic_line(self):
+        assert parse_trace_line("10 4096") == TraceItem(10, 4096)
+
+    def test_hex_address(self):
+        assert parse_trace_line("3 0x1000").address == 4096
+
+    def test_write_marker(self):
+        assert parse_trace_line("3 64 W").is_write
+        assert parse_trace_line("3 64 w").is_write
+
+    def test_comments_and_blanks_skipped(self):
+        assert parse_trace_line("# comment") is None
+        assert parse_trace_line("   ") is None
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            parse_trace_line("1 2 3 4")
+
+    def test_read_trace_stream(self):
+        lines = ["# header", "1 64", "", "2 128 W"]
+        items = list(read_trace(lines))
+        assert len(items) == 2
+        assert items[1].is_write
+
+
+class TestMpki:
+    def test_exact_value(self):
+        # 4 accesses over 4 * (249 + 1) = 1000 instructions -> MPKI 4
+        items = [TraceItem(249, i * 64) for i in range(4)]
+        assert trace_mpki(items) == pytest.approx(4.0)
+
+    def test_empty_trace(self):
+        assert trace_mpki([]) == 0.0

@@ -1,0 +1,111 @@
+"""Address mapping: MOP locality, bijectivity, inverse mapping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DRAMConfig
+from repro.dram.address import MOPMapper, OpenPageMapper, make_mapper
+from repro.workloads.synthetic import inverse_map_line
+
+
+@pytest.fixture
+def config():
+    return DRAMConfig(subchannels=2, banks_per_subchannel=4,
+                      rows_per_bank=64)
+
+
+class TestMOPLocality:
+    def test_mop_lines_share_a_row(self, config):
+        mapper = MOPMapper(config)
+        first = mapper.map_line(0)
+        for i in range(1, config.mop_lines):
+            nxt = mapper.map_line(i)
+            assert nxt.bank_address == first.bank_address
+            assert nxt.column == first.column + i
+
+    def test_next_group_changes_bank(self, config):
+        mapper = MOPMapper(config)
+        a = mapper.map_line(0)
+        b = mapper.map_line(config.mop_lines)
+        assert b.bank == a.bank + 1
+        assert b.row == a.row
+
+    def test_groups_cycle_all_banks_then_subchannels(self, config):
+        mapper = MOPMapper(config)
+        group = config.mop_lines
+        banks_seen = {mapper.map_line(i * group).bank
+                      for i in range(config.banks_per_subchannel)}
+        assert banks_seen == set(range(config.banks_per_subchannel))
+        after_banks = mapper.map_line(config.banks_per_subchannel * group)
+        assert after_banks.subchannel == 1
+
+    def test_row_advances_after_all_banks(self, config):
+        mapper = MOPMapper(config)
+        per_row_sweep = (config.mop_lines * config.banks_per_subchannel
+                         * config.subchannels)
+        a = mapper.map_line(0)
+        b = mapper.map_line(per_row_sweep)
+        assert b.row == a.row + 1
+
+
+class TestOpenPageMapping:
+    def test_row_is_contiguous(self, config):
+        mapper = OpenPageMapper(config)
+        first = mapper.map_line(0)
+        last = mapper.map_line(config.lines_per_row - 1)
+        assert first.bank_address == last.bank_address
+        assert last.column == config.lines_per_row - 1
+
+    def test_next_row_chunk_changes_bank(self, config):
+        mapper = OpenPageMapper(config)
+        a = mapper.map_line(0)
+        b = mapper.map_line(config.lines_per_row)
+        assert (b.bank, b.subchannel) != (a.bank, a.subchannel) or \
+            b.row != a.row
+
+
+class TestBijectivity:
+    @pytest.mark.parametrize("kind", ["mop", "open"])
+    def test_all_lines_distinct(self, config, kind):
+        mapper = make_mapper(config, kind)
+        seen = set()
+        for line in range(mapper.total_lines()):
+            loc = mapper.map_line(line)
+            key = (loc.subchannel, loc.bank, loc.row, loc.column)
+            assert key not in seen
+            seen.add(key)
+        assert len(seen) == mapper.total_lines()
+
+    def test_wraparound(self, config):
+        mapper = MOPMapper(config)
+        assert mapper.map_line(mapper.total_lines()) == mapper.map_line(0)
+
+    def test_map_address_uses_line_bytes(self, config):
+        mapper = MOPMapper(config)
+        assert mapper.map_address(0) == mapper.map_address(
+            config.line_bytes - 1)
+        assert mapper.map_address(config.line_bytes) == mapper.map_line(1)
+
+
+class TestInverseMapping:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 1), st.integers(0, 3), st.integers(0, 63),
+           st.integers(0, 127))
+    def test_roundtrip(self, subchannel, bank, row, column):
+        config = DRAMConfig(subchannels=2, banks_per_subchannel=4,
+                            rows_per_bank=64)
+        line = inverse_map_line(config, subchannel, bank, row, column)
+        loc = MOPMapper(config).map_line(line)
+        assert (loc.subchannel, loc.bank, loc.row, loc.column) == \
+            (subchannel, bank, row, column)
+
+
+class TestFactory:
+    def test_known_kinds(self, config):
+        assert isinstance(make_mapper(config, "mop"), MOPMapper)
+        assert isinstance(make_mapper(config, "open"), OpenPageMapper)
+
+    def test_unknown_kind_rejected(self, config):
+        with pytest.raises(ValueError, match="unknown"):
+            make_mapper(config, "xor")

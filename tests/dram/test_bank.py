@@ -1,0 +1,168 @@
+"""Bank state machine: command legality and timing bookkeeping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.bank import Bank, TimingViolation
+from repro.dram.timing import ddr5_base, ddr5_prac
+
+
+@pytest.fixture
+def bank():
+    return Bank(0)
+
+
+class TestActivate:
+    def test_activate_opens_row(self, bank, base_timing):
+        bank.activate(7, 0, base_timing)
+        assert bank.is_open
+        assert bank.open_row == 7
+
+    def test_activate_returns_column_ready(self, bank, base_timing):
+        ready = bank.activate(7, 1000, base_timing)
+        assert ready == 1000 + base_timing.tRCD
+
+    def test_double_activate_rejected(self, bank, base_timing):
+        bank.activate(7, 0, base_timing)
+        with pytest.raises(TimingViolation, match="open"):
+            bank.activate(8, 10**9, base_timing)
+
+    def test_activate_before_ready_rejected(self, bank, base_timing):
+        bank.activate(7, 0, base_timing)
+        bank.precharge(bank.earliest_precharge())
+        with pytest.raises(TimingViolation):
+            bank.activate(8, bank.earliest_activate() - 1, base_timing)
+
+    def test_activate_counts(self, bank, base_timing):
+        bank.activate(7, 0, base_timing)
+        assert bank.stats.activations == 1
+
+
+class TestColumnCommands:
+    def test_read_needs_trcd(self, bank, base_timing):
+        bank.activate(7, 0, base_timing)
+        with pytest.raises(TimingViolation):
+            bank.read(7, base_timing.tRCD - 1)
+
+    def test_read_at_trcd_ok(self, bank, base_timing):
+        bank.activate(7, 0, base_timing)
+        done = bank.read(7, base_timing.tRCD)
+        assert done == base_timing.tRCD + base_timing.tCAS \
+            + base_timing.tBURST
+
+    def test_read_wrong_row_rejected(self, bank, base_timing):
+        bank.activate(7, 0, base_timing)
+        with pytest.raises(TimingViolation, match="row"):
+            bank.read(8, base_timing.tRCD)
+
+    def test_read_while_idle_rejected(self, bank, base_timing):
+        with pytest.raises(TimingViolation):
+            bank.read(7, 10**9)
+
+    def test_write_extends_precharge_readiness(self, bank, base_timing):
+        bank.activate(7, 0, base_timing)
+        before = bank.earliest_precharge()
+        bank.write(7, base_timing.tRAS)  # write late in the episode
+        assert bank.earliest_precharge() > before
+
+    def test_reads_count_as_row_hits(self, bank, base_timing):
+        bank.activate(7, 0, base_timing)
+        bank.read(7, base_timing.tRCD)
+        bank.read(7, base_timing.tRCD + base_timing.tBURST)
+        assert bank.stats.row_hits == 2
+
+
+class TestPrecharge:
+    def test_precharge_before_tras_rejected(self, bank, base_timing):
+        bank.activate(7, 0, base_timing)
+        with pytest.raises(TimingViolation):
+            bank.precharge(base_timing.tRAS - 1)
+
+    def test_precharge_closes_row(self, bank, base_timing):
+        bank.activate(7, 0, base_timing)
+        bank.precharge(base_timing.tRAS)
+        assert not bank.is_open
+
+    def test_precharge_while_idle_rejected(self, bank):
+        with pytest.raises(TimingViolation, match="idle"):
+            bank.precharge(10**9)
+
+    def test_next_act_respects_trp(self, bank, base_timing):
+        bank.activate(7, 0, base_timing)
+        ready = bank.precharge(base_timing.tRAS)
+        assert ready == base_timing.tRAS + base_timing.tRP
+        assert ready == base_timing.tRC  # tRC = tRAS + tRP
+
+    def test_next_act_respects_trc_for_early_precharge(self, base_timing):
+        """With PRAC tRAS (16 ns) < tRP path, tRC still binds."""
+        prac = ddr5_prac()
+        bank = Bank(0)
+        bank.activate(1, 0, prac)
+        ready = bank.precharge(prac.tRAS)
+        assert ready == max(prac.tRAS + prac.tRP, prac.tRC)
+
+    def test_counter_update_precharge_counted(self, bank, base_timing):
+        bank.activate(7, 0, base_timing)
+        bank.precharge(base_timing.tRAS, counter_update=True)
+        assert bank.stats.counter_update_precharges == 1
+
+    def test_precharge_with_override_timing(self, bank, base_timing):
+        """MoPAC-C closes a selected episode with the PRAC tRP."""
+        prac = ddr5_prac()
+        bank.activate(7, 0, base_timing)
+        ready = bank.precharge(base_timing.tRAS, prac)
+        assert ready == base_timing.tRAS + prac.tRP
+
+
+class TestBlocking:
+    def test_block_delays_activation(self, bank, base_timing):
+        bank.block_until(5000)
+        assert bank.earliest_activate() == 5000
+        with pytest.raises(TimingViolation):
+            bank.activate(1, 4999, base_timing)
+
+    def test_block_is_monotonic(self, bank):
+        bank.block_until(5000)
+        bank.block_until(1000)
+        assert bank.blocked_until == 5000
+
+
+class TestEpisodeTiming:
+    """Per-episode timing is what lets PRAC and MoPAC-C coexist."""
+
+    def test_prac_episode_uses_prac_trcd(self):
+        bank = Bank(0)
+        prac = ddr5_prac()
+        ready = bank.activate(1, 0, prac)
+        assert ready == prac.tRCD
+
+    def test_mixed_episodes(self, base_timing):
+        """A PRAC episode followed by a baseline episode."""
+        bank = Bank(0)
+        prac = ddr5_prac()
+        bank.activate(1, 0, prac)
+        t1 = bank.precharge(bank.earliest_precharge())
+        bank.activate(2, t1, base_timing)
+        assert bank.earliest_precharge() == t1 + base_timing.tRAS
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.sampled_from(["act", "read", "pre"]),
+                min_size=1, max_size=40),
+       st.booleans())
+def test_legal_sequences_never_violate(ops, use_prac):
+    """Property: commands issued at their earliest legal time never raise,
+    and the bank's open/closed state follows ACT/PRE pairing."""
+    timing = ddr5_prac() if use_prac else ddr5_base()
+    bank = Bank(0)
+    row = 0
+    for op in ops:
+        if op == "act" and not bank.is_open:
+            row += 1
+            bank.activate(row, bank.earliest_activate(), timing)
+        elif op == "read" and bank.is_open:
+            bank.read(row, bank.earliest_column())
+        elif op == "pre" and bank.is_open:
+            bank.precharge(bank.earliest_precharge())
+    assert bank.stats.activations >= bank.stats.precharges

@@ -1,0 +1,46 @@
+"""Command vocabulary and address value types."""
+
+import pytest
+
+from repro.dram.commands import BankAddress, Command, LineAddress
+
+
+class TestCommand:
+    def test_both_precharges_are_precharges(self):
+        assert Command.PRE.is_precharge
+        assert Command.PRE_CU.is_precharge
+
+    def test_non_precharges(self):
+        for cmd in (Command.ACT, Command.RD, Command.WR, Command.REF,
+                    Command.RFM):
+            assert not cmd.is_precharge
+
+    def test_column_commands(self):
+        assert Command.RD.is_column
+        assert Command.WR.is_column
+        assert not Command.ACT.is_column
+
+    def test_precu_is_distinct_command(self):
+        assert Command.PRE is not Command.PRE_CU
+        assert Command.PRE_CU.value == "PREcu"
+
+
+class TestAddresses:
+    def test_bank_address_fields(self):
+        addr = BankAddress(1, 2, 3)
+        assert (addr.subchannel, addr.bank, addr.row) == (1, 2, 3)
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ValueError):
+            BankAddress(0, -1, 0)
+
+    def test_line_address_delegation(self):
+        line = LineAddress(BankAddress(1, 2, 3), column=9)
+        assert line.subchannel == 1
+        assert line.bank == 2
+        assert line.row == 3
+        assert line.column == 9
+
+    def test_addresses_hashable_and_equal(self):
+        assert BankAddress(0, 1, 2) == BankAddress(0, 1, 2)
+        assert len({BankAddress(0, 1, 2), BankAddress(0, 1, 2)}) == 1

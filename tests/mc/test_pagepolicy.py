@@ -1,0 +1,57 @@
+"""Row-closure policies (Appendix C)."""
+
+import pytest
+
+from repro.mc.pagepolicy import (ClosePagePolicy, OpenPagePolicy,
+                                 TimeoutPagePolicy, make_page_policy)
+from repro.units import ns
+
+
+class TestOpenPage:
+    def test_always_keeps_open(self):
+        policy = OpenPagePolicy()
+        assert policy.keep_open(0)
+        assert policy.keep_open(5)
+
+    def test_no_timeout(self):
+        assert OpenPagePolicy().timeout_ps() is None
+
+
+class TestClosePage:
+    def test_closes_when_no_hits(self):
+        policy = ClosePagePolicy()
+        assert not policy.keep_open(0)
+
+    def test_keeps_open_for_pending_hits(self):
+        assert ClosePagePolicy().keep_open(2)
+
+
+class TestTimeout:
+    def test_timeout_value(self):
+        assert TimeoutPagePolicy(100).timeout_ps() == ns(100)
+
+    def test_keeps_open_until_timeout(self):
+        assert TimeoutPagePolicy(100).keep_open(0)
+
+    def test_bad_timeout(self):
+        with pytest.raises(ValueError):
+            TimeoutPagePolicy(0)
+
+    def test_name_encodes_ton(self):
+        assert TimeoutPagePolicy(200).name == "ton200"
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        ("open", OpenPagePolicy), ("close", ClosePagePolicy)])
+    def test_simple_kinds(self, kind, cls):
+        assert isinstance(make_page_policy(kind), cls)
+
+    def test_ton_kind(self):
+        policy = make_page_policy("ton150")
+        assert isinstance(policy, TimeoutPagePolicy)
+        assert policy.timeout_ps() == ns(150)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_page_policy("mystery")

@@ -1,0 +1,83 @@
+"""Same-bank refresh (DDR5 REFsb) support."""
+
+import pytest
+
+from repro.sim.runner import DesignPoint, simulate, slowdown
+
+FAST = dict(instructions=15_000, rows_per_bank=512, refresh_scale=1 / 256)
+
+
+class TestRefsbMode:
+    def test_unknown_mode_rejected(self):
+        from repro.mc.controller import MemoryController
+        from repro.config import DRAMConfig
+        from repro.mitigations.prac import BaselinePolicy
+        with pytest.raises(ValueError, match="refresh_mode"):
+            MemoryController(0, DRAMConfig(), BaselinePolicy(),
+                             lambda t, cb: None, lambda r: None,
+                             refresh_mode="checkerboard")
+
+    def test_same_bank_run_completes(self):
+        point = DesignPoint(workload="mcf", design="baseline",
+                            refresh_mode="same-bank", **FAST)
+        result = simulate(point)
+        assert result.total_requests > 0
+        assert all(ipc > 0 for ipc in result.ipcs)
+
+    def test_refsb_issues_more_ref_commands(self):
+        allb = simulate(DesignPoint(workload="mcf", design="baseline",
+                                    **FAST))
+        sameb = simulate(DesignPoint(workload="mcf", design="baseline",
+                                     refresh_mode="same-bank", **FAST))
+        refs_all = sum(s.refreshes for s in allb.mc_stats)
+        refs_same = sum(s.refreshes for s in sameb.mc_stats)
+        # one REFsb per bank per tREFI vs one REFab per tREFI
+        assert refs_same > 8 * refs_all
+
+    def test_refsb_blocks_less(self):
+        """Latency-bound work suffers less from REFsb's short stalls."""
+        allb = simulate(DesignPoint(workload="mcf", design="baseline",
+                                    **FAST))
+        sameb = simulate(DesignPoint(workload="mcf", design="baseline",
+                                     refresh_mode="same-bank", **FAST))
+        # no hard dominance claim at tiny scale — but within a few %
+        ratio = sameb.elapsed_ps / allb.elapsed_ps
+        assert 0.85 < ratio < 1.1
+
+    def test_mopac_d_under_refsb_still_cheap(self):
+        sd = slowdown(DesignPoint(workload="mcf", design="mopac-d",
+                                  trh=500, refresh_mode="same-bank",
+                                  **FAST))
+        assert sd < 0.05
+
+    def test_baseline_projection_keeps_mode(self):
+        point = DesignPoint(workload="mcf", design="mopac-d",
+                            refresh_mode="same-bank", **FAST)
+        assert point.baseline().refresh_mode == "same-bank"
+
+
+class TestPerBankRefreshHooks:
+    def test_policy_sees_per_bank_refresh(self):
+        from repro.mitigations.mopac_d import MoPACDPolicy
+        policy = MoPACDPolicy(500, banks=4, rows=512, refresh_groups=32,
+                              drain_on_ref=2)
+        # buffer entries in bank 0 and bank 1
+        for bank in (0, 1):
+            for row in (100, 101):
+                for i in range(8):
+                    policy.on_activate(bank, row, i)
+        occ0 = policy.srq_occupancy(0)
+        occ1 = policy.srq_occupancy(1)
+        policy.on_refresh(1000, bank=0)
+        assert policy.srq_occupancy(0) == max(occ0 - 2, 0)
+        assert policy.srq_occupancy(1) == occ1  # untouched
+
+    def test_prac_per_bank_counter_refresh(self):
+        from repro.mitigations.prac import PRACMoatPolicy
+        policy = PRACMoatPolicy(500, banks=2, rows=64, refresh_groups=4)
+        policy.state.update(0, 5, 9)
+        policy.state.update(1, 5, 9)
+        # refresh bank 0's first group (rows 0-15) only
+        policy.on_refresh(0, bank=0)
+        assert policy.counter_value(0, 5) == 0
+        assert policy.counter_value(1, 5) == 9

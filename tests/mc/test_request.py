@@ -1,0 +1,37 @@
+"""Memory request value type."""
+
+import pytest
+
+from repro.dram.commands import BankAddress, LineAddress
+from repro.mc.request import MemRequest
+
+
+def make_request(**kw):
+    address = LineAddress(BankAddress(1, 2, 3), 4)
+    defaults = dict(core=0, address=address, arrival_ps=100)
+    defaults.update(kw)
+    return MemRequest(**defaults)
+
+
+class TestMemRequest:
+    def test_address_delegation(self):
+        request = make_request()
+        assert request.subchannel == 1
+        assert request.bank == 2
+        assert request.row == 3
+
+    def test_latency_after_completion(self):
+        request = make_request()
+        request.completion_ps = 150
+        assert request.latency_ps == 50
+
+    def test_latency_before_completion_rejected(self):
+        with pytest.raises(ValueError):
+            make_request().latency_ps
+
+    def test_ids_unique(self):
+        a, b = make_request(), make_request()
+        assert a.request_id != b.request_id
+
+    def test_write_flag(self):
+        assert make_request(is_write=True).is_write

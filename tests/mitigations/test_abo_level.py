@@ -1,0 +1,63 @@
+"""JEDEC ABO mitigation levels: multiple RFMs per ALERT."""
+
+import random
+
+import pytest
+
+from repro.attacks.harness import run_attack
+from repro.attacks.patterns import srq_fill
+from repro.mitigations.mopac_d import MoPACDPolicy
+
+GEO = dict(banks=4, rows=1024, refresh_groups=64)
+
+
+class TestConfiguration:
+    def test_default_level_one(self):
+        assert MoPACDPolicy(500, **GEO).abo_level == 1
+
+    @pytest.mark.parametrize("level", [1, 2, 4])
+    def test_jedec_menu(self, level):
+        assert MoPACDPolicy(500, **GEO, abo_level=level).abo_level == level
+
+    def test_off_menu_rejected(self):
+        with pytest.raises(ValueError, match="abo_level"):
+            MoPACDPolicy(500, **GEO, abo_level=3)
+
+
+class TestDrainBehaviour:
+    def fill(self, policy, rows=16):
+        act = 0
+        for row in range(100, 100 + rows):
+            for _ in range(8):
+                policy.on_activate(0, row, act)
+                act += 1
+
+    def test_level_two_drains_twice_as_much(self):
+        low = MoPACDPolicy(500, **GEO, drain_on_ref=0,
+                           rng=random.Random(1))
+        high = MoPACDPolicy(500, **GEO, drain_on_ref=0, abo_level=2,
+                            rng=random.Random(1))
+        self.fill(low)
+        self.fill(high)
+        low.on_rfm(10_000)
+        for _ in range(high.abo_level):
+            high.on_rfm(10_000)
+        assert (16 - high.srq_occupancy(0)) == 2 * (16 - low.srq_occupancy(0))
+
+
+class TestUnderAttack:
+    def _alerts(self, level):
+        policy = MoPACDPolicy(500, **GEO, abo_level=level,
+                              drain_on_ref=0, rng=random.Random(2))
+        result = run_attack(policy, srq_fill(0, 500), 150_000, trh=500,
+                            **GEO)
+        return result
+
+    def test_higher_level_fewer_alerts(self):
+        one = self._alerts(1)
+        four = self._alerts(4)
+        assert four.alerts < one.alerts
+
+    def test_still_secure_at_all_levels(self):
+        for level in (1, 2, 4):
+            assert not self._alerts(level).attack_succeeded

@@ -1,0 +1,126 @@
+"""MINT, PrIDE and TRR baseline trackers."""
+
+import random
+
+import pytest
+
+from repro.mitigations.mint import MINTPolicy
+from repro.mitigations.pride import PrIDEPolicy
+from repro.mitigations.trr import TRRPolicy
+
+
+class TestMINT:
+    def test_one_mitigation_per_ref_when_active(self):
+        policy = MINTPolicy(banks=2, window=8, rng=random.Random(0))
+        for i in range(16):
+            policy.on_activate(0, 42, i)
+        policy.on_refresh(1000)
+        events = policy.drain_mitigations()
+        assert [(e.bank, e.row) for e in events] == [(0, 42)]
+
+    def test_refs_per_mitigation_gates_rate(self):
+        policy = MINTPolicy(banks=1, window=4, refs_per_mitigation=2,
+                            rng=random.Random(0))
+        for i in range(8):
+            policy.on_activate(0, 7, i)
+        policy.on_refresh(1)
+        assert not policy.drain_mitigations()
+        policy.on_refresh(2)
+        assert policy.drain_mitigations()
+
+    def test_new_selection_replaces_pending(self):
+        policy = MINTPolicy(banks=1, window=2, rng=random.Random(0))
+        for i in range(2):
+            policy.on_activate(0, 11, i)
+        for i in range(2):
+            policy.on_activate(0, 22, i)
+        policy.on_refresh(1)
+        events = policy.drain_mitigations()
+        assert events[0].row == 22
+
+    def test_never_alerts(self):
+        policy = MINTPolicy(banks=1, window=4)
+        for i in range(100):
+            policy.on_activate(0, 7, i)
+        assert not policy.alert_requested()
+
+    def test_bad_refs_per_mitigation(self):
+        with pytest.raises(ValueError):
+            MINTPolicy(refs_per_mitigation=0)
+
+
+class TestPrIDE:
+    def test_samples_at_bernoulli_rate(self):
+        policy = PrIDEPolicy(banks=1, window=10, queue_size=10**6,
+                             rng=random.Random(1))
+        n = 20_000
+        for i in range(n):
+            policy.on_activate(0, i, i)
+        queued = len(policy.queues[0])
+        assert queued == pytest.approx(n / 10, rel=0.15)
+
+    def test_fifo_drops_when_full(self):
+        policy = PrIDEPolicy(banks=1, window=2, queue_size=2,
+                             rng=random.Random(1))
+        for i in range(100):
+            policy.on_activate(0, i, i)
+        assert len(policy.queues[0]) == 2
+        assert policy.dropped_samples > 0
+
+    def test_ref_pops_head(self):
+        policy = PrIDEPolicy(banks=1, window=1, queue_size=2,
+                             rng=random.Random(1))
+        policy.on_activate(0, 5, 0)
+        policy.on_activate(0, 6, 1)
+        policy.on_refresh(10)
+        events = policy.drain_mitigations()
+        assert events[0].row == 5
+        assert list(policy.queues[0]) == [6]
+
+    def test_bad_queue_size(self):
+        with pytest.raises(ValueError):
+            PrIDEPolicy(queue_size=0)
+
+
+class TestTRR:
+    def test_tracks_heavy_hitter(self):
+        policy = TRRPolicy(banks=1, entries=4, mitigation_threshold=10,
+                           refs_per_mitigation=1)
+        for i in range(50):
+            policy.on_activate(0, 42, i)
+        policy.on_refresh(1)
+        events = policy.drain_mitigations()
+        assert events and events[0].row == 42
+
+    def test_below_threshold_not_mitigated(self):
+        policy = TRRPolicy(banks=1, entries=4, mitigation_threshold=100)
+        for i in range(5):
+            policy.on_activate(0, 42, i)
+        policy.on_refresh(1)
+        policy.on_refresh(2)
+        policy.on_refresh(3)
+        policy.on_refresh(4)
+        assert not policy.drain_mitigations()
+
+    def test_misra_gries_eviction(self):
+        """More aggressors than entries decays all counters — the
+        structural weakness TRRespass exploits."""
+        policy = TRRPolicy(banks=1, entries=4)
+        for sweep in range(10):
+            for row in range(8):  # 8 rows > 4 entries
+                policy.on_activate(0, row, sweep * 8 + row)
+        table = policy.tracked_rows(0)
+        assert all(count <= 3 for count in table.values())
+
+    def test_mitigated_entry_removed(self):
+        policy = TRRPolicy(banks=1, entries=4, mitigation_threshold=5,
+                           refs_per_mitigation=1)
+        for i in range(20):
+            policy.on_activate(0, 42, i)
+        policy.on_refresh(1)
+        policy.drain_mitigations()
+        assert 42 not in policy.tracked_rows(0)
+
+    def test_bad_entries(self):
+        with pytest.raises(ValueError):
+            TRRPolicy(entries=0)

@@ -1,0 +1,98 @@
+"""MoPAC-C: probabilistic PREcu selection at the memory controller."""
+
+import random
+
+import pytest
+
+from repro.dram.timing import ddr5_base, ddr5_prac
+from repro.mitigations.mopac_c import MoPACCPolicy
+
+GEO = dict(banks=4, rows=512, refresh_groups=32)
+
+
+def make_policy(trh=500, seed=0, **kw):
+    return MoPACCPolicy(trh, rng=random.Random(seed), **GEO, **kw)
+
+
+class TestSelection:
+    def test_selection_rate_near_p(self):
+        policy = make_policy(500)  # p = 1/8
+        n = 20_000
+        selected = sum(
+            policy.on_activate(0, i % 64, i).counter_update
+            for i in range(n))
+        assert selected / n == pytest.approx(1 / 8, rel=0.1)
+
+    def test_selected_episode_uses_prac_timings(self):
+        policy = make_policy(500)
+        decisions = [policy.on_activate(0, 1, i) for i in range(200)]
+        chosen = [d for d in decisions if d.counter_update]
+        skipped = [d for d in decisions if not d.counter_update]
+        assert chosen and skipped
+        assert all(d.pre_timing.tRP == ddr5_prac().tRP for d in chosen)
+        assert all(d.pre_timing.tRP == ddr5_base().tRP for d in skipped)
+
+    def test_policy_base_timing_is_normal(self):
+        assert make_policy().timing.tRP == ddr5_base().tRP
+
+
+class TestCounting:
+    def test_update_increments_by_inv_p(self):
+        policy = make_policy(500)
+        policy.on_precharge(0, 7, 0, counter_update=True)
+        assert policy.counter_value(0, 7) == 8
+
+    def test_skip_does_not_count(self):
+        policy = make_policy(500)
+        policy.on_precharge(0, 7, 0, counter_update=False)
+        assert policy.counter_value(0, 7) == 0
+
+    def test_custom_p(self):
+        policy = make_policy(500, p=1 / 4)
+        assert policy.increment == 4
+
+
+class TestThresholds:
+    @pytest.mark.parametrize("trh,ath_star", [(250, 80), (500, 176),
+                                              (1000, 368)])
+    def test_ath_star_from_table7(self, trh, ath_star):
+        assert make_policy(trh).ath == ath_star
+
+    def test_alert_at_ath_star(self):
+        policy = make_policy(500)
+        updates_needed = policy.params.critical_updates
+        for i in range(updates_needed - 1):
+            policy.on_activate(0, 9, i)
+            policy.on_precharge(0, 9, i, counter_update=True)
+        assert not policy.alert_requested()
+        policy.on_activate(0, 9, 99)
+        policy.on_precharge(0, 9, 99, counter_update=True)
+        assert policy.alert_requested()
+
+    def test_rfm_mitigates(self):
+        policy = make_policy(500)
+        for i in range(policy.params.critical_updates):
+            policy.on_activate(0, 9, i)
+            policy.on_precharge(0, 9, i, counter_update=True)
+        policy.on_rfm(1000)
+        events = policy.drain_mitigations()
+        assert (0, 9) in {(e.bank, e.row) for e in events}
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        a = make_policy(500, seed=42)
+        b = make_policy(500, seed=42)
+        for i in range(500):
+            da = a.on_activate(0, i % 32, i)
+            db = b.on_activate(0, i % 32, i)
+            assert da.counter_update == db.counter_update
+
+    def test_different_seeds_differ(self):
+        a = make_policy(500, seed=1)
+        b = make_policy(500, seed=2)
+        decisions_a = [a.on_activate(0, 1, i).counter_update
+                       for i in range(500)]
+        decisions_b = [b.on_activate(0, 1, i).counter_update
+                       for i in range(500)]
+        assert decisions_a != decisions_b

@@ -1,0 +1,103 @@
+"""QPRAC: proactive priority-queue PRAC service."""
+
+import pytest
+
+from repro.attacks.harness import run_attack
+from repro.attacks.patterns import many_sided, single_sided
+from repro.mitigations.prac import PRACMoatPolicy
+from repro.mitigations.qprac import QPRACPolicy
+
+GEO = dict(banks=4, rows=512, refresh_groups=32)
+ATTACK_GEO = dict(banks=4, rows=1024, refresh_groups=64)
+
+
+def hammer(policy, bank, row, times, start=0):
+    for i in range(times):
+        policy.on_activate(bank, row, start + i)
+        policy.on_precharge(bank, row, start + i, counter_update=True)
+
+
+class TestQueueing:
+    def test_hot_row_enqueued_at_eth(self):
+        policy = QPRACPolicy(500, **GEO)
+        hammer(policy, 0, 10, policy.eth)
+        assert policy.queue_occupancy(0) == 1
+
+    def test_cold_row_not_enqueued(self):
+        policy = QPRACPolicy(500, **GEO)
+        hammer(policy, 0, 10, 5)
+        assert policy.queue_occupancy(0) == 0
+
+    def test_queue_bounded(self):
+        policy = QPRACPolicy(500, **GEO, queue_size=2)
+        for row in range(10, 16):
+            hammer(policy, 0, row, policy.eth)
+        assert policy.queue_occupancy(0) == 2
+
+    def test_no_duplicate_entries(self):
+        policy = QPRACPolicy(500, **GEO)
+        hammer(policy, 0, 10, policy.eth * 2)
+        assert policy.queue_occupancy(0) == 1
+
+
+class TestProactiveService:
+    def test_ref_mitigates_hottest(self):
+        policy = QPRACPolicy(500, **GEO)
+        hammer(policy, 0, 10, policy.eth)
+        hammer(policy, 0, 20, policy.eth + 50, start=10_000)
+        policy.on_refresh(1_000_000)
+        events = policy.drain_mitigations()
+        assert (0, 20) in {(e.bank, e.row) for e in events}
+        assert policy.counter_value(0, 20) == 0
+        assert policy.proactive_mitigations == 1
+
+    def test_queue_drains_over_refs(self):
+        policy = QPRACPolicy(500, **GEO)
+        for row in (10, 20, 30):
+            hammer(policy, 0, row, policy.eth, start=row * 1000)
+        for _ in range(3):
+            policy.on_refresh(0)
+        assert policy.queue_occupancy(0) == 0
+
+    def test_alert_backstop_at_ath(self):
+        policy = QPRACPolicy(500, **GEO, queue_size=1)
+        hammer(policy, 0, 10, policy.eth)  # fills the queue
+        hammer(policy, 0, 20, policy.ath, start=10_000)  # can't enqueue
+        assert policy.alert_requested()
+        policy.on_rfm(1)
+        events = policy.drain_mitigations()
+        assert (0, 20) in {(e.bank, e.row) for e in events}
+
+
+class TestSecurity:
+    def test_single_sided_holds(self):
+        policy = QPRACPolicy(500, **ATTACK_GEO)
+        result = run_attack(policy, single_sided(0, 100), 200_000,
+                            trh=500, **ATTACK_GEO)
+        assert not result.attack_succeeded
+
+    def test_many_sided_holds(self):
+        policy = QPRACPolicy(500, **ATTACK_GEO)
+        result = run_attack(policy, many_sided(0, range(100, 124)),
+                            200_000, trh=500, **ATTACK_GEO)
+        assert not result.attack_succeeded
+
+    def test_fewer_alerts_than_moat(self):
+        """Proactive REF service keeps ABO nearly idle."""
+        qprac = QPRACPolicy(500, **ATTACK_GEO)
+        moat = PRACMoatPolicy(500, **ATTACK_GEO)
+        r_q = run_attack(qprac, single_sided(0, 100), 200_000, trh=500,
+                         **ATTACK_GEO)
+        r_m = run_attack(moat, single_sided(0, 100), 200_000, trh=500,
+                         **ATTACK_GEO)
+        assert r_q.alerts < r_m.alerts
+
+
+class TestValidation:
+    def test_bad_trh(self):
+        with pytest.raises(ValueError):
+            QPRACPolicy(0, **GEO)
+
+    def test_bad_queue(self):
+        with pytest.raises(ValueError):
+            QPRACPolicy(500, **GEO, queue_size=0)

@@ -1,0 +1,69 @@
+"""Row-Press runtime accounting in MoPAC-D (Appendix A)."""
+
+import random
+
+import pytest
+
+from repro.mitigations.mopac_d import MoPACDPolicy
+from repro.units import ns
+
+GEO = dict(banks=4, rows=512, refresh_groups=32)
+
+
+def make_policy(rowpress_aware=True, **kw):
+    return MoPACDPolicy(500, **GEO, rowpress_aware=rowpress_aware,
+                        rng=random.Random(0), **kw)
+
+
+def buffer_row(policy, bank=0, row=42):
+    for i in range(8):  # one MINT window at p = 1/8
+        policy.on_activate(bank, row, i)
+    return policy.chips[0].srqs[bank][row]
+
+
+class TestSCtrCharging:
+    def test_short_open_charges_nothing_extra(self):
+        policy = make_policy()
+        entry = buffer_row(policy)
+        before = entry.sctr
+        policy.note_row_open(0, 42, ns(32))  # a normal fast episode
+        assert entry.sctr == before
+
+    def test_open_at_cap_charges_nothing_extra(self):
+        policy = make_policy()
+        entry = buffer_row(policy)
+        before = entry.sctr
+        policy.note_row_open(0, 42, ns(180))
+        assert entry.sctr == before
+
+    @pytest.mark.parametrize("open_ns,extra", [(181, 1), (360, 1),
+                                               (361, 2), (900, 4)])
+    def test_long_open_charges_ceil(self, open_ns, extra):
+        policy = make_policy()
+        entry = buffer_row(policy)
+        before = entry.sctr
+        policy.note_row_open(0, 42, ns(open_ns))
+        assert entry.sctr == before + extra
+
+    def test_unbuffered_row_ignored(self):
+        policy = make_policy()
+        buffer_row(policy, row=42)
+        policy.note_row_open(0, 99, ns(900))  # row 99 not in the SRQ
+        assert 99 not in policy.chips[0].srqs[0]
+
+    def test_disabled_by_default(self):
+        policy = make_policy(rowpress_aware=False)
+        entry = buffer_row(policy)
+        before = entry.sctr
+        policy.note_row_open(0, 42, ns(900))
+        assert entry.sctr == before
+
+
+class TestDamageFlowsToCounter:
+    def test_drain_includes_rowpress_damage(self):
+        policy = make_policy(drain_on_ref=0)
+        buffer_row(policy)
+        policy.note_row_open(0, 42, ns(540))  # ceil(540/180) - 1 = 2 extra
+        policy.on_rfm(10_000)
+        # increment = 1 + SCtr / p = 1 + (1 + 2) * 8 = 25
+        assert policy.counter_value(0, 42) == 25

@@ -1,0 +1,86 @@
+"""Footnote 6 ablation: MINT vs PARA selection for MoPAC-D.
+
+The paper argues PARA-style Bernoulli selection is unsafe for MoPAC-D:
+nothing bounds the number of activations between selections, so an
+attacker enjoying an unlucky (for the defender) stretch hammers freely,
+whereas MINT guarantees exactly one selection per 1/p window.
+"""
+
+import random
+
+import pytest
+
+from repro.attacks.harness import run_attack
+from repro.attacks.patterns import single_sided
+from repro.mitigations.mopac_d import (MintSampler, MoPACDPolicy,
+                                       ParaSampler)
+
+GEO = dict(banks=4, rows=1024, refresh_groups=64)
+
+
+class TestParaSampler:
+    def test_bernoulli_rate(self):
+        sampler = ParaSampler(8, random.Random(0))
+        hits = sum(sampler.observe(1) is not None for _ in range(16_000))
+        assert hits == pytest.approx(2000, rel=0.1)
+
+    def test_gaps_are_unbounded(self):
+        """The structural weakness: selection gaps exceed the window."""
+        sampler = ParaSampler(8, random.Random(0))
+        gaps, gap = [], 0
+        for _ in range(50_000):
+            if sampler.observe(1) is None:
+                gap += 1
+            else:
+                gaps.append(gap)
+                gap = 0
+        assert max(gaps) > 8 * 4  # far beyond one MINT window
+
+    def test_mint_gaps_are_bounded(self):
+        sampler = MintSampler(8, random.Random(0))
+        gap, worst = 0, 0
+        for _ in range(50_000):
+            if sampler.observe(1) is None:
+                gap += 1
+            else:
+                worst = max(worst, gap)
+                gap = 0
+        # two adjacent windows: selection at the start of one and the
+        # end of the next -> at most 2 * window - 1 activations between
+        assert worst <= 2 * 8 - 1
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            ParaSampler(0, random.Random(0))
+
+
+class TestPolicyWiring:
+    def test_unknown_sampler_rejected(self):
+        with pytest.raises(ValueError, match="sampler"):
+            MoPACDPolicy(500, **GEO, sampler="lottery")
+
+    def test_para_policy_runs(self):
+        policy = MoPACDPolicy(500, **GEO, sampler="para",
+                              rng=random.Random(1))
+        for i in range(1000):
+            policy.on_activate(0, i % 50, i)
+        assert policy.stats.srq_insertions > 0
+
+
+class TestFootnote6:
+    """PARA's worst-case unmitigated run exceeds MINT's."""
+
+    def _max_count(self, sampler: str, seed: int) -> int:
+        policy = MoPACDPolicy(500, **GEO, sampler=sampler,
+                              rng=random.Random(seed))
+        result = run_attack(policy, single_sided(0, 100), 120_000,
+                            trh=500, **GEO)
+        return result.ledger.max_count
+
+    def test_para_worse_tail_than_mint(self):
+        mint_worst = max(self._max_count("mint", s) for s in range(4))
+        para_worst = max(self._max_count("para", s) for s in range(4))
+        assert para_worst > mint_worst
+
+    def test_mint_still_secure_here(self):
+        assert self._max_count("mint", 0) < 500

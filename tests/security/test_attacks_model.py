@@ -1,0 +1,105 @@
+"""Performance-attack models: Tables 9 and 10, the alpha Monte-Carlo."""
+
+import pytest
+
+from repro.security.attacks_model import (ABO_STALL_ACTS, abo_slowdown,
+                                          attack_ath_star, estimate_alpha,
+                                          mopac_c_attack, mopac_d_attacks,
+                                          single_bank_slowdown)
+from repro.security.csearch import mopac_c_params, mopac_d_params
+
+
+class TestAboSlowdown:
+    def test_formula(self):
+        # slowdown = 7 / (N + 7), Section 7.1
+        assert abo_slowdown(93) == pytest.approx(7 / 100)
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            abo_slowdown(0)
+
+    def test_stall_constant_is_seven(self):
+        assert ABO_STALL_ACTS == 7
+
+
+class TestAttackAthStar:
+    @pytest.mark.parametrize("trh,expected", [(250, 84), (500, 184),
+                                              (1000, 384)])
+    def test_mopac_c_attack_threshold(self, trh, expected):
+        """Table 9's ATH* = (C + 1)/p, one quantum above Table 7."""
+        assert attack_ath_star(mopac_c_params(trh)) == expected
+
+    @pytest.mark.parametrize("trh,expected", [(250, 64), (500, 160),
+                                              (1000, 352)])
+    def test_mopac_d_attack_threshold(self, trh, expected):
+        assert attack_ath_star(mopac_d_params(trh)) == expected
+
+
+class TestTable9:
+    @pytest.mark.parametrize("trh,paper", [(250, 0.140), (500, 0.067),
+                                           (1000, 0.032)])
+    def test_slowdowns_near_paper(self, trh, paper):
+        report = mopac_c_attack(trh)
+        assert report.slowdown == pytest.approx(paper, abs=0.01)
+
+    def test_slowdown_decreases_with_threshold(self):
+        values = [mopac_c_attack(t).slowdown for t in (250, 500, 1000)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestTable10:
+    @pytest.mark.parametrize("trh,pattern,paper", [
+        (250, "mitigation", 0.166), (250, "srq_full", 0.259),
+        (250, "tardiness", 0.179),
+        (500, "mitigation", 0.074), (500, "srq_full", 0.149),
+        (500, "tardiness", 0.179),
+        (1000, "mitigation", 0.035), (1000, "srq_full", 0.081),
+        (1000, "tardiness", 0.179),
+    ])
+    def test_slowdowns_match_paper(self, trh, pattern, paper):
+        reports = mopac_d_attacks(trh)
+        assert reports[pattern].slowdown == pytest.approx(paper, abs=0.005)
+
+    def test_tardiness_independent_of_threshold(self):
+        values = {t: mopac_d_attacks(t)["tardiness"].slowdown
+                  for t in (250, 500, 1000)}
+        assert len(set(values.values())) == 1
+
+    def test_all_attacks_below_26pct(self):
+        """Section 7.4: 'The slowdown remains within 26%'."""
+        for trh in (250, 500, 1000):
+            for report in mopac_d_attacks(trh).values():
+                assert report.slowdown <= 0.26
+
+
+class TestAlphaMonteCarlo:
+    def test_alpha_in_plausible_band(self):
+        """Section 7.2 reports alpha ~= 0.55; the race factor must lie
+        strictly between 'instant' and 'no dispersion'."""
+        alpha = estimate_alpha(22, 1 / 8, trials=4000)
+        assert 0.4 < alpha < 0.8
+
+    def test_alpha_below_one(self):
+        assert estimate_alpha(20, 1 / 4, trials=2000) < 1.0
+
+    def test_more_banks_faster(self):
+        a32 = estimate_alpha(22, 1 / 8, banks=32, trials=4000)
+        a4 = estimate_alpha(22, 1 / 8, banks=4, trials=4000)
+        assert a32 < a4
+
+    def test_deterministic_given_seed(self):
+        assert estimate_alpha(22, 1 / 8, trials=1000, seed=1) == \
+            estimate_alpha(22, 1 / 8, trials=1000, seed=1)
+
+    def test_bad_c(self):
+        with pytest.raises(ValueError):
+            estimate_alpha(0, 1 / 8)
+
+
+class TestSingleBank:
+    def test_single_bank_milder_than_multibank(self):
+        # Multi-bank reaches the threshold in alpha * ATH* activations,
+        # so it stalls more often than a lone bank.
+        single = single_bank_slowdown(500)
+        multi = mopac_c_attack(500).slowdown
+        assert single < multi

@@ -1,0 +1,87 @@
+"""Binomial tail math, cross-checked against scipy."""
+
+import math
+
+import pytest
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.security.binomial import (binomial_pmf,
+                                     escape_probability_bernoulli,
+                                     survival_probability,
+                                     undercount_probability)
+
+
+class TestPmf:
+    def test_matches_scipy_midrange(self):
+        assert binomial_pmf(10, 100, 0.1) == pytest.approx(
+            scipy.stats.binom.pmf(10, 100, 0.1), rel=1e-10)
+
+    def test_deep_tail_no_underflow(self):
+        # P(N = 0) for A = 975, p = 1/16 is ~1e-28; naive float products
+        # underflow, log-space does not.
+        value = binomial_pmf(0, 975, 1 / 16)
+        assert value == pytest.approx((1 - 1 / 16) ** 975, rel=1e-9)
+        assert value > 0
+
+    def test_out_of_range_is_zero(self):
+        assert binomial_pmf(-1, 10, 0.5) == 0
+        assert binomial_pmf(11, 10, 0.5) == 0
+
+    def test_degenerate_p(self):
+        assert binomial_pmf(0, 10, 0.0) == 1.0
+        assert binomial_pmf(10, 10, 1.0) == 1.0
+
+
+class TestUndercount:
+    def test_matches_scipy_cdf(self):
+        # P(N < C) = cdf(C - 1)
+        ours = undercount_probability(22, 472, 1 / 8)
+        ref = scipy.stats.binom.cdf(21, 472, 1 / 8)
+        assert ours == pytest.approx(ref, rel=1e-9)
+
+    def test_zero_critical_never_fails(self):
+        assert undercount_probability(0, 100, 0.5) == 0.0
+
+    def test_monotone_in_critical(self):
+        values = [undercount_probability(c, 472, 1 / 8)
+                  for c in range(0, 60, 5)]
+        assert values == sorted(values)
+
+    def test_saturates_at_one(self):
+        assert undercount_probability(1000, 100, 0.01) == \
+            pytest.approx(1.0, abs=1e-12)
+
+    def test_negative_activations_rejected(self):
+        with pytest.raises(ValueError):
+            undercount_probability(5, -1, 0.5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 40), st.integers(1, 300),
+           st.floats(0.01, 0.99))
+    def test_complement_identity(self, critical, acts, p):
+        under = undercount_probability(critical, acts, p)
+        assert survival_probability(critical, acts, p) == \
+            pytest.approx(1 - under, abs=1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 30), st.integers(1, 200), st.floats(0.01, 0.99))
+    def test_scipy_agreement_property(self, critical, acts, p):
+        ours = undercount_probability(critical, acts, p)
+        ref = scipy.stats.binom.cdf(critical - 1, acts, p)
+        assert ours == pytest.approx(ref, rel=1e-8, abs=1e-14)
+
+
+class TestBernoulliEscape:
+    def test_known_value(self):
+        assert escape_probability_bernoulli(100, 0.01) == pytest.approx(
+            0.99 ** 100, rel=1e-12)
+
+    def test_edge_probabilities(self):
+        assert escape_probability_bernoulli(10, 0.0) == 1.0
+        assert escape_probability_bernoulli(10, 1.0) == 0.0
+
+    def test_negative_acts_rejected(self):
+        with pytest.raises(ValueError):
+            escape_probability_bernoulli(-1, 0.5)

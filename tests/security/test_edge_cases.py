@@ -1,0 +1,80 @@
+"""Edge cases across the security-analysis pipeline."""
+
+import pytest
+
+from repro.security.attacks_model import abo_slowdown, estimate_alpha
+from repro.security.binomial import binomial_pmf, undercount_probability
+from repro.security.csearch import (critical_updates, default_p,
+                                    mopac_c_params)
+from repro.security.failure import epsilon_for
+from repro.security.markov import counter_distribution
+from repro.security.tolerated import mopac_d_tolerated
+
+
+class TestBinomialEdges:
+    def test_single_activation(self):
+        assert undercount_probability(1, 1, 0.5) == pytest.approx(0.5)
+
+    def test_critical_beyond_activations(self):
+        # cannot collect more updates than activations
+        assert undercount_probability(11, 10, 0.5) == \
+            pytest.approx(1.0, abs=1e-12)
+
+    def test_pmf_sums_to_one_small_n(self):
+        total = sum(binomial_pmf(k, 12, 0.3) for k in range(13))
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+
+class TestCSearchEdges:
+    def test_p_equal_one_counts_everything(self):
+        # deterministic updates: C can be as large as the budget allows
+        c = critical_updates(100, 1.0, 1e-9)
+        assert c == 99  # P(N <= 99) = 0 < eps; P(N <= 100) = 1
+
+    def test_tiny_activation_budget(self):
+        assert critical_updates(1, 0.5, 1e-9) == 0
+
+    def test_nonstandard_threshold_params_consistent(self):
+        params = mopac_c_params(750)
+        assert params.ath_star == params.critical_updates * params.inv_p
+        assert params.undercount_probability <= params.epsilon
+
+    def test_very_large_threshold(self):
+        params = mopac_c_params(8000)
+        assert params.p <= 1 / 64
+        assert params.ath_star < 8000
+
+
+class TestMarkovEdges:
+    def test_single_step(self):
+        y = counter_distribution(1, 0.5, p_first=0.25)
+        assert y[0] == pytest.approx(0.75)
+        assert y[1] == pytest.approx(0.25)
+
+    def test_p_first_zero_never_leaves_zero(self):
+        y = counter_distribution(50, 0.5, p_first=0.0)
+        assert y[0] == pytest.approx(1.0)
+
+    def test_p_one_deterministic(self):
+        y = counter_distribution(10, 1.0, p_first=1.0)
+        assert y[10] == pytest.approx(1.0)
+
+
+class TestModelEdges:
+    def test_abo_slowdown_limits(self):
+        assert abo_slowdown(1e12) < 1e-10
+        assert abo_slowdown(0.001) > 0.99
+
+    def test_alpha_single_bank_is_unity_ish(self):
+        alpha = estimate_alpha(22, 1 / 8, banks=1, trials=4000)
+        assert alpha == pytest.approx(1.0, abs=0.03)
+
+    def test_default_p_extremes(self):
+        assert default_p(63) == 1 / 2  # clamp
+        assert default_p(64_000) == pytest.approx(1 / 1024)
+
+    def test_tolerated_beyond_table(self):
+        assert mopac_d_tolerated(100) == 250
+
+    def test_epsilon_continuous_in_threshold(self):
+        assert epsilon_for(501) > epsilon_for(500)

@@ -1,0 +1,42 @@
+"""MOAT ATH model: Table 2 anchors and the fitted slack."""
+
+import pytest
+
+from repro.security.moat_model import moat_ath, moat_eth, moat_slack
+
+
+class TestTable2:
+    @pytest.mark.parametrize("trh,ath", [(1000, 975), (500, 472),
+                                         (250, 219)])
+    def test_anchor_points_exact(self, trh, ath):
+        assert moat_ath(trh) == ath
+
+    @pytest.mark.parametrize("trh", [1000, 500, 250])
+    def test_eth_is_half_ath(self, trh):
+        assert moat_eth(trh) == moat_ath(trh) // 2
+
+
+class TestFittedModel:
+    def test_slack_matches_anchors(self):
+        assert moat_slack(1000) == 25
+        assert moat_slack(500) == 28
+        assert moat_slack(250) == 31
+
+    def test_slack_decreases_with_threshold(self):
+        assert moat_slack(4000) < moat_slack(250)
+
+    def test_extrapolated_ath_below_trh(self):
+        for trh in (125, 2000, 4000):
+            assert moat_ath(trh) < trh
+
+    def test_ath_monotone(self):
+        values = [moat_ath(t) for t in (125, 250, 500, 1000, 2000, 4000)]
+        assert values == sorted(values)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            moat_slack(0)
+
+    def test_tiny_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            moat_ath(20)

@@ -1,0 +1,118 @@
+"""Implementation <-> analysis linkage.
+
+The security proofs assume specific sampling distributions; these tests
+confirm the *implemented* policies realise exactly those distributions,
+at a statistically testable failure budget (the real 1e-9 epsilon cannot
+be sampled directly, so we re-run the same C-search at epsilon ~ 5% and
+check empirical frequencies against it).
+"""
+
+import random
+import statistics
+
+import pytest
+import scipy.stats
+
+from repro.mitigations.mopac_c import MoPACCPolicy
+from repro.mitigations.mopac_d import MintSampler
+from repro.security.binomial import undercount_probability
+from repro.security.csearch import critical_updates
+
+GEO = dict(banks=1, rows=64, refresh_groups=8)
+A = 472  # the T_RH = 500 ATH
+P = 1 / 8
+
+
+def updates_in_a_episodes(seed: int) -> int:
+    """Counter updates a hammered row collects over A activations."""
+    policy = MoPACCPolicy(500, **GEO, rng=random.Random(seed))
+    updates = 0
+    for i in range(A):
+        decision = policy.on_activate(0, 5, i)
+        if decision.counter_update:
+            updates += 1
+    return updates
+
+
+class TestMoPACCMatchesBinomial:
+    TRIALS = 400
+
+    @pytest.fixture(scope="class")
+    def samples(self):
+        return [updates_in_a_episodes(seed) for seed in range(self.TRIALS)]
+
+    def test_mean_matches(self, samples):
+        assert statistics.mean(samples) == pytest.approx(A * P, rel=0.05)
+
+    def test_variance_matches(self, samples):
+        expected = A * P * (1 - P)
+        assert statistics.variance(samples) == pytest.approx(
+            expected, rel=0.25)
+
+    def test_tail_frequency_matches_relaxed_epsilon(self, samples):
+        """Re-run the paper's C-search at epsilon = 0.05 and check the
+        empirical undercount frequency respects it."""
+        eps = 0.05
+        c = critical_updates(A, P, eps)
+        empirical = sum(1 for n in samples if n <= c) / len(samples)
+        # the model guarantees P(N <= C) <= eps; allow sampling noise
+        assert empirical <= eps + 3 * (eps / self.TRIALS) ** 0.5 + 0.02
+
+    def test_distribution_ks(self, samples):
+        """Kolmogorov-Smirnov against Binomial(A, p)."""
+        result = scipy.stats.kstest(
+            samples, lambda x: scipy.stats.binom.cdf(x, A, P))
+        assert result.pvalue > 0.001
+
+
+class TestMintMatchesWindowModel:
+    def test_exactly_one_selection_per_window_long_run(self):
+        window = 8
+        sampler = MintSampler(window, random.Random(3))
+        selections = sum(sampler.observe(i % 5) is not None
+                         for i in range(window * 2000))
+        assert selections == 2000
+
+    def test_selected_position_uniform_chi_square(self):
+        """Feeding row = slot index makes the returned candidate reveal
+        which slot was sampled; the slots must be uniform."""
+        window = 8
+        sampler = MintSampler(window, random.Random(4))
+        counts = [0] * window
+        for _ in range(4000):
+            for position in range(window):
+                selected = sampler.observe(position)
+                if selected is not None:
+                    counts[selected] += 1
+        chi2 = sum((c - 500) ** 2 / 500 for c in counts)
+        # 7 degrees of freedom; 0.999 quantile ~ 24.3
+        assert chi2 < 24.3
+
+    def test_target_row_selection_probability(self):
+        """A row occupying k of the window's slots is selected with
+        probability k / window — the MINT security primitive."""
+        window = 8
+        target = 99
+        sampler = MintSampler(window, random.Random(5))
+        hits = 0
+        rounds = 5000
+        for _ in range(rounds):
+            selected = None
+            for position in range(window):
+                row = target if position < 2 else position  # two slots
+                result = sampler.observe(row)
+                if result is not None:
+                    selected = result
+            if selected == target:
+                hits += 1
+        assert hits / rounds == pytest.approx(2 / 8, abs=0.02)
+
+
+class TestModelConservatism:
+    def test_analysis_epsilon_unreachable_in_practice(self):
+        """At the real parameters the undercount probability is so small
+        that 400 trials should essentially never witness one."""
+        c = 22
+        assert undercount_probability(c + 1, A, P) < 1e-8
+        samples = [updates_in_a_episodes(seed) for seed in range(100)]
+        assert min(samples) > c

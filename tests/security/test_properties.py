@@ -1,0 +1,87 @@
+"""Cross-cutting properties of the security-analysis pipeline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.security.csearch import (critical_updates, default_p,
+                                    mopac_c_params, mopac_d_params)
+from repro.security.failure import epsilon_for, failure_probability
+from repro.security.moat_model import moat_ath
+
+thresholds = st.integers(125, 4000)
+powers_of_two_p = st.sampled_from([1 / 2, 1 / 4, 1 / 8, 1 / 16, 1 / 32])
+
+
+class TestMonotonicity:
+    @settings(max_examples=30, deadline=None)
+    @given(thresholds, thresholds)
+    def test_failure_budget_monotone(self, a, b):
+        if a < b:
+            assert failure_probability(a) < failure_probability(b)
+            assert epsilon_for(a) < epsilon_for(b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from([250, 500, 1000, 2000, 4000]),
+           st.sampled_from([250, 500, 1000, 2000, 4000]))
+    def test_ath_star_monotone_in_trh(self, a, b):
+        if a < b:
+            assert mopac_c_params(a).ath_star <= mopac_c_params(b).ath_star
+
+    @settings(max_examples=30, deadline=None)
+    @given(powers_of_two_p)
+    def test_c_monotone_in_p(self, p):
+        """Sampling more often lets the design demand more updates."""
+        eps = epsilon_for(500)
+        c_low = critical_updates(472, p / 2, eps)
+        c_high = critical_updates(472, p, eps)
+        assert c_low <= c_high
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(8, 128))
+    def test_mopac_d_ath_star_decreases_with_tth(self, tth):
+        base = mopac_d_params(500, tth=tth).ath_star
+        more = mopac_d_params(500, tth=tth + 64).ath_star
+        assert more <= base
+
+
+class TestStructuralRelations:
+    @pytest.mark.parametrize("trh", [250, 500, 1000, 2000])
+    def test_mopac_d_never_exceeds_mopac_c(self, trh):
+        """Tardiness slack can only shrink the usable threshold."""
+        assert mopac_d_params(trh).ath_star <= mopac_c_params(trh).ath_star
+
+    @pytest.mark.parametrize("trh", [250, 500, 1000, 2000, 4000])
+    def test_ath_star_below_ath_below_trh(self, trh):
+        params = mopac_c_params(trh)
+        assert params.ath_star < params.ath < trh
+
+    @settings(max_examples=20, deadline=None)
+    @given(thresholds)
+    def test_default_p_power_of_two(self, trh):
+        p = default_p(trh)
+        inv = 1 / p
+        assert inv == int(inv)
+        assert int(inv) & (int(inv) - 1) == 0  # power of two
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from([250, 500, 1000, 2000, 4000]))
+    def test_expected_updates_far_above_c(self, trh):
+        """The mean update count sits well above C — the design only
+        fails in the deep tail."""
+        params = mopac_c_params(trh)
+        mean = params.effective_acts * params.p
+        assert mean > 2 * params.critical_updates
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from([250, 500, 1000, 2000, 4000]))
+    def test_undercount_within_budget(self, trh):
+        for params in (mopac_c_params(trh), mopac_d_params(trh)):
+            assert params.undercount_probability <= params.epsilon
+
+
+class TestMoatAnchors:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(100, 8000))
+    def test_ath_stays_below_trh(self, trh):
+        assert moat_ath(trh) < trh

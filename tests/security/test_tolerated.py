@@ -1,0 +1,65 @@
+"""Table 13: tolerated thresholds for MoPAC-D vs MINT vs PrIDE."""
+
+import pytest
+
+from repro.security.tolerated import (acts_per_tref_window, mint_tolerated,
+                                      mopac_d_tolerated, pride_tolerated,
+                                      table13)
+
+
+class TestWindow:
+    def test_w_about_85(self):
+        # W = tREFI / tRC = 3900 / 46
+        assert acts_per_tref_window() == pytest.approx(84.78, rel=0.01)
+
+
+class TestMoPACDColumn:
+    @pytest.mark.parametrize("updates,trh", [(4, 250), (2, 500), (1, 1000)])
+    def test_inverts_drain_table(self, updates, trh):
+        assert mopac_d_tolerated(updates) == trh
+
+    def test_more_updates_never_worse(self):
+        assert mopac_d_tolerated(8) <= mopac_d_tolerated(1)
+
+    def test_bad_updates(self):
+        with pytest.raises(ValueError):
+            mopac_d_tolerated(0)
+
+
+class TestMINTModel:
+    @pytest.mark.parametrize("k,paper", [(1, 1491), (2, 2920), (4, 5725)])
+    def test_within_5pct_of_paper(self, k, paper):
+        assert mint_tolerated(k) == pytest.approx(paper, rel=0.05)
+
+    def test_monotone_in_refs(self):
+        assert mint_tolerated(1) < mint_tolerated(2) < mint_tolerated(4)
+
+    def test_bad_refs(self):
+        with pytest.raises(ValueError):
+            mint_tolerated(0)
+
+
+class TestPrIDEModel:
+    @pytest.mark.parametrize("k,paper", [(1, 1975), (2, 3808), (4, 7474)])
+    def test_within_8pct_of_paper(self, k, paper):
+        assert pride_tolerated(k) == pytest.approx(paper, rel=0.08)
+
+    def test_pride_worse_than_mint(self):
+        for k in (1, 2, 4):
+            assert pride_tolerated(k) > mint_tolerated(k)
+
+
+class TestTable13:
+    def test_three_rows(self):
+        rows = table13()
+        assert [r.mitigation_ns_per_ref for r in rows] == [240, 120, 60]
+
+    def test_headline_ratios(self):
+        """Section 9.2: MoPAC-D tolerates ~6x lower than MINT, ~8x lower
+        than PrIDE."""
+        for row in table13():
+            assert row.mint_ratio == pytest.approx(6, abs=0.7)
+            assert row.pride_ratio == pytest.approx(8, abs=0.9)
+
+    def test_mopac_d_column(self):
+        assert [r.mopac_d for r in table13()] == [250, 500, 1000]

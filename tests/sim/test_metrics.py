@@ -1,0 +1,43 @@
+"""Speedup / fairness metrics."""
+
+import pytest
+
+from repro.sim.runner import (DesignPoint, fairness, harmonic_speedup,
+                              simulate, weighted_speedup)
+
+FAST = dict(instructions=12_000, rows_per_bank=512, refresh_scale=1 / 256)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    base = simulate(DesignPoint(workload="mcf", design="baseline", **FAST))
+    prac = simulate(DesignPoint(workload="mcf", design="prac", trh=500,
+                                **FAST))
+    return base, prac
+
+
+class TestMetrics:
+    def test_identity_values(self, pair):
+        base, _ = pair
+        assert weighted_speedup(base, base) == pytest.approx(1.0)
+        assert harmonic_speedup(base, base) == pytest.approx(1.0)
+        assert fairness(base, base) == pytest.approx(1.0)
+
+    def test_prac_below_unity(self, pair):
+        base, prac = pair
+        assert weighted_speedup(prac, base) < 1.0
+        assert harmonic_speedup(prac, base) < 1.0
+
+    def test_harmonic_at_most_arithmetic(self, pair):
+        base, prac = pair
+        assert harmonic_speedup(prac, base) <= \
+            weighted_speedup(prac, base) + 1e-9
+
+    def test_fairness_in_unit_interval(self, pair):
+        base, prac = pair
+        assert 0 < fairness(prac, base) <= 1.0
+
+    def test_rate_mode_is_fair(self, pair):
+        """Eight identical copies should progress nearly equally."""
+        base, prac = pair
+        assert fairness(prac, base) > 0.85

@@ -1,0 +1,41 @@
+"""SystemResult derived statistics."""
+
+import pytest
+
+from repro.sim.runner import DesignPoint, simulate
+
+FAST = dict(instructions=15_000, rows_per_bank=512, refresh_scale=1 / 256)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate(DesignPoint(workload="mcf", design="baseline", **FAST))
+
+
+class TestDerivedStats:
+    def test_bus_utilization_in_range(self, result):
+        assert 0 < result.bus_utilization() < 1
+
+    def test_bandwidth_positive_and_bounded(self, result):
+        # DDR5-6000 peak for 2 sub-channels is 48 GB/s
+        assert 0 < result.bandwidth_gbps() < 48
+
+    def test_mean_ipc(self, result):
+        assert result.mean_ipc() == pytest.approx(
+            sum(result.ipcs) / len(result.ipcs))
+
+    def test_total_activations_at_most_requests(self, result):
+        assert 0 < result.total_activations <= result.total_requests
+
+    def test_summary_mentions_key_numbers(self, result):
+        text = result.summary()
+        assert "RBHR" in text
+        assert "GB/s" in text
+        assert f"{result.total_requests} requests" in text
+
+    def test_rbhr_consistent_with_acts(self, result):
+        # hits = column accesses that did not need a fresh ACT
+        implied_hit_rate = 1 - result.total_activations / \
+            result.total_requests
+        assert implied_hit_rate == pytest.approx(
+            result.row_buffer_hit_rate, abs=0.05)

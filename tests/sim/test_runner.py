@@ -1,0 +1,81 @@
+"""Experiment runner: design points, caching, slowdown, sweeps."""
+
+import pytest
+
+from repro.sim.runner import (DesignPoint, clear_cache, simulate, slowdown,
+                              sweep, weighted_speedup)
+
+FAST = dict(instructions=8_000, rows_per_bank=512, refresh_scale=1 / 256)
+
+
+class TestDesignPoint:
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError, match="unknown design"):
+            DesignPoint(workload="mcf", design="magic")
+
+    def test_baseline_projection(self):
+        point = DesignPoint(workload="mcf", design="prac", trh=250,
+                            drain_on_ref=4, chips=8, **FAST)
+        base = point.baseline()
+        assert base.design == "baseline"
+        assert base.workload == point.workload
+        assert base.instructions == point.instructions
+        # mitigation-only knobs are dropped
+        assert base.chips == 1
+
+    def test_hashable(self):
+        a = DesignPoint(workload="mcf", design="prac")
+        b = DesignPoint(workload="mcf", design="prac")
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestSimulateAndCache:
+    def test_cache_returns_same_object(self):
+        clear_cache()
+        point = DesignPoint(workload="xalancbmk", design="baseline", **FAST)
+        a = simulate(point)
+        b = simulate(point)
+        assert a is b
+
+    def test_cache_bypass(self):
+        point = DesignPoint(workload="xalancbmk", design="baseline", **FAST)
+        a = simulate(point)
+        b = simulate(point, use_cache=False)
+        assert a is not b
+        assert a.elapsed_ps == b.elapsed_ps  # still deterministic
+
+
+class TestSlowdown:
+    def test_baseline_slowdown_is_zero(self):
+        point = DesignPoint(workload="xalancbmk", design="baseline", **FAST)
+        assert slowdown(point) == pytest.approx(0.0, abs=1e-9)
+
+    def test_prac_slowdown_positive(self):
+        point = DesignPoint(workload="mcf", design="prac", trh=500,
+                            instructions=30_000)
+        assert slowdown(point) > 0.02
+
+    def test_mopac_c_cheaper_than_prac(self):
+        prac = DesignPoint(workload="mcf", design="prac", trh=500,
+                           instructions=30_000)
+        mopac = DesignPoint(workload="mcf", design="mopac-c", trh=500,
+                            instructions=30_000)
+        assert slowdown(mopac) < slowdown(prac)
+
+
+class TestWeightedSpeedup:
+    def test_identical_results_unity(self):
+        point = DesignPoint(workload="xalancbmk", design="baseline", **FAST)
+        result = simulate(point)
+        assert weighted_speedup(result, result) == pytest.approx(1.0)
+
+
+class TestSweep:
+    def test_sweep_covers_workloads(self):
+        result = sweep(["xalancbmk", "cam4"], "prac", 500, **FAST)
+        assert set(result.slowdowns) == {"xalancbmk", "cam4"}
+        assert result.design == "prac"
+        assert isinstance(result.average, float)
+        name, value = result.worst
+        assert name in result.slowdowns

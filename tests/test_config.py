@@ -1,0 +1,68 @@
+"""System configuration (Tables 1 and 3)."""
+
+import pytest
+
+from repro.config import DRAMConfig, SystemConfig
+from repro.dram.timing import ddr5_prac
+
+
+class TestDRAMConfig:
+    def test_paper_geometry(self):
+        config = DRAMConfig.paper()
+        assert config.subchannels == 2
+        assert config.banks_per_subchannel == 32
+        assert config.rows_per_bank == 65536
+        assert config.row_bytes == 8192
+        assert config.total_banks == 64
+
+    def test_paper_capacity_is_32gb(self):
+        assert DRAMConfig.paper().capacity_bytes == 32 * 1024 ** 3
+
+    def test_lines_per_row(self):
+        assert DRAMConfig.paper().lines_per_row == 128
+
+    def test_reduced_scales_refresh(self):
+        config = DRAMConfig.reduced(rows_per_bank=1024,
+                                    refresh_scale=1 / 128)
+        assert config.rows_per_bank == 1024
+        assert config.timing.tREFW == \
+            DRAMConfig.paper().timing.tREFW // 128
+
+    def test_with_timing(self):
+        config = DRAMConfig.paper().with_timing(ddr5_prac())
+        assert config.timing.tRP == ddr5_prac().tRP
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            DRAMConfig(rows_per_bank=0)
+
+    def test_row_must_divide_into_lines(self):
+        with pytest.raises(ValueError):
+            DRAMConfig(row_bytes=100, line_bytes=64)
+
+    def test_mop_must_fit_row(self):
+        with pytest.raises(ValueError):
+            DRAMConfig(row_bytes=128, line_bytes=64, mop_lines=4)
+
+
+class TestSystemConfig:
+    def test_table3_values(self):
+        config = SystemConfig.paper()
+        assert config.cores == 8
+        assert config.core_ghz == 4.0
+        assert config.issue_width == 4
+        assert config.rob_entries == 256
+        assert config.llc_bytes == 8 * 1024 * 1024
+        assert config.llc_ways == 16
+
+    def test_ps_per_instruction(self):
+        # 4 GHz, 4-wide: 16 instructions per ns
+        assert SystemConfig.paper().ps_per_instruction == 62.5
+
+    def test_bad_cores(self):
+        with pytest.raises(ValueError):
+            SystemConfig(cores=0)
+
+    def test_bad_ghz(self):
+        with pytest.raises(ValueError):
+            SystemConfig(core_ghz=0)

@@ -1,0 +1,66 @@
+"""Smoke tests for the example scripts.
+
+The fast examples run end-to-end in a subprocess; the slower ones are
+exercised with reduced arguments. Examples are user-facing documentation,
+so a broken example is a broken deliverable.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestFastExamples:
+    def test_security_analysis(self):
+        out = run_example("security_analysis.py", "500")
+        assert "ATH* = 176" in out
+        assert "NUP ATH* = 136" in out
+
+    def test_security_analysis_other_threshold(self):
+        out = run_example("security_analysis.py", "1000")
+        assert "ATH* = 368" in out
+
+    def test_llc_filtering(self):
+        out = run_example("llc_filtering.py")
+        assert "with LLC" in out
+        assert "line 1 evicted:      True" in out
+
+    def test_file_traces(self):
+        out = run_example("file_traces.py")
+        assert "PRAC slowdown on the replayed traces" in out
+
+    def test_performance_study_tiny(self):
+        out = run_example("performance_study.py", "--workloads",
+                          "xalancbmk", "--instructions", "8000")
+        assert "PRAC vs MoPAC-C" in out
+        assert "AVERAGE" in out
+
+
+@pytest.mark.slow
+class TestSlowExamples:
+    """Full-size example runs; select with ``-m slow``."""
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py", timeout=480)
+        assert "DEFEATED" in out
+
+    def test_attack_lab(self):
+        out = run_example("attack_lab.py", timeout=600)
+        assert "BROKEN" in out  # the insecure baselines
+        assert "single-sided" in out
+
+    def test_design_space(self):
+        out = run_example("design_space.py", timeout=600)
+        assert "fuzz worst" in out

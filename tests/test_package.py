@@ -1,0 +1,41 @@
+"""Package-level API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = ("analysis", "attacks", "cpu", "dram", "mc", "mitigations",
+               "security", "sim", "tools", "workloads")
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_importable(self, name):
+        importlib.import_module(f"repro.{name}")
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_top_level_reexports(self):
+        assert repro.DesignPoint is repro.sim.DesignPoint
+        assert repro.SystemConfig is repro.config.SystemConfig
+
+
+@pytest.mark.parametrize("module_name", [
+    "repro", "repro.security", "repro.mitigations", "repro.attacks",
+    "repro.sim", "repro.dram", "repro.mc", "repro.cpu", "repro.workloads",
+    "repro.analysis",
+])
+def test_all_names_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_quickstart_docstring_example():
+    from repro import security
+    params = security.mopac_c_params(trh=500)
+    assert (params.p, params.critical_updates, params.ath_star) == \
+        (0.125, 22, 176)

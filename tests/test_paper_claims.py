@@ -1,0 +1,67 @@
+"""End-to-end checks of the paper's headline claims, at test scale.
+
+The benchmarks regenerate full tables; these tests pin the *claims* the
+paper's abstract and introduction make, so a regression that silently
+flips a conclusion fails the test suite, not just a bench report.
+"""
+
+import pytest
+
+from repro.sim.runner import DesignPoint, slowdown
+
+SCALE = dict(instructions=40_000)
+
+
+def sd(workload, design, trh=500, **kw):
+    return slowdown(DesignPoint(workload=workload, design=design, trh=trh,
+                                **SCALE, **kw))
+
+
+class TestIntroductionClaims:
+    def test_prac_slowdown_significant(self):
+        """'PRAC causes an average slowdown of 10%' — ours lands in the
+        same band for latency-bound workloads."""
+        assert 0.05 < sd("mcf", "prac") < 0.30
+
+    def test_prac_flat_in_threshold(self):
+        """'identical slowdowns' across T_RH (Figure 2)."""
+        values = [sd("mcf", "prac", trh) for trh in (4000, 500, 250)]
+        assert max(values) - min(values) < 0.02
+
+    def test_stream_workloads_immune(self):
+        """'stream workloads ... have negligible slowdown from PRAC'."""
+        assert sd("add", "prac") < 0.02
+
+    def test_mopac_c_removes_most_of_the_slowdown(self):
+        """Abstract: MoPAC-C ~1.7% vs PRAC's 10% at T_RH 500."""
+        assert sd("mcf", "mopac-c") < 0.5 * sd("mcf", "prac")
+
+    def test_mopac_d_removes_almost_all(self):
+        """Abstract: MoPAC-D ~0.7% at T_RH 500."""
+        assert sd("mcf", "mopac-d") < 0.03
+
+    def test_mopac_overhead_grows_as_threshold_falls(self):
+        """Figure 1(d): 0.2% at 4K -> 2.5% at 250 (direction)."""
+        assert sd("hammer", "mopac-c", 4000) <= \
+            sd("hammer", "mopac-c", 250) + 0.01
+
+
+class TestSection6Claims:
+    def test_mopac_d_cheaper_than_mopac_c_on_alert_light_load(self):
+        """Section 6.6: MoPAC-D < MoPAC-C at T_RH >= 500 because drains
+        ride on REF instead of inflating precharges."""
+        assert sd("mcf", "mopac-d") <= sd("mcf", "mopac-c") + 0.005
+
+    def test_nup_never_worse(self):
+        """Section 8.3: NUP reduces MoPAC-D's overhead."""
+        assert sd("hammer", "mopac-d-nup", 250) <= \
+            sd("hammer", "mopac-d", 250) + 0.015
+
+
+class TestConclusionNumbers:
+    @pytest.mark.parametrize("design,bound", [
+        ("mopac-c", 0.10), ("mopac-d", 0.05)])
+    def test_default_threshold_bounds(self, design, bound):
+        """Conclusion: 'At T_RH of 500, MoPAC-C and MoPAC-D reduce the
+        slowdown of PRAC from 10% to 1.7% and 0.7%'."""
+        assert sd("mcf", design, 500) < bound

@@ -1,0 +1,54 @@
+"""Deterministic RNG streams."""
+
+import itertools
+
+from repro.rng import RngFactory, bernoulli_iter, derive_seed
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(7, "a") == derive_seed(7, "a")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+
+    def test_master_sensitivity(self):
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    def test_64_bit(self):
+        assert 0 <= derive_seed(1, "x") < 2 ** 64
+
+
+class TestRngFactory:
+    def test_same_name_same_sequence(self):
+        factory = RngFactory(1)
+        a = [factory.stream("s").random() for _ in range(3)]
+        b = [factory.stream("s").random() for _ in range(3)]
+        assert a == b
+
+    def test_streams_independent(self):
+        factory = RngFactory(1)
+        a = factory.stream("one")
+        b = factory.stream("two")
+        seq_a = [a.random() for _ in range(5)]
+        seq_b = [b.random() for _ in range(5)]
+        assert seq_a != seq_b
+
+    def test_seed_for_matches_stream(self):
+        factory = RngFactory(9)
+        import random
+        direct = random.Random(factory.seed_for("x")).random()
+        assert factory.stream("x").random() == direct
+
+
+class TestBernoulli:
+    def test_rate(self):
+        import random
+        stream = bernoulli_iter(random.Random(0), 0.25)
+        hits = sum(itertools.islice(stream, 8000))
+        assert abs(hits / 8000 - 0.25) < 0.02
+
+    def test_degenerate(self):
+        import random
+        stream = bernoulli_iter(random.Random(0), 0.0)
+        assert not any(itertools.islice(stream, 100))

@@ -1,0 +1,37 @@
+"""Time-unit arithmetic."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_ns_roundtrip(self):
+        assert units.to_ns(units.ns(14)) == 14
+
+    def test_fractional_ns(self):
+        assert units.ns(2.667) == 2667
+
+    def test_us_ms(self):
+        assert units.us(1) == 1_000_000
+        assert units.ms(1) == 10 ** 9
+        assert units.to_us(units.us(3.5)) == pytest.approx(3.5)
+        assert units.to_ms(units.ms(32)) == 32
+
+    def test_hierarchy(self):
+        assert units.NS == 1000 * units.PS
+        assert units.US == 1000 * units.NS
+        assert units.MS == 1000 * units.US
+        assert units.SECOND == 1000 * units.MS
+
+    def test_integer_results(self):
+        assert isinstance(units.ns(14.5), int)
+
+    def test_mttf_constant(self):
+        # 10,000 years in nanoseconds, as used by paper Eq. 3
+        assert units.NS_PER_10K_YEARS == pytest.approx(3.2e20, rel=0.02)
+
+
+class TestRounding:
+    def test_round_not_truncate(self):
+        assert units.ns(0.9999) == 1000  # not 999

@@ -1,0 +1,106 @@
+"""Workload catalog: Table 4 coverage and spec validity."""
+
+import pytest
+
+from repro.workloads.catalog import (ALL_WORKLOADS, MIX_PAPER, MIX_WORKLOADS,
+                                     SPEC_WORKLOADS, STREAM_NAMES,
+                                     WorkloadSpec, get_spec, workload_cores)
+
+
+class TestCoverage:
+    def test_all_table4_single_benchmarks_present(self):
+        expected = {"bwaves", "parest", "mcf", "lbm", "fotonik3d",
+                    "omnetpp", "roms", "xz", "cactuBSSN", "xalancbmk",
+                    "cam4", "blender", "masstree",
+                    "add", "triad", "copy", "scale"}
+        assert expected == set(SPEC_WORKLOADS) - {"hammer"}
+
+    def test_hammer_stress_workload_present(self):
+        spec = SPEC_WORKLOADS["hammer"]
+        assert spec.hot_rows > 0
+        assert spec.mlp_boost == 1.0  # dependent chases defeat FR-FCFS
+        assert spec.paper is None  # not a Table 4 row
+
+    def test_six_mixes(self):
+        assert set(MIX_WORKLOADS) == {f"mix{i}" for i in range(1, 7)}
+        assert set(MIX_PAPER) == set(MIX_WORKLOADS)
+
+    def test_all_workloads_is_23(self):
+        assert len(ALL_WORKLOADS) == 23
+
+    def test_mixes_reference_known_benchmarks(self):
+        for members in MIX_WORKLOADS.values():
+            assert len(members) == 8
+            for member in members:
+                assert member in SPEC_WORKLOADS
+
+    def test_stream_names_are_stream_kind(self):
+        for name in STREAM_NAMES:
+            assert SPEC_WORKLOADS[name].kind == "stream"
+
+
+class TestSpecValues:
+    def test_mpki_matches_paper_column(self):
+        for name, spec in SPEC_WORKLOADS.items():
+            if name == "hammer":
+                continue  # our stress workload, not a Table 4 row
+            assert spec.paper is not None
+            assert spec.mpki == spec.paper.mpki
+
+    def test_hot_rows_track_act64_column(self):
+        """Workloads with a nonzero ACT-64+ column get hot rows."""
+        for name in ("parest", "omnetpp", "xz"):
+            assert SPEC_WORKLOADS[name].hot_rows > 0
+        for name in ("cactuBSSN", "cam4", "add"):
+            assert SPEC_WORKLOADS[name].hot_rows == 0
+
+    def test_streams_deterministic_gaps(self):
+        for name in STREAM_NAMES:
+            assert SPEC_WORKLOADS[name].gap_shape == 0
+
+    def test_streams_high_prefetch(self):
+        for name in STREAM_NAMES:
+            assert SPEC_WORKLOADS[name].mlp_boost > \
+                SPEC_WORKLOADS["mcf"].mlp_boost
+
+    def test_mean_gap(self):
+        spec = SPEC_WORKLOADS["add"]  # MPKI 62.5 -> 15 instr between
+        assert spec.mean_gap == pytest.approx(15.0)
+
+
+class TestValidation:
+    def test_bad_mpki(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", mpki=0, kind="random")
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", mpki=1, kind="zigzag")
+
+    def test_hot_fraction_needs_rows(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", mpki=1, kind="random",
+                         hot_fraction=0.1, hot_rows=0)
+
+    def test_bad_stream_weight(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", mpki=1, kind="mixed", stream_weight=1.5)
+
+
+class TestWorkloadCores:
+    def test_rate_mode_replicates(self):
+        cores = workload_cores("mcf", 8)
+        assert len(cores) == 8
+        assert all(spec.name == "mcf" for spec in cores)
+
+    def test_mix_mode_uses_table(self):
+        cores = workload_cores("mix1", 8)
+        assert [spec.name for spec in cores] == list(MIX_WORKLOADS["mix1"])
+
+    def test_fewer_cores_truncates_mix(self):
+        cores = workload_cores("mix1", 4)
+        assert len(cores) == 4
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_spec("doom")
