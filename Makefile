@@ -1,0 +1,18 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test smoke ci clean-cache
+
+# Tier-1 suite (the correctness gate).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Tiny parallel sweep: serial vs parallel equivalence + warm-cache rerun.
+smoke:
+	$(PYTHON) -m repro.exec.smoke
+
+# What CI runs.
+ci: test smoke
+
+clean-cache:
+	rm -rf benchmarks/results/.cache .repro-cache

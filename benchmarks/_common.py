@@ -9,6 +9,12 @@ Scale: benches default to a 3-workload, 60K-instruction profile so the
 whole suite runs in minutes. Set ``REPRO_FULL=1`` (all 23 workloads) and
 ``REPRO_INSTRUCTIONS=<n>`` to reproduce at larger scale; the shapes
 reported in EXPERIMENTS.md are stable across scales.
+
+Execution: benches run through the :mod:`repro.exec` engine. Unless
+``REPRO_CACHE_DIR`` is already set, results persist under
+``benchmarks/results/.cache`` so a rerun of any figure only simulates
+design points it has not seen before. ``REPRO_WORKERS=<n>`` sizes the
+process pool, ``REPRO_SERIAL=1`` forces the inline path.
 """
 
 from __future__ import annotations
@@ -17,6 +23,10 @@ import os
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Persistent result cache shared by every benchmark invocation.
+CACHE_DIR = RESULTS_DIR / ".cache"
+os.environ.setdefault("REPRO_CACHE_DIR", str(CACHE_DIR))
 
 #: one stream, one latency-bound, one low-MPKI, one hot-row stress
 BENCH_WORKLOADS = ("add", "mcf", "xalancbmk", "hammer")

@@ -5,6 +5,12 @@ numbers they show come from a single place. Simulation-backed experiments
 accept ``workloads`` and ``instructions`` so benches can run a fast
 representative subset by default (environment variables ``REPRO_FULL=1``
 and ``REPRO_INSTRUCTIONS=n`` widen them to the full suite).
+
+Every simulation-backed driver enumerates its design points up front
+and prefetches them through :func:`repro.exec.engine.warm`, so points
+fan out across worker processes and land in the persistent result
+cache (``REPRO_CACHE_DIR``); the driver's own loop then runs entirely
+against cached results. ``REPRO_SERIAL=1`` disables the fan-out.
 """
 
 from __future__ import annotations
@@ -35,6 +41,18 @@ def selected_workloads() -> tuple[str, ...]:
 def instruction_budget(default: int = 100_000) -> int:
     value = os.environ.get("REPRO_INSTRUCTIONS")
     return int(value) if value else default
+
+
+def _prefetch(points: list[DesignPoint]) -> None:
+    """Resolve ``points`` (and their baselines) through the engine."""
+    from ..exec.engine import warm
+
+    flat: list[DesignPoint] = []
+    for point in points:
+        flat.append(point)
+        if point.design != "baseline":
+            flat.append(point.baseline())
+    warm(flat)
 
 
 # ----------------------------------------------------------------------
@@ -143,11 +161,14 @@ def _slowdown_table(label: str, design_columns: list[tuple[str, str, int]],
     workloads = workloads or selected_workloads()
     instructions = instructions or instruction_budget()
     table = SlowdownTable(label=label)
-    for workload in workloads:
-        for column, design, trh in design_columns:
-            point = DesignPoint(workload=workload, design=design, trh=trh,
-                                instructions=instructions, **overrides)
-            table.add(workload, column, slowdown(point))
+    grid = [(workload, column,
+             DesignPoint(workload=workload, design=design, trh=trh,
+                         instructions=instructions, **overrides))
+            for workload in workloads
+            for column, design, trh in design_columns]
+    _prefetch([point for _, _, point in grid])
+    for workload, column, point in grid:
+        table.add(workload, column, slowdown(point))
     return table
 
 
@@ -190,14 +211,15 @@ def fig12_drain_sweep(workloads=None, instructions=None,
     workloads = workloads or selected_workloads()
     instructions = instructions or instruction_budget()
     table = SlowdownTable(label="fig12")
-    for workload in workloads:
-        for trh in trhs:
-            for drain in drains:
-                point = DesignPoint(workload=workload, design="mopac-d",
-                                    trh=trh, drain_on_ref=drain,
-                                    instructions=instructions)
-                table.add(workload, f"trh{trh}/drain{drain}",
-                          slowdown(point))
+    grid = [(workload, f"trh{trh}/drain{drain}",
+             DesignPoint(workload=workload, design="mopac-d",
+                         trh=trh, drain_on_ref=drain,
+                         instructions=instructions))
+            for workload in workloads
+            for trh in trhs for drain in drains]
+    _prefetch([point for _, _, point in grid])
+    for workload, column, point in grid:
+        table.add(workload, column, slowdown(point))
     return table
 
 
@@ -208,13 +230,15 @@ def fig13_srq_sweep(workloads=None, instructions=None,
     workloads = workloads or selected_workloads()
     instructions = instructions or instruction_budget()
     table = SlowdownTable(label="fig13")
-    for workload in workloads:
-        for trh in trhs:
-            for size in sizes:
-                point = DesignPoint(workload=workload, design="mopac-d",
-                                    trh=trh, srq_size=size,
-                                    instructions=instructions)
-                table.add(workload, f"trh{trh}/srq{size}", slowdown(point))
+    grid = [(workload, f"trh{trh}/srq{size}",
+             DesignPoint(workload=workload, design="mopac-d",
+                         trh=trh, srq_size=size,
+                         instructions=instructions))
+            for workload in workloads
+            for trh in trhs for size in sizes]
+    _prefetch([point for _, _, point in grid])
+    for workload, column, point in grid:
+        table.add(workload, column, slowdown(point))
     return table
 
 
@@ -234,6 +258,10 @@ def tab12_srq_insertions(workloads=None, instructions=None,
     workloads = workloads or selected_workloads()
     instructions = instructions or instruction_budget()
     out: dict[int, dict[str, float]] = {}
+    _prefetch([DesignPoint(workload=workload, design=design,
+                           trh=trh, instructions=instructions)
+               for trh in trhs for workload in workloads
+               for design in ("mopac-d", "mopac-d-nup")])
     for trh in trhs:
         rates = {"uniform": [], "nup": []}
         for workload in workloads:
@@ -257,16 +285,16 @@ def fig18_rowpress(workloads=None, instructions=None,
     workloads = workloads or selected_workloads()
     instructions = instructions or instruction_budget()
     table = SlowdownTable(label="fig18")
-    for workload in workloads:
-        for trh in trhs:
-            for design in ("mopac-c", "mopac-d"):
-                for rp in (False, True):
-                    point = DesignPoint(workload=workload, design=design,
-                                        trh=trh, rowpress=rp,
-                                        instructions=instructions)
-                    suffix = "+rp" if rp else ""
-                    table.add(workload, f"{design}@{trh}{suffix}",
-                              slowdown(point))
+    grid = [(workload, f"{design}@{trh}{'+rp' if rp else ''}",
+             DesignPoint(workload=workload, design=design,
+                         trh=trh, rowpress=rp,
+                         instructions=instructions))
+            for workload in workloads for trh in trhs
+            for design in ("mopac-c", "mopac-d")
+            for rp in (False, True)]
+    _prefetch([point for _, _, point in grid])
+    for workload, column, point in grid:
+        table.add(workload, column, slowdown(point))
     return table
 
 
@@ -277,14 +305,15 @@ def fig19_chips(workloads=None, instructions=None,
     workloads = workloads or selected_workloads()
     instructions = instructions or instruction_budget()
     table = SlowdownTable(label="fig19")
-    for workload in workloads:
-        for trh in trhs:
-            for chips in chip_counts:
-                point = DesignPoint(workload=workload, design="mopac-d",
-                                    trh=trh, chips=chips,
-                                    instructions=instructions)
-                table.add(workload, f"trh{trh}/chips{chips}",
-                          slowdown(point))
+    grid = [(workload, f"trh{trh}/chips{chips}",
+             DesignPoint(workload=workload, design="mopac-d",
+                         trh=trh, chips=chips,
+                         instructions=instructions))
+            for workload in workloads
+            for trh in trhs for chips in chip_counts]
+    _prefetch([point for _, _, point in grid])
+    for workload, column, point in grid:
+        table.add(workload, column, slowdown(point))
     return table
 
 
@@ -295,6 +324,14 @@ def tab15_closure(workloads=None, instructions=None,
     workloads = workloads or selected_workloads()
     instructions = instructions or instruction_budget()
     out: dict[str, dict[str, float]] = {}
+    _prefetch(
+        [DesignPoint(workload=workload, design="prac", trh=500,
+                     page_policy=policy, instructions=instructions)
+         for policy in policies for workload in workloads] +
+        [DesignPoint(workload=workload, design="mopac-d", trh=trh,
+                     page_policy=policy, instructions=instructions)
+         for policy in policies for trh in trhs
+         for workload in workloads])
     for policy in policies:
         row: dict[str, float] = {}
         vals = []
@@ -321,6 +358,10 @@ def tab4_characteristics(workloads=None, instructions=None) -> dict:
     workloads = workloads or selected_workloads()
     instructions = instructions or instruction_budget()
     out = {}
+    _prefetch([DesignPoint(workload=workload, design="baseline",
+                           instructions=instructions,
+                           collect_row_activity=True)
+               for workload in workloads])
     for workload in workloads:
         point = DesignPoint(workload=workload, design="baseline",
                             instructions=instructions,

@@ -1,0 +1,29 @@
+"""Sweep execution: parallel fan-out plus a persistent result cache.
+
+Public surface:
+
+* :class:`~repro.exec.engine.SweepEngine` /
+  :func:`~repro.exec.engine.run_points` /
+  :func:`~repro.exec.engine.warm` — run design points across a process
+  pool with deterministic merge order,
+* :class:`~repro.exec.cache.ResultCache` /
+  :func:`~repro.exec.cache.point_key` — the content-addressed on-disk
+  store underneath (``REPRO_CACHE_DIR``),
+* :mod:`repro.exec.serialize` — the JSON schema cached results use.
+
+``python -m repro.exec.smoke`` runs the end-to-end self-check (serial
+vs parallel equivalence, warm-cache rerun with zero simulations).
+"""
+
+from .cache import (CACHE_DIR_ENV, CACHE_SALT, CacheCounters, ResultCache,
+                    default_cache_dir, point_key)
+from .engine import (EngineMetrics, PointOutcome, SweepEngine, run_points,
+                     warm)
+from .serialize import (SCHEMA_VERSION, result_from_dict, result_to_dict)
+
+__all__ = [
+    "CACHE_DIR_ENV", "CACHE_SALT", "CacheCounters", "ResultCache",
+    "default_cache_dir", "point_key",
+    "EngineMetrics", "PointOutcome", "SweepEngine", "run_points", "warm",
+    "SCHEMA_VERSION", "result_from_dict", "result_to_dict",
+]

@@ -1,0 +1,172 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Layout
+------
+One JSON document per design point, sharded by key prefix to keep
+directories small::
+
+    <cache_dir>/
+        <kk>/                      # first two hex digits of the key
+            <key>.json             # serialized SystemResult document
+
+The key is ``sha256`` over a canonical JSON rendering of
+
+* the full :class:`~repro.sim.runner.DesignPoint` field dict,
+* the serialization :data:`~repro.exec.serialize.SCHEMA_VERSION`, and
+* the :data:`CACHE_SALT` version salt.
+
+Two points with equal fields therefore share one entry regardless of
+which process produced it, and *any* change to a point parameter
+changes the key.
+
+Versioning salt
+---------------
+``CACHE_SALT`` names the simulator behaviour generation. Bump it
+whenever a change to the simulator alters the numbers a design point
+produces (timing model, policy behaviour, workload generation, …):
+stale entries then simply stop matching and are re-simulated — no
+manual cache invalidation step is needed. ``REPRO_CACHE_SALT`` in the
+environment appends an extra user salt (useful for A/B-ing local
+edits without clearing the cache).
+
+Robustness
+----------
+Writes are atomic (temp file + ``os.replace``), so a killed run never
+leaves a half-written entry behind. Reads treat *any* undecodable,
+truncated, or schema-mismatched file as a miss (counted in
+``counters.corrupt``), never as an error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any
+
+from .serialize import SCHEMA_VERSION, result_from_dict, result_to_dict
+
+#: Simulator behaviour generation. Bump on any change that alters the
+#: numbers a DesignPoint produces.
+CACHE_SALT = "mopac-sim-1"
+
+#: Environment variable naming the cache directory. Unset = no disk cache.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def effective_salt(salt: str = CACHE_SALT) -> str:
+    """The configured salt plus the optional user salt from the env."""
+    extra = os.environ.get("REPRO_CACHE_SALT")
+    return f"{salt}+{extra}" if extra else salt
+
+
+def default_cache_dir() -> pathlib.Path | None:
+    """Directory named by ``REPRO_CACHE_DIR``, or ``None`` when unset."""
+    path = os.environ.get(CACHE_DIR_ENV)
+    return pathlib.Path(path) if path else None
+
+
+def point_key(point: Any, salt: str | None = None) -> str:
+    """Stable content hash of a design point (hex sha256)."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "salt": effective_salt() if salt is None else salt,
+        "point": dataclasses.asdict(point),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclasses.dataclass
+class CacheCounters:
+    """Observability counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(hits=self.hits, misses=self.misses,
+                    corrupt=self.corrupt, writes=self.writes)
+
+
+class ResultCache:
+    """Content-addressed result store rooted at ``directory``."""
+
+    def __init__(self, directory: str | pathlib.Path,
+                 salt: str | None = None):
+        self.directory = pathlib.Path(directory)
+        self.salt = effective_salt() if salt is None else salt
+        self.counters = CacheCounters()
+
+    def path_for(self, point: Any) -> pathlib.Path:
+        key = point_key(point, self.salt)
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, point: Any):
+        """Cached result for ``point``, or ``None`` (miss)."""
+        path = self.path_for(point)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+            result = result_from_dict(data)
+        except FileNotFoundError:
+            self.counters.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Truncated/corrupt/stale-schema entries are misses, not
+            # crashes; the entry is overwritten on the next put().
+            self.counters.corrupt += 1
+            self.counters.misses += 1
+            return None
+        self.counters.hits += 1
+        return result
+
+    def put(self, point: Any, result: Any) -> pathlib.Path:
+        """Atomically persist ``result`` under ``point``'s key."""
+        path = self.path_for(point)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(result_to_dict(result))
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.counters.writes += 1
+        return path
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return 0
+        for path in self.directory.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

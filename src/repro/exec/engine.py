@@ -1,0 +1,273 @@
+"""Parallel sweep execution engine.
+
+Design points are embarrassingly parallel: every
+:class:`~repro.sim.runner.DesignPoint` is simulated from its own seed
+with no shared mutable state, so a sweep fans out across a
+``ProcessPoolExecutor`` and merges results back **in input order**,
+which makes the parallel path bit-identical to the serial one.
+
+Resolution order per point:
+
+1. the in-process memo held by :mod:`repro.sim.runner` (``memo_hits``),
+2. the on-disk :class:`~repro.exec.cache.ResultCache` (``cache_hits``),
+3. a fresh simulation (``simulated``) — in a worker process when the
+   engine runs parallel, inline otherwise.
+
+Everything the engine computes is written back to both layers, so a
+warm rerun of any campaign performs zero simulations and the rest of
+the process (``simulate()``/``slowdown()`` calls) sees the results for
+free.
+
+Observability: pass ``progress=callable`` to receive one
+:class:`PointOutcome` per *unique* point as it completes (completion
+order under parallelism is nondeterministic; the returned result list
+is not), and read :class:`EngineMetrics` afterwards for totals,
+hit/miss split, and wall time.
+
+Environment knobs (all optional):
+
+* ``REPRO_CACHE_DIR``  — enables the disk cache at that directory,
+* ``REPRO_WORKERS``    — default worker count (else ``os.cpu_count()``),
+* ``REPRO_SERIAL=1``   — force the serial path everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..sim import runner
+from .cache import ResultCache, default_cache_dir
+
+#: Sentinel distinguishing "use the env-configured cache" from "no cache".
+_AUTO = "auto"
+
+
+def _simulate_point(point: runner.DesignPoint) -> tuple[Any, float]:
+    """Worker entry point: run one point, return (result, wall_s).
+
+    Module-level so it pickles by reference into pool workers. Always
+    simulates from scratch — workers never consult caches, which keeps
+    the parallel path's numbers byte-for-byte those of a cold serial
+    run.
+    """
+    start = time.perf_counter()
+    result = runner.run_point(point)
+    return result, time.perf_counter() - start
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """One resolved design point, as reported to progress hooks."""
+
+    index: int  #: position among the engine's unique points
+    point: runner.DesignPoint
+    result: Any
+    source: str  #: "memo" | "cache" | "simulated"
+    wall_s: float  #: simulation wall time (0.0 for memo/cache hits)
+
+
+@dataclass
+class EngineMetrics:
+    """Cumulative counters across an engine's ``run()`` calls."""
+
+    points: int = 0  #: total points requested (including duplicates)
+    unique_points: int = 0
+    memo_hits: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    simulated: int = 0
+    wall_s: float = 0.0  #: end-to-end engine wall time
+    sim_wall_s: float = 0.0  #: summed per-point simulation time
+    slowest_point_s: float = 0.0
+
+    @property
+    def hits(self) -> int:
+        return self.memo_hits + self.cache_hits
+
+    @property
+    def speedup(self) -> float:
+        """Summed point time over wall time (>1 under parallelism)."""
+        return self.sim_wall_s / self.wall_s if self.wall_s else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "points": self.points,
+            "unique_points": self.unique_points,
+            "memo_hits": self.memo_hits,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "simulated": self.simulated,
+            "wall_s": self.wall_s,
+            "sim_wall_s": self.sim_wall_s,
+        }
+
+    def summary(self) -> str:
+        return (f"{self.points} points ({self.unique_points} unique): "
+                f"{self.memo_hits} memo + {self.cache_hits} cached + "
+                f"{self.simulated} simulated in {self.wall_s:.1f}s")
+
+
+def default_workers() -> int:
+    value = os.environ.get("REPRO_WORKERS")
+    if value:
+        return max(int(value), 1)
+    return os.cpu_count() or 1
+
+
+class SweepEngine:
+    """Fan design points out over processes, through the result cache.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; default ``REPRO_WORKERS`` or ``os.cpu_count()``.
+    parallel:
+        ``True``/``False`` force the path; ``None`` picks parallel
+        whenever more than one point must actually be simulated and
+        more than one worker is available (``REPRO_SERIAL=1`` forces
+        serial).
+    cache:
+        A :class:`ResultCache`, ``None`` to disable the disk layer, or
+        ``"auto"`` (default) to use ``REPRO_CACHE_DIR`` when set.
+    use_memo:
+        Whether to consult/populate the in-process memo in
+        :mod:`repro.sim.runner`. Disable for cold-path measurements.
+    progress:
+        Optional hook receiving one :class:`PointOutcome` per unique
+        point as it resolves.
+    """
+
+    def __init__(self, workers: int | None = None,
+                 parallel: bool | None = None,
+                 cache: ResultCache | None | str = _AUTO,
+                 use_memo: bool = True,
+                 progress: Callable[[PointOutcome], None] | None = None):
+        self.workers = workers if workers is not None else default_workers()
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.parallel = parallel
+        if cache == _AUTO:
+            directory = default_cache_dir()
+            cache = ResultCache(directory) if directory else None
+        self.cache: ResultCache | None = cache
+        self.use_memo = use_memo
+        self.progress = progress
+        self.metrics = EngineMetrics()
+
+    # ------------------------------------------------------------------
+    def run(self, points: Sequence[runner.DesignPoint]) -> list[Any]:
+        """Resolve every point; returns results in input order."""
+        start = time.perf_counter()
+        points = list(points)
+        self.metrics.points += len(points)
+
+        unique: list[runner.DesignPoint] = []
+        first_index: dict[runner.DesignPoint, int] = {}
+        for point in points:
+            if point not in first_index:
+                first_index[point] = len(unique)
+                unique.append(point)
+        self.metrics.unique_points += len(unique)
+
+        resolved: dict[int, Any] = {}
+        misses: list[tuple[int, runner.DesignPoint]] = []
+        for index, point in enumerate(unique):
+            result, source = self._lookup(point)
+            if result is not None:
+                resolved[index] = result
+                self._emit(PointOutcome(index, point, result, source, 0.0))
+            else:
+                misses.append((index, point))
+
+        if misses:
+            for index, point, result, wall in self._execute(misses):
+                resolved[index] = result
+                self.metrics.simulated += 1
+                self.metrics.sim_wall_s += wall
+                self.metrics.slowest_point_s = max(
+                    self.metrics.slowest_point_s, wall)
+                self._store(point, result)
+                self._emit(PointOutcome(index, point, result,
+                                        "simulated", wall))
+
+        self.metrics.wall_s += time.perf_counter() - start
+        return [resolved[first_index[point]] for point in points]
+
+    # ------------------------------------------------------------------
+    def _lookup(self, point) -> tuple[Any, str]:
+        if self.use_memo:
+            result = runner.memo_get(point)
+            if result is not None:
+                self.metrics.memo_hits += 1
+                return result, "memo"
+        if self.cache is not None:
+            result = self.cache.get(point)
+            if result is not None:
+                self.metrics.cache_hits += 1
+                if self.use_memo:
+                    runner.memo_put(point, result)
+                return result, "cache"
+            self.metrics.cache_misses += 1
+        return None, ""
+
+    def _store(self, point, result) -> None:
+        if self.use_memo:
+            runner.memo_put(point, result)
+        if self.cache is not None:
+            self.cache.put(point, result)
+
+    def _emit(self, outcome: PointOutcome) -> None:
+        if self.progress is not None:
+            self.progress(outcome)
+
+    def _run_parallel(self, misses: list) -> bool:
+        if os.environ.get("REPRO_SERIAL"):
+            return False
+        if self.parallel is not None:
+            return self.parallel and self.workers > 1
+        return self.workers > 1 and len(misses) > 1
+
+    def _execute(self, misses: list):
+        """Yield ``(index, point, result, wall_s)`` for every miss."""
+        if not self._run_parallel(misses):
+            for index, point in misses:
+                result, wall = _simulate_point(point)
+                yield index, point, result, wall
+            return
+        workers = min(self.workers, len(misses))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_simulate_point, point): (index, point)
+                       for index, point in misses}
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, point = futures[future]
+                    result, wall = future.result()
+                    yield index, point, result, wall
+
+
+# ----------------------------------------------------------------------
+# Convenience entry points
+# ----------------------------------------------------------------------
+def run_points(points: Sequence[runner.DesignPoint],
+               **engine_kwargs: Any) -> list[Any]:
+    """One-shot engine run; results in input order."""
+    return SweepEngine(**engine_kwargs).run(points)
+
+
+def warm(points: Sequence[runner.DesignPoint],
+         **engine_kwargs: Any) -> EngineMetrics:
+    """Pre-simulate ``points`` into the memo/disk caches.
+
+    After ``warm()``, plain ``simulate()`` / ``slowdown()`` calls over
+    the same points are pure cache hits — this is how the experiment
+    drivers gain parallelism without restructuring their loops.
+    """
+    engine = SweepEngine(**engine_kwargs)
+    engine.run(points)
+    return engine.metrics

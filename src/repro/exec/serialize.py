@@ -1,0 +1,75 @@
+"""JSON (de)serialisation of :class:`~repro.sim.system.SystemResult`.
+
+The on-disk result cache (:mod:`repro.exec.cache`) stores one JSON
+document per design point. The document carries everything a
+:class:`SystemResult` holds — the resolved system configuration,
+per-core stats (and hence IPCs), per-controller :class:`MCStats`,
+per-sub-channel policy stats, and the optional row-activity census — so
+a cache hit reconstructs a result that is indistinguishable from a
+fresh simulation to every downstream consumer (weighted speedup,
+energy model, table renderers).
+
+``SCHEMA_VERSION`` is bumped whenever the document layout changes;
+:func:`result_from_dict` rejects documents from other schema versions,
+which the cache treats as a miss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from ..config import DRAMConfig, SystemConfig
+from ..cpu.core import CoreStats
+from ..dram.timing import TimingSet
+from ..mc.controller import MCStats
+from ..sim.system import RowActivityStats, SystemResult
+
+#: Layout version of the serialized result document.
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: SystemResult) -> dict[str, Any]:
+    """Flatten a result into a JSON-serialisable document."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "config": dataclasses.asdict(result.config),
+        "core_stats": [dataclasses.asdict(s) for s in result.core_stats],
+        "mc_stats": [dataclasses.asdict(s) for s in result.mc_stats],
+        "policy_stats": [dict(s) for s in result.policy_stats],
+        "elapsed_ps": result.elapsed_ps,
+        "row_activity": (dataclasses.asdict(result.row_activity)
+                         if result.row_activity is not None else None),
+    }
+
+
+def config_from_dict(data: dict[str, Any]) -> SystemConfig:
+    """Rebuild a :class:`SystemConfig` from its ``asdict`` form."""
+    dram_data = dict(data["dram"])
+    timing = TimingSet(**dram_data.pop("timing"))
+    dram = DRAMConfig(timing=timing, **dram_data)
+    system_data = {k: v for k, v in data.items() if k != "dram"}
+    return SystemConfig(dram=dram, **system_data)
+
+
+def result_from_dict(data: dict[str, Any]) -> SystemResult:
+    """Inverse of :func:`result_to_dict`.
+
+    Raises ``ValueError`` on a schema mismatch and ``KeyError`` /
+    ``TypeError`` on structurally broken documents; the cache maps all
+    of those to a miss.
+    """
+    schema = data.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(f"result schema {schema!r}, "
+                         f"expected {SCHEMA_VERSION}")
+    activity = data["row_activity"]
+    return SystemResult(
+        config=config_from_dict(data["config"]),
+        core_stats=[CoreStats(**s) for s in data["core_stats"]],
+        mc_stats=[MCStats(**s) for s in data["mc_stats"]],
+        policy_stats=[dict(s) for s in data["policy_stats"]],
+        elapsed_ps=data["elapsed_ps"],
+        row_activity=(RowActivityStats(**activity)
+                      if activity is not None else None),
+    )

@@ -87,6 +87,8 @@ class MemoryController:
         #: issue times of the last four ACTs (tFAW rolling window)
         self._recent_acts = collections.deque(maxlen=4)
         self.next_ref = policy.timing.tREFI
+        #: REFsb commands issued so far (same-bank mode cadence anchor)
+        self._refsb_count = 0
         self._alert_in_flight = False
         self.stats = MCStats()
         #: optional callback (time_ps, bank, row) fired on every ACT
@@ -106,6 +108,7 @@ class MemoryController:
         if self.refresh_mode == "same-bank":
             self.next_ref = self.policy.timing.tREFI \
                 // len(self.banks)
+            self._refsb_count = 0
             self.schedule(self.next_ref, self._refsb_event)
         else:
             self.schedule(self.next_ref, self._ref_event)
@@ -278,7 +281,13 @@ class MemoryController:
         bank.block_until(start + self.policy.timing.tRFCsb)
         self.policy.on_refresh(now, bank=index)
         self._check_alert(now)
-        self.next_ref += self.policy.timing.tREFI // len(self.banks)
+        # Cumulative cadence: the k-th REFsb fires at (k*tREFI)//banks,
+        # so every full rotation lands exactly on a tREFI boundary.
+        # Accumulating tREFI//banks instead would drop the integer-
+        # division remainder each step and drift the refresh rate high.
+        self._refsb_count += 1
+        self.next_ref = ((self._refsb_count + 1) * self.policy.timing.tREFI
+                         // len(self.banks))
         self.schedule(self.next_ref, self._refsb_event)
         if self.queues[index]:
             self._kick(index, start + self.policy.timing.tRFCsb)

@@ -10,6 +10,15 @@ from ..dram.commands import LineAddress
 _request_ids = itertools.count()
 
 
+def next_request_id() -> int:
+    """Allocate a request id outside :class:`MemRequest`.
+
+    The system uses this to track accesses that never reach DRAM (LLC
+    hits) in the same core-side bookkeeping as real misses.
+    """
+    return next(_request_ids)
+
+
 @dataclass
 class MemRequest:
     """One LLC-miss request.

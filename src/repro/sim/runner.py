@@ -5,6 +5,14 @@ This is the layer the benchmarks and examples talk to. A *design point* is
 and policies, runs the :class:`~repro.sim.system.System`, and caches the
 result so a sweep reuses its baseline runs.
 
+Caching is two-layered: a per-process memo (``memo_get``/``memo_put``)
+plus, when ``REPRO_CACHE_DIR`` is set, the content-addressed on-disk
+:class:`~repro.exec.cache.ResultCache`, so re-running a figure skips
+every simulation it has already performed — in any earlier process.
+:func:`sweep` fans its points out through the
+:mod:`repro.exec.engine` (``parallel=False`` restores the inline
+path; both produce bit-identical numbers).
+
 Designs (paper nomenclature):
 
 * ``baseline``   — unprotected DDR5,
@@ -20,6 +28,7 @@ workload.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -85,6 +94,7 @@ class DesignPoint:
             page_policy=self.page_policy,
             rows_per_bank=self.rows_per_bank,
             refresh_scale=self.refresh_scale,
+            collect_row_activity=self.collect_row_activity,
             refresh_mode=self.refresh_mode,
         )
 
@@ -148,13 +158,38 @@ def build_traces(point: DesignPoint, config: SystemConfig) -> list:
             for i, spec in enumerate(specs)]
 
 
+#: Per-process memo: point -> result. Layer one of the cache; layer two
+#: is the on-disk ResultCache enabled by REPRO_CACHE_DIR.
 _cache: dict[DesignPoint, SystemResult] = {}
 
+#: Lazily-constructed disk cache, keyed by the directory it serves so a
+#: changed REPRO_CACHE_DIR takes effect mid-process (tests rely on this).
+_disk_state: tuple[str, Any] | None = None
 
-def simulate(point: DesignPoint, use_cache: bool = True) -> SystemResult:
-    """Run (or fetch) one design point."""
-    if use_cache and point in _cache:
-        return _cache[point]
+
+def _disk_cache():
+    global _disk_state
+    path = os.environ.get("REPRO_CACHE_DIR")
+    if not path:
+        return None
+    if _disk_state is None or _disk_state[0] != path:
+        from ..exec.cache import ResultCache
+        _disk_state = (path, ResultCache(path))
+    return _disk_state[1]
+
+
+def memo_get(point: DesignPoint) -> SystemResult | None:
+    """In-process memo lookup (used by the exec engine)."""
+    return _cache.get(point)
+
+
+def memo_put(point: DesignPoint, result: SystemResult) -> None:
+    """Populate the in-process memo (used by the exec engine)."""
+    _cache[point] = result
+
+
+def run_point(point: DesignPoint) -> SystemResult:
+    """Simulate one design point from scratch (no cache layers)."""
     config = build_config(point)
     specs = workload_cores(point.workload, config.cores)
     windows = [round(config.rob_entries * spec.mlp_boost) for spec in specs]
@@ -168,23 +203,49 @@ def simulate(point: DesignPoint, use_cache: bool = True) -> SystemResult:
         windows=windows,
         refresh_mode=point.refresh_mode,
     )
-    result = system.run()
+    return system.run()
+
+
+def simulate(point: DesignPoint, use_cache: bool = True) -> SystemResult:
+    """Run (or fetch) one design point."""
+    if use_cache and point in _cache:
+        return _cache[point]
+    disk = _disk_cache() if use_cache else None
+    if disk is not None:
+        result = disk.get(point)
+        if result is not None:
+            _cache[point] = result
+            return result
+    result = run_point(point)
     if use_cache:
         _cache[point] = result
+        if disk is not None:
+            disk.put(point, result)
     return result
 
 
-def clear_cache() -> None:
+def clear_cache(disk: bool = False) -> None:
+    """Drop the in-process memo (and optionally the on-disk cache)."""
     _cache.clear()
+    if disk:
+        store = _disk_cache()
+        if store is not None:
+            store.clear()
 
 
 def weighted_speedup(result: SystemResult,
                      baseline: SystemResult) -> float:
-    """Per-core-normalised weighted speedup (paper Section 3.2)."""
-    pairs = list(zip(result.ipcs, baseline.ipcs))
+    """Per-core-normalised weighted speedup (paper Section 3.2).
+
+    Cores whose baseline IPC is zero (an idle or unstarted core) carry
+    no signal and are excluded from both the sum and the divisor —
+    mirroring :func:`harmonic_speedup` — rather than silently deflating
+    the mean.
+    """
+    pairs = [(x, b) for x, b in zip(result.ipcs, baseline.ipcs) if b > 0]
     if not pairs:
         return 0.0
-    return sum(x / b for x, b in pairs if b > 0) / len(pairs)
+    return sum(x / b for x, b in pairs) / len(pairs)
 
 
 def harmonic_speedup(result: SystemResult,
@@ -236,11 +297,26 @@ class SweepResult:
 
 
 def sweep(workloads: list[str], design: str, trh: int,
+          parallel: bool | None = None, workers: int | None = None,
           **overrides: Any) -> SweepResult:
-    """Slowdown of ``design`` across ``workloads`` at one threshold."""
+    """Slowdown of ``design`` across ``workloads`` at one threshold.
+
+    Points (and their baselines) are resolved through the
+    :class:`~repro.exec.engine.SweepEngine`: cached results are reused,
+    misses fan out across worker processes. ``parallel=False`` is the
+    inline escape hatch; both paths return bit-identical numbers.
+    """
+    from ..exec.engine import run_points
+
     result = SweepResult(design=design, trh=trh)
-    for name in workloads:
-        point = DesignPoint(workload=name, design=design, trh=trh,
-                            **overrides)
-        result.slowdowns[name] = slowdown(point)
+    points = [DesignPoint(workload=name, design=design, trh=trh,
+                          **overrides)
+              for name in workloads]
+    flat: list[DesignPoint] = []
+    for point in points:
+        flat.append(point)
+        flat.append(point.baseline())
+    results = run_points(flat, parallel=parallel, workers=workers)
+    for name, run, base in zip(workloads, results[0::2], results[1::2]):
+        result.slowdowns[name] = 1.0 - weighted_speedup(run, base)
     return result

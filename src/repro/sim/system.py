@@ -31,7 +31,7 @@ from ..dram.address import make_mapper
 from ..mc.controller import MCStats, MemoryController
 from ..mc.pagepolicy import make_page_policy
 from ..mitigations.base import MitigationPolicy
-from ..mc.request import MemRequest
+from ..mc.request import MemRequest, next_request_id
 
 PolicyFactory = Callable[[int], MitigationPolicy]
 
@@ -160,8 +160,17 @@ class _RowActivityMonitor:
         self.stats.total_acts += 1
 
     def finalize(self, elapsed_ps: int) -> RowActivityStats:
-        if self.counts:
+        # Roll every window the run actually completed — including idle
+        # ones no activation ever touched — and discard the partial
+        # trailing window: counting it as a full window would skew the
+        # per-window ACT-64+/ACT-200+ means (Table 4). A run shorter
+        # than one (scaled) tREFW has no completed window at all; report
+        # it as a single truncated window rather than an empty census.
+        while elapsed_ps >= self.window_end:
             self._roll_window()
+        if not self.stats.windows and elapsed_ps > 0:
+            self._roll_window()
+        self.counts.clear()
         self.stats.total_refis = max(elapsed_ps // self.trefi, 1)
         return self.stats
 
@@ -275,7 +284,17 @@ class System:
     def _dispatch(self, core: Core, item: TraceItem, issue: int) -> None:
         if self.llc is not None and self.llc.access(item.address,
                                                     item.is_write):
-            # LLC hit: completes after the LLC latency, no DRAM traffic.
+            # LLC hit: no DRAM traffic, but the data still returns only
+            # after the LLC lookup latency. Reads occupy the core's miss
+            # window until then, and the scheduled completion wakes a
+            # core that filled its ROB on cache-resident data — without
+            # it the core would wait on the request id forever.
+            if not item.is_write:
+                request_id = next_request_id()
+                core.track(request_id)
+                self._schedule(issue + self.config.llc_hit_ps,
+                               lambda now, c=core, r=request_id:
+                               self._core_completion(c, r, now))
             return
         arrival = issue + self.config.llc_hit_ps
         line = self.mapper.map_address(item.address)

@@ -11,10 +11,16 @@ execute them, then aggregate per-run stats into CSVs
   per run (weighted-speedup slowdown, RBHR, ALERTs, energy),
 * ``stats`` — aggregate the CSV into a per-configuration summary table.
 
+``run`` executes through the :mod:`repro.exec.engine`: evaluation
+points (and their baselines) fan out across worker processes, results
+persist in the on-disk cache (``--cache-dir`` / ``REPRO_CACHE_DIR``),
+and re-running a campaign only simulates what is not cached yet.
+``--serial`` restores the inline path (identical numbers).
+
 Example::
 
     python -m repro.tools.campaign plan  --dir camp --workloads add mcf
-    python -m repro.tools.campaign run   --dir camp
+    python -m repro.tools.campaign run   --dir camp --workers 8
     python -m repro.tools.campaign stats --dir camp
 """
 
@@ -22,13 +28,15 @@ from __future__ import annotations
 
 import argparse
 import csv
+import os
 import pathlib
 import sys
 from dataclasses import replace
 
 from ..config_io import load_design_point, save_design_point
 from ..dram.energy import energy_overhead
-from ..sim.runner import DesignPoint, simulate, weighted_speedup
+from ..exec.engine import PointOutcome, SweepEngine
+from ..sim.runner import DesignPoint, weighted_speedup
 
 DEFAULT_DESIGNS = ("prac", "mopac-c", "mopac-d")
 DEFAULT_TRHS = (1000, 500, 250)
@@ -53,18 +61,42 @@ def plan(directory: pathlib.Path, workloads, designs, trhs,
     return paths
 
 
-def run(directory: pathlib.Path) -> pathlib.Path:
+def run(directory: pathlib.Path, workers: int | None = None,
+        parallel: bool | None = None,
+        verbose: bool = True) -> pathlib.Path:
     csv_path = directory / "results.csv"
     ini_paths = sorted(directory.glob("*.ini"))
     if not ini_paths:
         raise FileNotFoundError(f"no .ini files in {directory}")
+
+    points = [load_design_point(str(path)) for path in ini_paths]
+    flat: list[DesignPoint] = []
+    for point in points:
+        flat.append(point)
+        flat.append(point.baseline())
+
+    total = len(set(flat))
+
+    def progress(outcome: PointOutcome) -> None:
+        if not verbose:
+            return
+        point = outcome.point
+        print(f"  [{outcome.index + 1:>3d}/{total}] "
+              f"{point.workload}.{point.design}.t{point.trh} "
+              f"({outcome.source}, {outcome.wall_s:.1f}s)",
+              file=sys.stderr)
+
+    engine = SweepEngine(workers=workers, parallel=parallel,
+                         progress=progress)
+    results = engine.run(flat)
+    if verbose:
+        print(f"  {engine.metrics.summary()}", file=sys.stderr)
+
     with open(csv_path, "w", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=CSV_FIELDS)
         writer.writeheader()
-        for path in ini_paths:
-            point = load_design_point(str(path))
-            result = simulate(point)
-            baseline = simulate(point.baseline())
+        for path, point, result, baseline in zip(
+                ini_paths, points, results[0::2], results[1::2]):
             ws = weighted_speedup(result, baseline)
             writer.writerow({
                 "name": path.stem,
@@ -115,8 +147,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trhs", nargs="*", type=int,
                         default=list(DEFAULT_TRHS))
     parser.add_argument("--instructions", type=int, default=60_000)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="simulation worker processes "
+                             "(default: REPRO_WORKERS or cpu count)")
+    parser.add_argument("--serial", action="store_true",
+                        help="run points inline instead of in parallel")
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk result cache directory "
+                             "(default: REPRO_CACHE_DIR)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-point progress lines")
     args = parser.parse_args(argv)
     directory = pathlib.Path(args.dir)
+    if args.cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
 
     if args.command == "plan":
         paths = plan(directory, args.workloads, args.designs, args.trhs,
@@ -124,7 +168,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"planned {len(paths)} evaluations in {directory}/")
         return 0
     if args.command == "run":
-        csv_path = run(directory)
+        csv_path = run(directory, workers=args.workers,
+                       parallel=False if args.serial else None,
+                       verbose=not args.quiet)
         print(f"wrote {csv_path}")
         return 0
     try:

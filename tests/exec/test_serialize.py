@@ -1,0 +1,75 @@
+"""JSON round-trip of simulation results."""
+
+import json
+
+import pytest
+
+from repro.exec.serialize import (SCHEMA_VERSION, result_from_dict,
+                                  result_to_dict)
+from repro.sim.runner import DesignPoint, run_point
+
+FAST = dict(instructions=6_000, rows_per_bank=512, refresh_scale=1 / 256)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_point(DesignPoint(workload="mcf", design="prac", trh=500,
+                                 collect_row_activity=True, **FAST))
+
+
+@pytest.fixture(scope="module")
+def roundtripped(result):
+    # through actual JSON text, not just the dict, so type fidelity
+    # (int vs float) is part of the contract
+    return result_from_dict(json.loads(json.dumps(result_to_dict(result))))
+
+
+class TestRoundTrip:
+    def test_ipcs_exact(self, result, roundtripped):
+        assert roundtripped.ipcs == result.ipcs
+
+    def test_core_stats(self, result, roundtripped):
+        assert roundtripped.core_stats == result.core_stats
+
+    def test_mc_stats(self, result, roundtripped):
+        assert roundtripped.mc_stats == result.mc_stats
+
+    def test_policy_stats(self, result, roundtripped):
+        assert roundtripped.policy_stats == result.policy_stats
+
+    def test_elapsed(self, result, roundtripped):
+        assert roundtripped.elapsed_ps == result.elapsed_ps
+
+    def test_row_activity(self, result, roundtripped):
+        assert roundtripped.row_activity == result.row_activity
+        assert roundtripped.row_activity.act64 == result.row_activity.act64
+
+    def test_config_round_trips(self, result, roundtripped):
+        assert roundtripped.config == result.config
+        assert roundtripped.config.dram.timing == result.config.dram.timing
+
+    def test_derived_metrics_match(self, result, roundtripped):
+        assert roundtripped.row_buffer_hit_rate == \
+            result.row_buffer_hit_rate
+        assert roundtripped.bandwidth_gbps() == result.bandwidth_gbps()
+        assert roundtripped.summary() == result.summary()
+
+
+class TestSchemaGuard:
+    def test_future_schema_rejected(self, result):
+        data = result_to_dict(result)
+        data["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            result_from_dict(data)
+
+    def test_missing_schema_rejected(self, result):
+        data = result_to_dict(result)
+        del data["schema"]
+        with pytest.raises(ValueError, match="schema"):
+            result_from_dict(data)
+
+    def test_none_row_activity(self):
+        result = run_point(DesignPoint(workload="add", design="baseline",
+                                       **FAST))
+        back = result_from_dict(result_to_dict(result))
+        assert back.row_activity is None

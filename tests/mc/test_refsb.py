@@ -56,6 +56,64 @@ class TestRefsbMode:
         assert point.baseline().refresh_mode == "same-bank"
 
 
+class TestRefsbCadence:
+    """Regression: the k-th REFsb must fire at ``(k*tREFI)//banks``.
+
+    Accumulating ``tREFI // banks`` per event drops the integer-division
+    remainder every step, so with a tREFI that is not a multiple of the
+    bank count the refresh stream drifts ahead of the tREFI cadence.
+    """
+
+    def make_controller(self, trefi, banks, events):
+        from dataclasses import replace
+        from repro.config import DRAMConfig
+        from repro.dram.timing import ddr5_base
+        from repro.mc.controller import MemoryController
+        from repro.mitigations.prac import BaselinePolicy
+        timing = replace(ddr5_base(), tREFI=trefi,
+                         tREFW=8192 * trefi)
+        config = DRAMConfig(subchannels=1, banks_per_subchannel=banks,
+                            rows_per_bank=256, timing=timing)
+        mc = MemoryController(
+            0, config, BaselinePolicy(timing),
+            scheduler=lambda t, cb: events.append((t, cb)),
+            on_complete=lambda r: None,
+            refresh_mode="same-bank")
+        mc.start()
+        return mc
+
+    def fire_times(self, trefi, banks, count):
+        events = []
+        self.make_controller(trefi, banks, events)
+        times = []
+        while len(times) < count:
+            when, callback = events.pop()
+            times.append(when)
+            callback(when)
+        return times
+
+    def test_full_rotation_lands_on_trefi_boundary(self):
+        trefi, banks = 1_000_003, 4  # tREFI not divisible by banks
+        times = self.fire_times(trefi, banks, 8)
+        # the 4th REFsb (one full rotation) fires at exactly tREFI;
+        # the drifting accumulator gave 4*(tREFI//4) = tREFI - 3
+        assert times[3] == trefi
+        assert times[7] == 2 * trefi
+
+    def test_no_long_run_drift(self):
+        trefi, banks = 999_999, 32
+        times = self.fire_times(trefi, banks, 32 * 100)
+        assert times[-1] == 100 * trefi
+        # every event stays within one remainder of the ideal cadence
+        for k, when in enumerate(times, start=1):
+            assert abs(when - k * trefi / banks) < banks
+
+    def test_divisible_trefi_unchanged(self):
+        trefi, banks = 1_000_000, 4
+        times = self.fire_times(trefi, banks, 8)
+        assert times == [trefi // 4 * k for k in range(1, 9)]
+
+
 class TestPerBankRefreshHooks:
     def test_policy_sees_per_bank_refresh(self):
         from repro.mitigations.mopac_d import MoPACDPolicy

@@ -23,6 +23,11 @@ class TestDesignPoint:
         # mitigation-only knobs are dropped
         assert base.chips == 1
 
+    def test_baseline_keeps_row_activity_collection(self):
+        point = DesignPoint(workload="mcf", design="prac", trh=500,
+                            collect_row_activity=True, **FAST)
+        assert point.baseline().collect_row_activity
+
     def test_hashable(self):
         a = DesignPoint(workload="mcf", design="prac")
         b = DesignPoint(workload="mcf", design="prac")
