@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke ci clean-cache
+.PHONY: test smoke obs-smoke ci clean-cache
 
 # Tier-1 suite (the correctness gate).
 test:
@@ -11,8 +11,13 @@ test:
 smoke:
 	$(PYTHON) -m repro.exec.smoke
 
+# Observability layer: tracing demo + stats-snapshot determinism check.
+obs-smoke:
+	$(PYTHON) examples/tracing_demo.py
+	$(PYTHON) -m repro.obs.selfcheck
+
 # What CI runs.
-ci: test smoke
+ci: test smoke obs-smoke
 
 clean-cache:
 	rm -rf benchmarks/results/.cache .repro-cache

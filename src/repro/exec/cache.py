@@ -47,7 +47,10 @@ import pathlib
 import tempfile
 from typing import Any
 
+from ..obs.log import get_logger
 from .serialize import SCHEMA_VERSION, result_from_dict, result_to_dict
+
+log = get_logger(__name__)
 
 #: Simulator behaviour generation. Bump on any change that alters the
 #: numbers a DesignPoint produces.
@@ -125,9 +128,11 @@ class ResultCache:
         except FileNotFoundError:
             self.counters.misses += 1
             return None
-        except (OSError, ValueError, KeyError, TypeError):
+        except (OSError, ValueError, KeyError, TypeError) as error:
             # Truncated/corrupt/stale-schema entries are misses, not
             # crashes; the entry is overwritten on the next put().
+            log.warning("treating %s as a miss (%s: %s)", path,
+                        type(error).__name__, error)
             self.counters.corrupt += 1
             self.counters.misses += 1
             return None

@@ -39,8 +39,12 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from ..obs.log import get_logger
+from ..obs.profiler import PhaseProfiler
 from ..sim import runner
 from .cache import ResultCache, default_cache_dir
+
+log = get_logger(__name__)
 
 #: Sentinel distinguishing "use the env-configured cache" from "no cache".
 _AUTO = "auto"
@@ -157,6 +161,9 @@ class SweepEngine:
         self.use_memo = use_memo
         self.progress = progress
         self.metrics = EngineMetrics()
+        #: wall-time breakdown: "lookup" (memo + cache reads),
+        #: "simulate" (miss execution, inclusive), "cache_io" (writes)
+        self.profiler = PhaseProfiler()
 
     # ------------------------------------------------------------------
     def run(self, points: Sequence[runner.DesignPoint]) -> list[Any]:
@@ -175,26 +182,32 @@ class SweepEngine:
 
         resolved: dict[int, Any] = {}
         misses: list[tuple[int, runner.DesignPoint]] = []
-        for index, point in enumerate(unique):
-            result, source = self._lookup(point)
-            if result is not None:
-                resolved[index] = result
-                self._emit(PointOutcome(index, point, result, source, 0.0))
-            else:
-                misses.append((index, point))
+        with self.profiler.phase("lookup"):
+            for index, point in enumerate(unique):
+                result, source = self._lookup(point)
+                if result is not None:
+                    resolved[index] = result
+                    self._emit(PointOutcome(index, point, result,
+                                            source, 0.0))
+                else:
+                    misses.append((index, point))
 
         if misses:
-            for index, point, result, wall in self._execute(misses):
-                resolved[index] = result
-                self.metrics.simulated += 1
-                self.metrics.sim_wall_s += wall
-                self.metrics.slowest_point_s = max(
-                    self.metrics.slowest_point_s, wall)
-                self._store(point, result)
-                self._emit(PointOutcome(index, point, result,
-                                        "simulated", wall))
+            with self.profiler.phase("simulate"):
+                for index, point, result, wall in self._execute(misses):
+                    resolved[index] = result
+                    self.metrics.simulated += 1
+                    self.metrics.sim_wall_s += wall
+                    self.metrics.slowest_point_s = max(
+                        self.metrics.slowest_point_s, wall)
+                    with self.profiler.phase("cache_io"):
+                        self._store(point, result)
+                    self._emit(PointOutcome(index, point, result,
+                                            "simulated", wall))
 
         self.metrics.wall_s += time.perf_counter() - start
+        log.debug("engine run: %s | %s", self.metrics.summary(),
+                  self.profiler.summary())
         return [resolved[first_index[point]] for point in points]
 
     # ------------------------------------------------------------------

@@ -26,7 +26,8 @@ from ..mc.controller import MCStats
 from ..sim.system import RowActivityStats, SystemResult
 
 #: Layout version of the serialized result document.
-SCHEMA_VERSION = 1
+#: v2 added the observability fields (``stats`` snapshot, ``phases``).
+SCHEMA_VERSION = 2
 
 
 def result_to_dict(result: SystemResult) -> dict[str, Any]:
@@ -40,6 +41,8 @@ def result_to_dict(result: SystemResult) -> dict[str, Any]:
         "elapsed_ps": result.elapsed_ps,
         "row_activity": (dataclasses.asdict(result.row_activity)
                          if result.row_activity is not None else None),
+        "stats": dict(result.stats),
+        "phases": dict(result.phases),
     }
 
 
@@ -72,4 +75,6 @@ def result_from_dict(data: dict[str, Any]) -> SystemResult:
         elapsed_ps=data["elapsed_ps"],
         row_activity=(RowActivityStats(**activity)
                       if activity is not None else None),
+        stats=dict(data["stats"]),
+        phases=dict(data["phases"]),
     )

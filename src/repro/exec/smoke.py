@@ -22,12 +22,14 @@ Without ``--cache-dir`` a temporary directory is used and removed.
 from __future__ import annotations
 
 import argparse
-import sys
 import tempfile
 
+from ..obs.log import configure, get_logger
 from ..sim.runner import DesignPoint
 from .cache import ResultCache
 from .engine import SweepEngine
+
+log = get_logger("repro.exec.smoke")
 
 WORKLOADS = ("add", "mcf", "xalancbmk")
 DESIGNS = ("prac", "mopac-d")
@@ -45,40 +47,38 @@ def smoke_points() -> list[DesignPoint]:
     return points
 
 
-def run_smoke(cache_dir: str, workers: int = 2,
-              out=sys.stderr) -> int:
+def run_smoke(cache_dir: str, workers: int = 2) -> int:
     points = smoke_points()
 
     serial = SweepEngine(parallel=False, cache=None, use_memo=False)
     serial_results = serial.run(points)
-    print(f"serial:   {serial.metrics.summary()}", file=out)
+    log.info("serial:   %s", serial.metrics.summary())
 
     parallel = SweepEngine(parallel=True, workers=workers,
                            cache=ResultCache(cache_dir), use_memo=False)
     parallel_results = parallel.run(points)
-    print(f"parallel: {parallel.metrics.summary()}", file=out)
+    log.info("parallel: %s", parallel.metrics.summary())
 
     serial_ipcs = [r.ipcs for r in serial_results]
     parallel_ipcs = [r.ipcs for r in parallel_results]
     if serial_ipcs != parallel_ipcs:
-        print("FAIL: parallel results differ from the serial path",
-              file=out)
+        log.error("FAIL: parallel results differ from the serial path")
         return 1
 
     warm = SweepEngine(parallel=True, workers=workers,
                        cache=ResultCache(cache_dir), use_memo=False)
     warm_results = warm.run(points)
-    print(f"warm:     {warm.metrics.summary()}", file=out)
+    log.info("warm:     %s", warm.metrics.summary())
     if warm.metrics.simulated != 0:
-        print(f"FAIL: warm rerun simulated {warm.metrics.simulated} "
-              f"points (expected 0)", file=out)
+        log.error("FAIL: warm rerun simulated %d points (expected 0)",
+                  warm.metrics.simulated)
         return 1
     if [r.ipcs for r in warm_results] != serial_ipcs:
-        print("FAIL: cached results differ from fresh ones", file=out)
+        log.error("FAIL: cached results differ from fresh ones")
         return 1
 
-    print("OK: parallel == serial, warm rerun hit the cache for every "
-          "point", file=out)
+    log.info("OK: parallel == serial, warm rerun hit the cache for "
+             "every point")
     return 0
 
 
@@ -88,7 +88,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-dir", default=None,
                         help="cache directory (default: temporary)")
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--quiet", action="store_true",
+                        help="only report failures")
     args = parser.parse_args(argv)
+    configure("warning" if args.quiet else None)
     if args.cache_dir:
         return run_smoke(args.cache_dir, args.workers)
     with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:

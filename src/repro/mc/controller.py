@@ -22,11 +22,18 @@ from typing import Callable
 from ..config import DRAMConfig
 from ..dram.bank import Bank
 from ..mitigations.base import EpisodeDecision, MitigationPolicy
+from ..obs.registry import Histogram, StatsRegistry
+from ..obs.tracer import EventTracer
 from .pagepolicy import OpenPagePolicy, PagePolicy
 from .request import MemRequest
 
 #: How deep into a bank queue FR-FCFS looks for a row hit.
 FRFCFS_WINDOW = 8
+
+#: Latency histogram bucket edges (ps): 50 ns .. 10 us.
+LATENCY_BOUNDS_PS = tuple(n * 1000 for n in (
+    50, 75, 100, 150, 200, 300, 400, 500, 750,
+    1000, 1500, 2000, 3000, 5000, 10000))
 
 
 @dataclass
@@ -34,23 +41,49 @@ class MCStats:
     requests: int = 0
     reads: int = 0
     writes: int = 0
+    serviced: int = 0
     row_hits: int = 0
     row_misses: int = 0
     row_conflicts: int = 0
     activations: int = 0
     refreshes: int = 0
     alerts: int = 0
+    rfm_commands: int = 0
     total_latency_ps: int = 0
+    read_latency_ps: int = 0
+    read_serviced: int = 0
+
+    @property
+    def classified_accesses(self) -> int:
+        """Serviced requests, by row-buffer outcome (one class each)."""
+        return self.row_hits + self.row_misses + self.row_conflicts
 
     @property
     def row_buffer_hit_rate(self) -> float:
-        total = self.row_hits + self.row_misses + self.row_conflicts
+        total = self.classified_accesses
         return self.row_hits / total if total else 0.0
+
+    #: alias matching the registry/ISSUE nomenclature
+    row_hit_rate = row_buffer_hit_rate
 
     @property
     def mean_latency_ns(self) -> float:
         return (self.total_latency_ps / self.requests / 1000
                 if self.requests else 0.0)
+
+    @property
+    def mean_read_latency_ns(self) -> float:
+        """Average arrival-to-data latency of serviced reads."""
+        return (self.read_latency_ps / self.read_serviced / 1000
+                if self.read_serviced else 0.0)
+
+    def derived(self) -> dict[str, float]:
+        """The derived accessors, for stats-registry snapshots."""
+        return {
+            "row_buffer_hit_rate": self.row_buffer_hit_rate,
+            "mean_latency_ns": self.mean_latency_ns,
+            "mean_read_latency_ns": self.mean_read_latency_ns,
+        }
 
 
 class MemoryController:
@@ -91,8 +124,24 @@ class MemoryController:
         self._refsb_count = 0
         self._alert_in_flight = False
         self.stats = MCStats()
+        #: arrival-to-data latency census of serviced requests
+        self.latency_hist = Histogram(LATENCY_BOUNDS_PS)
         #: optional callback (time_ps, bank, row) fired on every ACT
         self.act_hook: Callable[[int, int, int], None] | None = None
+        #: opt-in event tracer; None (the default) costs one check per site
+        self.tracer: EventTracer | None = None
+
+    def register_stats(self, registry: StatsRegistry, prefix: str) -> None:
+        """Expose controller, latency, and per-bank stats under ``prefix``."""
+        registry.register(prefix, lambda: {
+            **{k: v for k, v in self.stats.__dict__.items()},
+            **self.stats.derived(),
+        })
+        registry.register(f"{prefix}.latency_ps",
+                          self.latency_hist.as_dict)
+        for bank in self.banks:
+            registry.register(f"{prefix}.bank.{bank.index}",
+                              lambda b=bank: dict(b.stats.__dict__))
 
     # ------------------------------------------------------------------
     # Request entry
@@ -148,7 +197,12 @@ class MemoryController:
         t_col, done = self._issue(bank_index, bank, request, now)
         queue.remove(request)
         request.completion_ps = done
+        self.stats.serviced += 1
         self.stats.total_latency_ps += request.latency_ps
+        if not request.is_write:
+            self.stats.read_serviced += 1
+            self.stats.read_latency_ps += request.latency_ps
+        self.latency_hist.observe(request.latency_ps)
         self.on_complete(request)
         self._after_column(bank_index, bank, t_col)
         if queue:
@@ -172,10 +226,12 @@ class MemoryController:
         Returns ``(column_issue_time, data_completion_time)``."""
         timing = self.policy.timing
         now = max(now, request.arrival_ps)  # cannot serve the future
+        act_cause = "miss"
         if bank.is_open and bank.open_row == request.row:
             self.stats.row_hits += 1
         elif bank.is_open:
             self.stats.row_conflicts += 1
+            act_cause = "conflict"
             bank.note_conflict()
             self._close(bank_index, bank, max(now, bank.earliest_precharge()))
         else:
@@ -193,6 +249,9 @@ class MemoryController:
             self.stats.activations += 1
             if self.act_hook is not None:
                 self.act_hook(t_act, bank_index, request.row)
+            if self.tracer is not None:
+                self.tracer.record(t_act, "ACT", self.subchannel,
+                                   bank_index, request.row, act_cause)
             self._check_alert(t_act)
 
         # Column command: respect tRCD and data-bus serialisation.
@@ -239,6 +298,10 @@ class MemoryController:
         open_since = bank.last_act
         bank.precharge(when, decision.pre_timing,
                        counter_update=decision.counter_update)
+        if self.tracer is not None:
+            self.tracer.record(
+                when, "PRE", self.subchannel, bank_index, row,
+                "counter_update" if decision.counter_update else "")
         self.policy.on_precharge(bank_index, row, when,
                                  decision.counter_update)
         self.policy.note_row_open(bank_index, row, when - open_since)
@@ -250,6 +313,9 @@ class MemoryController:
     # ------------------------------------------------------------------
     def _ref_event(self, now: int) -> None:
         self.stats.refreshes += 1
+        if self.tracer is not None:
+            self.tracer.record(now, "REF", self.subchannel, -1, -1,
+                               "all-bank")
         close_by = now
         for index, bank in enumerate(self.banks):
             if bank.is_open:
@@ -272,6 +338,9 @@ class MemoryController:
         self.stats.refreshes += 1
         index = self._next_ref_bank
         self._next_ref_bank = (index + 1) % len(self.banks)
+        if self.tracer is not None:
+            self.tracer.record(now, "REF", self.subchannel, index, -1,
+                               "same-bank")
         bank = self.banks[index]
         start = now
         if bank.is_open:
@@ -296,6 +365,10 @@ class MemoryController:
         if self._alert_in_flight or not self.policy.alert_requested():
             return
         self._alert_in_flight = True
+        if self.tracer is not None:
+            causes = getattr(self.policy, "alert_causes", None)
+            self.tracer.record(now, "ALERT", self.subchannel, -1, -1,
+                               ",".join(sorted(causes)) if causes else "")
         deadline = now + self.policy.timing.tALERT_NORMAL
         self.schedule(deadline, self._rfm_event)
 
@@ -305,8 +378,12 @@ class MemoryController:
         for bank in self.banks:
             bank.block_until(end)
         for _ in range(level):
+            if self.tracer is not None:
+                self.tracer.record(now, "RFM", self.subchannel, -1, -1,
+                                   "abo")
             self.policy.on_rfm(end)
         self.stats.alerts += 1
+        self.stats.rfm_commands += level
         self._alert_in_flight = False
         self._check_alert(end)
         for index in range(len(self.banks)):

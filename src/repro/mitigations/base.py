@@ -81,6 +81,10 @@ class MitigationPolicy:
         self.abo_level = 1
         #: mitigation events since last drain, consumed by the harness
         self.pending_mitigations: list[MitigationEvent] = []
+        #: opt-in event tracer (set by the harness; None = no tracing)
+        self.tracer = None
+        #: sub-channel index for trace attribution (set by the harness)
+        self.tracer_subchannel = -1
 
     # -- activation path -------------------------------------------------
     def on_activate(self, bank: int, row: int, now: int) -> EpisodeDecision:
@@ -125,9 +129,16 @@ class MitigationPolicy:
         events, self.pending_mitigations = self.pending_mitigations, []
         return events
 
+    def register_stats(self, registry, prefix: str) -> None:
+        """Expose the policy's counters under ``prefix`` (registry hookup)."""
+        registry.register(prefix, self.stats.as_dict)
+
     # -- helpers for subclasses ---------------------------------------------
     def _record_mitigation(self, bank: int, row: int, now: int) -> None:
         self.stats.mitigations += 1
+        if self.tracer is not None:
+            self.tracer.record(now, "MITIGATE", self.tracer_subchannel,
+                               bank, row)
         self.pending_mitigations.append(MitigationEvent(bank, row, now))
 
 

@@ -317,6 +317,10 @@ class MoPACDPolicy(MitigationPolicy):
             increment = 1 + entry.sctr * self.inv_p
             value = chip.prac.update(bank, entry.row, increment)
             self.stats.counter_updates += 1
+            if self.tracer is not None:
+                self.tracer.record(now, "DRAIN", self.tracer_subchannel,
+                                   bank, entry.row,
+                                   "ref" if on_ref else "rfm")
             if on_ref:
                 self.stats.ref_drains += 1
             if value >= self.ath_star:

@@ -1,0 +1,88 @@
+"""Structured logging for the repro package.
+
+All library and tool diagnostics flow through stdlib :mod:`logging`
+under the ``repro`` namespace — ``get_logger(__name__)`` in library
+modules, ``configure()`` once in tool entry points. *Program output*
+(rendered tables, CSV paths, attack verdicts) stays on stdout; logging
+is for progress and diagnostics and goes to stderr.
+
+Level resolution, highest priority first:
+
+1. an explicit ``configure(level=...)`` argument (tools map ``--quiet``
+   to ``"warning"``),
+2. the ``REPRO_LOG`` environment variable (``debug`` / ``info`` /
+   ``warning`` / ``error``),
+3. the default, ``info``.
+
+Library code may log without any configuration: un-configured loggers
+fall back to stdlib behaviour (warnings and above on stderr), so
+importing :mod:`repro` never hijacks the host application's logging.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import IO
+
+#: Environment variable naming the default log level.
+LEVEL_ENV = "REPRO_LOG"
+
+#: Root of the package's logger namespace.
+ROOT = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+_FORMAT = "%(levelname).1s %(name)s: %(message)s"
+
+
+def resolve_level(level: str | None = None) -> int:
+    """Map a level name (or ``REPRO_LOG``, or the default) to an int."""
+    name = (level or os.environ.get(LEVEL_ENV) or "info").strip().lower()
+    try:
+        return _LEVELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {name!r}; choose from "
+            f"{', '.join(_LEVELS)}") from None
+
+
+def get_logger(name: str = ROOT) -> logging.Logger:
+    """Logger under the ``repro`` namespace.
+
+    Accepts both ``__name__`` of a repro module (used as-is) and short
+    suffixes (``"campaign"`` becomes ``"repro.campaign"``).
+    """
+    if name == ROOT or name.startswith(ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT}.{name}")
+
+
+def configure(level: str | None = None,
+              stream: IO[str] | None = None) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` root and set its level.
+
+    Idempotent: repeated calls re-level the existing handler rather than
+    stacking new ones, and a later call with an explicit ``level`` (or a
+    changed ``REPRO_LOG``) takes effect immediately.
+    """
+    root = logging.getLogger(ROOT)
+    resolved = resolve_level(level)
+    handler = next((h for h in root.handlers
+                    if getattr(h, "_repro_handler", False)), None)
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        handler._repro_handler = True  # type: ignore[attr-defined]
+        root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    root.setLevel(resolved)
+    root.propagate = False
+    return root

@@ -1,0 +1,75 @@
+"""Phase profiler: context-manager wall-time breakdown of a run.
+
+Usage::
+
+    profiler = PhaseProfiler()
+    with profiler.phase("tracegen"):
+        traces = build_traces(...)
+    with profiler.phase("sim"):
+        result = system.run()
+    result.phases = profiler.snapshot()   # {"tracegen": 0.01, "sim": 1.2}
+
+Phases accumulate: re-entering a name adds to its total, so a loop that
+alternates ``cache_io`` and ``simulate`` phases ends with two totals.
+Phases may nest; times are *inclusive* (an outer phase contains its
+inner phases' time), which keeps the implementation a single
+``perf_counter`` pair per entry and the numbers easy to reason about.
+
+The snapshot is a plain ``{name: seconds}`` dict in first-entered
+order — it serialises into the result cache as-is. Wall times are of
+course machine-dependent; they travel with the result as provenance
+(what did the run that produced this spend its time on), and the
+observability self-check compares everything *except* them.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class PhaseProfiler:
+    """Accumulating named wall-time phases."""
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+        self._entries: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+            self._entries[name] = self._entries.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Fold an externally-measured duration into a phase."""
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        self._entries[name] = self._entries.get(name, 0) + 1
+
+    # -- queries -----------------------------------------------------------
+    def seconds(self, name: str) -> float:
+        return self._seconds.get(name, 0.0)
+
+    def entries(self, name: str) -> int:
+        return self._entries.get(name, 0)
+
+    @property
+    def total(self) -> float:
+        return sum(self._seconds.values())
+
+    def snapshot(self) -> dict[str, float]:
+        """``{phase: seconds}`` in first-entered order."""
+        return dict(self._seconds)
+
+    def summary(self) -> str:
+        """One line: ``tracegen 0.01s | sim 1.20s (total 1.21s)``."""
+        if not self._seconds:
+            return "no phases recorded"
+        parts = [f"{name} {seconds:.2f}s"
+                 for name, seconds in self._seconds.items()]
+        return " | ".join(parts) + f" (total {self.total:.2f}s)"

@@ -1,0 +1,159 @@
+"""Opt-in DRAM command/event tracer with JSONL and Chrome-trace export.
+
+The tracer is a bounded ring buffer of :class:`TraceEvent` records —
+ACT / PRE / REF / RFM / ALERT / DRAIN / MITIGATE — each stamped with the
+picosecond simulation time, sub-channel, bank, row, and a free-form
+cause. The memory controller and the mitigation policies hold a
+``tracer`` attribute that is ``None`` by default; every recording site
+is guarded by that single check, so a run without tracing executes the
+exact same instruction stream (and RNG stream) as before the tracer
+existed.
+
+Exports:
+
+* :meth:`EventTracer.to_jsonl` — one JSON object per line, trivially
+  greppable / loadable with pandas;
+* :meth:`EventTracer.to_chrome_trace` — the Chrome trace-event format
+  (``chrome://tracing`` / Perfetto): sub-channels map to ``pid``, banks
+  to ``tid``, so Perfetto renders one swim-lane per bank.
+
+When the ring fills, the oldest events are evicted and
+:attr:`EventTracer.dropped` counts how many were lost — a full export
+therefore always states its own completeness.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+from typing import IO, Iterable, NamedTuple
+
+#: Event kinds the simulator emits (free-form strings are allowed too).
+KINDS = ("ACT", "PRE", "REF", "RFM", "ALERT", "DRAIN", "MITIGATE")
+
+#: Default ring capacity: enough for every event of a reduced-scale run.
+DEFAULT_CAPACITY = 1_000_000
+
+
+class TraceEvent(NamedTuple):
+    """One traced DRAM-side event."""
+
+    time_ps: int
+    kind: str
+    subchannel: int = -1
+    bank: int = -1
+    row: int = -1
+    cause: str = ""
+
+    def as_dict(self) -> dict:
+        return {"t": self.time_ps, "kind": self.kind,
+                "sc": self.subchannel, "bank": self.bank,
+                "row": self.row, "cause": self.cause}
+
+
+class EventTracer:
+    """Bounded event ring buffer."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 enabled: bool = True):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.enabled = enabled
+        self._ring: collections.deque[TraceEvent] = \
+            collections.deque(maxlen=capacity)
+        self.dropped = 0
+
+    # -- recording ---------------------------------------------------------
+    def record(self, time_ps: int, kind: str, subchannel: int = -1,
+               bank: int = -1, row: int = -1, cause: str = "") -> None:
+        if not self.enabled:
+            return
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(
+            TraceEvent(time_ps, kind, subchannel, bank, row, cause))
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.dropped = 0
+
+    # -- queries -----------------------------------------------------------
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """All buffered events (oldest first), optionally one kind."""
+        if kind is None:
+            return list(self._ring)
+        return [event for event in self._ring if event.kind == kind]
+
+    def counts(self) -> dict[str, int]:
+        """Buffered events per kind."""
+        tally: dict[str, int] = {}
+        for event in self._ring:
+            tally[event.kind] = tally.get(event.kind, 0) + 1
+        return tally
+
+    # -- export ------------------------------------------------------------
+    def to_jsonl(self, destination: str | IO[str]) -> int:
+        """Write one JSON object per event; returns the event count."""
+        return _with_handle(destination, self._write_jsonl)
+
+    def _write_jsonl(self, handle: IO[str]) -> int:
+        written = 0
+        for event in self._ring:
+            handle.write(json.dumps(event.as_dict()) + "\n")
+            written += 1
+        return written
+
+    def to_chrome_trace(self, destination: str | IO[str]) -> int:
+        """Write the Chrome trace-event JSON document.
+
+        Timestamps convert from picoseconds to the format's microsecond
+        ``ts`` field; sub-channel and bank become ``pid``/``tid`` so
+        trace viewers group events into per-bank tracks.
+        """
+        return _with_handle(destination, self._write_chrome)
+
+    def _write_chrome(self, handle: IO[str]) -> int:
+        events = [_chrome_event(event) for event in self._ring]
+        document = {
+            "traceEvents": events,
+            "displayTimeUnit": "ns",
+            "otherData": {"dropped": self.dropped,
+                          "source": "repro.obs.tracer"},
+        }
+        json.dump(document, handle)
+        return len(events)
+
+
+def _chrome_event(event: TraceEvent) -> dict:
+    args = {"row": event.row}
+    if event.cause:
+        args["cause"] = event.cause
+    return {
+        "name": event.kind,
+        "ph": "i",  # instant event
+        "s": "t",  # thread-scoped
+        "ts": event.time_ps / 1e6,  # ps -> us
+        "pid": max(event.subchannel, 0),
+        "tid": max(event.bank, 0),
+        "args": args,
+    }
+
+
+def _with_handle(destination: str | IO[str], writer) -> int:
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            return writer(handle)
+    return writer(destination)
+
+
+def merge_events(tracers: Iterable[EventTracer]) -> list[TraceEvent]:
+    """Time-ordered merge of several tracers' buffers."""
+    merged: list[TraceEvent] = []
+    for tracer in tracers:
+        merged.extend(tracer.events())
+    merged.sort(key=lambda event: event.time_ps)
+    return merged

@@ -37,9 +37,14 @@ from ..mitigations.base import MitigationPolicy
 from ..mitigations.mopac_c import MoPACCPolicy
 from ..mitigations.mopac_d import MoPACDPolicy
 from ..mitigations.prac import BaselinePolicy, PRACMoatPolicy
+from ..obs.log import get_logger
+from ..obs.profiler import PhaseProfiler
+from ..obs.tracer import EventTracer
 from ..workloads.catalog import workload_cores
 from ..workloads.synthetic import TraceGenerator
 from .system import System, SystemResult
+
+log = get_logger(__name__)
 
 DESIGNS = ("baseline", "prac", "mopac-c", "mopac-d", "mopac-d-nup")
 
@@ -188,22 +193,41 @@ def memo_put(point: DesignPoint, result: SystemResult) -> None:
     _cache[point] = result
 
 
-def run_point(point: DesignPoint) -> SystemResult:
-    """Simulate one design point from scratch (no cache layers)."""
-    config = build_config(point)
-    specs = workload_cores(point.workload, config.cores)
-    windows = [round(config.rob_entries * spec.mlp_boost) for spec in specs]
-    system = System(
-        config=config,
-        policy_factory=make_policy_factory(point, config),
-        traces=build_traces(point, config),
-        instruction_limit=point.instructions,
-        page_policy=point.page_policy,
-        collect_row_activity=point.collect_row_activity,
-        windows=windows,
-        refresh_mode=point.refresh_mode,
-    )
-    return system.run()
+def run_point(point: DesignPoint,
+              tracer: EventTracer | None = None,
+              profiler: PhaseProfiler | None = None) -> SystemResult:
+    """Simulate one design point from scratch (no cache layers).
+
+    ``tracer`` (opt-in) records the run's DRAM command events;
+    ``profiler`` accumulates the tracegen/warmup/sim phase breakdown
+    (one is created per call when omitted). The breakdown is attached
+    to the result as ``result.phases`` either way.
+    """
+    profiler = profiler or PhaseProfiler()
+    log.debug("run_point %s.%s.t%d", point.workload, point.design,
+              point.trh)
+    with profiler.phase("tracegen"):
+        config = build_config(point)
+        specs = workload_cores(point.workload, config.cores)
+        windows = [round(config.rob_entries * spec.mlp_boost)
+                   for spec in specs]
+        traces = build_traces(point, config)
+    with profiler.phase("warmup"):
+        system = System(
+            config=config,
+            policy_factory=make_policy_factory(point, config),
+            traces=traces,
+            instruction_limit=point.instructions,
+            page_policy=point.page_policy,
+            collect_row_activity=point.collect_row_activity,
+            windows=windows,
+            refresh_mode=point.refresh_mode,
+            tracer=tracer,
+        )
+    with profiler.phase("sim"):
+        result = system.run()
+    result.phases = profiler.snapshot()
+    return result
 
 
 def simulate(point: DesignPoint, use_cache: bool = True) -> SystemResult:

@@ -32,6 +32,8 @@ from ..mc.controller import MCStats, MemoryController
 from ..mc.pagepolicy import make_page_policy
 from ..mitigations.base import MitigationPolicy
 from ..mc.request import MemRequest, next_request_id
+from ..obs.registry import StatsRegistry
+from ..obs.tracer import EventTracer
 
 PolicyFactory = Callable[[int], MitigationPolicy]
 
@@ -46,6 +48,10 @@ class SystemResult:
     policy_stats: list[dict]
     elapsed_ps: int
     row_activity: "RowActivityStats | None" = None
+    #: flat dotted-namespace stats snapshot (see docs/observability.md)
+    stats: dict[str, float] = field(default_factory=dict)
+    #: wall-time phase breakdown of the run that produced this result
+    phases: dict[str, float] = field(default_factory=dict)
 
     @property
     def ipcs(self) -> list[float]:
@@ -197,7 +203,8 @@ class System:
                  use_llc: bool = False,
                  collect_row_activity: bool = False,
                  windows: list[int] | None = None,
-                 refresh_mode: str = "all-bank"):
+                 refresh_mode: str = "all-bank",
+                 tracer: EventTracer | None = None):
         if len(traces) != config.cores:
             raise ValueError(
                 f"need {config.cores} traces, got {len(traces)}")
@@ -224,6 +231,28 @@ class System:
         self.llc = (SetAssociativeCache(config.llc_bytes, config.llc_ways,
                                         config.dram.line_bytes)
                     if use_llc else None)
+        self.tracer = tracer
+        if tracer is not None:
+            for mc in self.controllers:
+                mc.tracer = tracer
+            for index, policy in enumerate(self.policies):
+                policy.tracer = tracer
+                policy.tracer_subchannel = index
+        self.registry = StatsRegistry()
+        for mc in self.controllers:
+            mc.register_stats(self.registry, f"mc.{mc.subchannel}")
+        for index, policy in enumerate(self.policies):
+            policy.register_stats(self.registry, f"mitigation.{index}")
+        self.registry.register("mitigation", self._mitigation_aggregates)
+        for core in self.cores:
+            self.registry.register(
+                f"core.{core.core_id}",
+                lambda c=core: {
+                    "instructions": c.stats.instructions,
+                    "requests": c.stats.requests,
+                    "finish_ps": c.stats.finish_ps,
+                    "ipc": c.stats.ipc(self.config.core_ghz),
+                })
         self._request_owner: dict[int, int] = {}
         self._waiters: dict[int, int] = {}
         self._monitor: _RowActivityMonitor | None = None
@@ -236,6 +265,16 @@ class System:
                     lambda t, bank, row, _sub=mc.subchannel:
                     self._monitor.notify(t, _sub, bank, row))
         self._now = 0
+
+    def _mitigation_aggregates(self) -> dict[str, int]:
+        """Cross-sub-channel totals under the bare ``mitigation.`` prefix."""
+        return {
+            "rfm_events": sum(p.stats.alerts for p in self.policies),
+            "mitigations": sum(p.stats.mitigations for p in self.policies),
+            "counter_updates": sum(p.stats.counter_updates
+                                   for p in self.policies),
+            "ref_drains": sum(p.stats.ref_drains for p in self.policies),
+        }
 
     # ------------------------------------------------------------------
     # Event plumbing
@@ -320,6 +359,16 @@ class System:
         elapsed = max((s.finish_ps for s in core_stats), default=0)
         activity = (self._monitor.finalize(elapsed)
                     if self._monitor is not None else None)
+        sim_stats: dict[str, float] = {"elapsed_ps": elapsed}
+        if activity is not None:
+            sim_stats["row_activity"] = {
+                "windows": activity.windows,
+                "total_acts": activity.total_acts,
+                "apri": activity.apri,
+                "act64": activity.act64,
+                "act200": activity.act200,
+            }
+        self.registry.register("sim", lambda: sim_stats)
         return SystemResult(
             config=self.config,
             core_stats=core_stats,
@@ -327,4 +376,5 @@ class System:
             policy_stats=[p.stats.as_dict() for p in self.policies],
             elapsed_ps=elapsed,
             row_activity=activity,
+            stats=self.registry.snapshot(),
         )

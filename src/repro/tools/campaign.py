@@ -30,13 +30,15 @@ import argparse
 import csv
 import os
 import pathlib
-import sys
 from dataclasses import replace
 
 from ..config_io import load_design_point, save_design_point
 from ..dram.energy import energy_overhead
 from ..exec.engine import PointOutcome, SweepEngine
+from ..obs.log import configure, get_logger
 from ..sim.runner import DesignPoint, weighted_speedup
+
+log = get_logger("repro.tools.campaign")
 
 DEFAULT_DESIGNS = ("prac", "mopac-c", "mopac-d")
 DEFAULT_TRHS = (1000, 500, 250)
@@ -78,19 +80,16 @@ def run(directory: pathlib.Path, workers: int | None = None,
     total = len(set(flat))
 
     def progress(outcome: PointOutcome) -> None:
-        if not verbose:
-            return
         point = outcome.point
-        print(f"  [{outcome.index + 1:>3d}/{total}] "
-              f"{point.workload}.{point.design}.t{point.trh} "
-              f"({outcome.source}, {outcome.wall_s:.1f}s)",
-              file=sys.stderr)
+        log.info("[%3d/%d] %s.%s.t%d (%s, %.1fs)",
+                 outcome.index + 1, total, point.workload, point.design,
+                 point.trh, outcome.source, outcome.wall_s)
 
     engine = SweepEngine(workers=workers, parallel=parallel,
-                         progress=progress)
+                         progress=progress if verbose else None)
     results = engine.run(flat)
-    if verbose:
-        print(f"  {engine.metrics.summary()}", file=sys.stderr)
+    log.info("%s", engine.metrics.summary())
+    log.info("phases: %s", engine.profiler.summary())
 
     with open(csv_path, "w", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=CSV_FIELDS)
@@ -156,8 +155,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="on-disk result cache directory "
                              "(default: REPRO_CACHE_DIR)")
     parser.add_argument("--quiet", action="store_true",
-                        help="suppress per-point progress lines")
+                        help="suppress progress logging (same as "
+                             "REPRO_LOG=warning)")
     args = parser.parse_args(argv)
+    configure("warning" if args.quiet else None)
     directory = pathlib.Path(args.dir)
     if args.cache_dir:
         os.environ["REPRO_CACHE_DIR"] = args.cache_dir
@@ -165,18 +166,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "plan":
         paths = plan(directory, args.workloads, args.designs, args.trhs,
                      args.instructions)
-        print(f"planned {len(paths)} evaluations in {directory}/")
+        log.info("planned %d evaluations in %s/", len(paths), directory)
         return 0
     if args.command == "run":
         csv_path = run(directory, workers=args.workers,
                        parallel=False if args.serial else None,
                        verbose=not args.quiet)
-        print(f"wrote {csv_path}")
+        log.info("wrote %s", csv_path)
         return 0
     try:
         print(stats(directory), end="")
     except FileNotFoundError as error:
-        print(error, file=sys.stderr)
+        log.error("%s", error)
         return 2
     return 0
 

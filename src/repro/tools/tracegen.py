@@ -9,12 +9,14 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import sys
 
 from ..config import DRAMConfig
 from ..cpu.trace import trace_mpki, write_trace_file
+from ..obs.log import configure, get_logger
 from ..workloads.catalog import SPEC_WORKLOADS
 from ..workloads.synthetic import generate_trace
+
+log = get_logger("repro.tools.tracegen")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -28,6 +30,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0x7ACE)
     parser.add_argument("-o", "--output", default=None)
     args = parser.parse_args(argv)
+    configure()
 
     if args.list or not args.workload:
         print("\n".join(sorted(SPEC_WORKLOADS)))
@@ -35,7 +38,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         spec = SPEC_WORKLOADS[args.workload]
     except KeyError:
-        print(f"unknown workload {args.workload!r}", file=sys.stderr)
+        log.error("unknown workload %r", args.workload)
         return 2
     items = generate_trace(spec, DRAMConfig(), args.accesses,
                            core_id=args.core, seed=args.seed)
@@ -44,8 +47,8 @@ def main(argv: list[str] | None = None) -> int:
               f"core={args.core} seed={args.seed} "
               f"measured_mpki={trace_mpki(items):.2f}")
     count = write_trace_file(path, items, header=header)
-    print(f"wrote {count} accesses to {path} "
-          f"(MPKI {trace_mpki(items):.1f}, target {spec.mpki})")
+    log.info("wrote %d accesses to %s (MPKI %.1f, target %s)",
+             count, path, trace_mpki(items), spec.mpki)
     return 0
 
 

@@ -60,6 +60,14 @@ class TestResultCache:
         assert cache.counters.hits == 1
         assert len(cache) == 1
 
+    def test_observability_fields_round_trip(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        cache.put(POINT, result)
+        back = cache.get(POINT)
+        assert back.stats == result.stats
+        assert back.stats["mc.0.row_hits"] == result.mc_stats[0].row_hits
+        assert back.phases == result.phases
+
     def test_persists_across_instances(self, tmp_path, result):
         ResultCache(tmp_path).put(POINT, result)
         fresh = ResultCache(tmp_path)

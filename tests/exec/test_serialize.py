@@ -48,6 +48,15 @@ class TestRoundTrip:
         assert roundtripped.config == result.config
         assert roundtripped.config.dram.timing == result.config.dram.timing
 
+    def test_stats_snapshot_bit_identical(self, result, roundtripped):
+        assert result.stats  # populated by System.run()
+        assert roundtripped.stats == result.stats
+        assert list(roundtripped.stats) == list(result.stats)
+
+    def test_phase_timings_bit_identical(self, result, roundtripped):
+        assert set(result.phases) == {"tracegen", "warmup", "sim"}
+        assert roundtripped.phases == result.phases
+
     def test_derived_metrics_match(self, result, roundtripped):
         assert roundtripped.row_buffer_hit_rate == \
             result.row_buffer_hit_rate

@@ -1,0 +1,89 @@
+"""Structured logging: namespacing, REPRO_LOG, idempotent configure."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.log import configure, get_logger, resolve_level
+
+
+@pytest.fixture(autouse=True)
+def reset_repro_logging():
+    yield
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_handler", False):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+class TestResolveLevel:
+    def test_default_is_info(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        assert resolve_level() == logging.INFO
+
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "debug")
+        assert resolve_level() == logging.DEBUG
+
+    def test_argument_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "debug")
+        assert resolve_level("error") == logging.ERROR
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            resolve_level("loud")
+
+
+class TestGetLogger:
+    def test_short_name_is_namespaced(self):
+        assert get_logger("campaign").name == "repro.campaign"
+
+    def test_module_name_kept(self):
+        assert get_logger("repro.exec.engine").name == "repro.exec.engine"
+
+    def test_root(self):
+        assert get_logger().name == "repro"
+
+
+class TestConfigure:
+    def test_messages_reach_the_stream(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        stream = io.StringIO()
+        configure(stream=stream)
+        get_logger("unit").info("hello %d", 7)
+        assert "I repro.unit: hello 7" in stream.getvalue()
+
+    def test_warning_level_silences_info(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        stream = io.StringIO()
+        configure("warning", stream=stream)
+        get_logger("unit").info("quiet")
+        get_logger("unit").warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_repeated_configure_does_not_stack_handlers(self):
+        configure()
+        configure()
+        root = logging.getLogger("repro")
+        ours = [h for h in root.handlers
+                if getattr(h, "_repro_handler", False)]
+        assert len(ours) == 1
+
+    def test_reconfigure_changes_level(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        stream = io.StringIO()
+        configure("warning", stream=stream)
+        configure("debug", stream=stream)
+        get_logger("unit").debug("now visible")
+        assert "now visible" in stream.getvalue()
+
+    def test_env_level_applies(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "error")
+        stream = io.StringIO()
+        configure(stream=stream)
+        get_logger("unit").warning("hidden")
+        assert stream.getvalue() == ""

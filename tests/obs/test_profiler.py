@@ -1,0 +1,57 @@
+"""Phase profiler: accumulation, nesting, snapshots, summaries."""
+
+from repro.obs.profiler import PhaseProfiler
+
+
+class TestPhases:
+    def test_phase_records_time(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("sim"):
+            pass
+        assert profiler.seconds("sim") >= 0.0
+        assert profiler.entries("sim") == 1
+
+    def test_reentry_accumulates(self):
+        profiler = PhaseProfiler()
+        for _ in range(3):
+            with profiler.phase("cache_io"):
+                pass
+        assert profiler.entries("cache_io") == 3
+
+    def test_records_even_on_exception(self):
+        profiler = PhaseProfiler()
+        try:
+            with profiler.phase("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert profiler.entries("boom") == 1
+
+    def test_add_external_duration(self):
+        profiler = PhaseProfiler()
+        profiler.add("simulate", 1.5)
+        profiler.add("simulate", 0.5)
+        assert profiler.seconds("simulate") == 2.0
+
+    def test_snapshot_preserves_first_entered_order(self):
+        profiler = PhaseProfiler()
+        profiler.add("tracegen", 0.1)
+        profiler.add("sim", 0.2)
+        profiler.add("tracegen", 0.1)
+        assert list(profiler.snapshot()) == ["tracegen", "sim"]
+
+    def test_total_and_summary(self):
+        profiler = PhaseProfiler()
+        profiler.add("a", 1.0)
+        profiler.add("b", 2.0)
+        assert profiler.total == 3.0
+        summary = profiler.summary()
+        assert "a 1.00s" in summary and "total 3.00s" in summary
+
+    def test_empty_summary(self):
+        assert PhaseProfiler().summary() == "no phases recorded"
+
+    def test_unknown_phase_reads_zero(self):
+        profiler = PhaseProfiler()
+        assert profiler.seconds("nope") == 0.0
+        assert profiler.entries("nope") == 0

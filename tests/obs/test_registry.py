@@ -1,0 +1,106 @@
+"""Stats registry: metrics, providers, flattening, determinism."""
+
+import pytest
+
+from repro.obs.registry import Counter, Gauge, Histogram, StatsRegistry
+
+
+class TestMetrics:
+    def test_counter(self):
+        registry = StatsRegistry()
+        counter = registry.counter("exec.points")
+        counter.inc()
+        counter.inc(4)
+        assert registry.snapshot() == {"exec.points": 5}
+
+    def test_counter_is_shared_by_name(self):
+        registry = StatsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc()
+        assert registry.snapshot()["a"] == 2
+
+    def test_gauge(self):
+        registry = StatsRegistry()
+        registry.gauge("queue.depth").set(7)
+        registry.gauge("queue.depth").set(3)
+        assert registry.snapshot()["queue.depth"] == 3
+
+    def test_name_type_conflict_rejected(self):
+        registry = StatsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="Counter"):
+            registry.gauge("x")
+
+
+class TestHistogram:
+    def test_percentiles_land_on_bucket_edges(self):
+        hist = Histogram([10, 20, 30, 40])
+        for value in (1, 11, 12, 21, 35, 35):
+            hist.observe(value)
+        assert hist.count == 6
+        assert hist.percentile(0.5) == 20
+        assert hist.percentile(0.99) == 40
+
+    def test_overflow_clamps_to_top_bound(self):
+        hist = Histogram([10, 20])
+        hist.observe(10_000)
+        assert hist.percentile(0.5) == 20
+        assert hist.counts[-1] == 1
+
+    def test_mean_exact(self):
+        hist = Histogram([100])
+        hist.observe(2)
+        hist.observe(4)
+        assert hist.mean == 3.0
+
+    def test_empty(self):
+        hist = Histogram([10])
+        assert hist.percentile(0.5) == 0
+        assert hist.mean == 0.0
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram([20, 10])
+
+    def test_as_dict_keys(self):
+        hist = Histogram([10])
+        assert set(hist.as_dict()) == {"count", "mean", "p50", "p90",
+                                       "p99"}
+
+
+class TestProviders:
+    def test_nested_dict_flattens_with_dots(self):
+        registry = StatsRegistry()
+        registry.register("mc.0", lambda: {"row_hits": 3,
+                                           "bank": {"0": {"acts": 1}}})
+        assert registry.snapshot() == {"mc.0.row_hits": 3,
+                                       "mc.0.bank.0.acts": 1}
+
+    def test_provider_reads_live_state(self):
+        state = {"n": 0}
+        registry = StatsRegistry()
+        registry.register("live", lambda: dict(state))
+        state["n"] = 9
+        assert registry.snapshot()["live.n"] == 9
+
+    def test_snapshot_keys_sorted(self):
+        registry = StatsRegistry()
+        registry.register("z", lambda: {"v": 1})
+        registry.register("a", lambda: {"v": 2})
+        registry.counter("m.count")
+        assert list(registry.snapshot()) == ["a.v", "m.count", "z.v"]
+
+    def test_non_numeric_value_rejected(self):
+        registry = StatsRegistry()
+        registry.register("bad", lambda: {"name": "prac"})
+        with pytest.raises(TypeError, match="bad.name"):
+            registry.snapshot()
+
+    def test_histogram_value_flattens(self):
+        registry = StatsRegistry()
+        hist = Histogram([10])
+        hist.observe(5)
+        registry.register("lat", lambda: {"ps": hist})
+        snap = registry.snapshot()
+        assert snap["lat.ps.count"] == 1
+        assert snap["lat.ps.p50"] == 10

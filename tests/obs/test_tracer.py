@@ -1,0 +1,101 @@
+"""Event tracer: ring bounding, queries, JSONL and Chrome export."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.tracer import EventTracer, TraceEvent, merge_events
+
+
+def fill(tracer: EventTracer, n: int, kind: str = "ACT") -> None:
+    for i in range(n):
+        tracer.record(i * 1000, kind, subchannel=0, bank=i % 4, row=i)
+
+
+class TestRing:
+    def test_records_in_order(self):
+        tracer = EventTracer()
+        fill(tracer, 3)
+        times = [event.time_ps for event in tracer.events()]
+        assert times == [0, 1000, 2000]
+
+    def test_bounded_with_drop_accounting(self):
+        tracer = EventTracer(capacity=10)
+        fill(tracer, 25)
+        assert len(tracer) == 10
+        assert tracer.dropped == 15
+        # oldest events were evicted; the newest survive
+        assert tracer.events()[-1].row == 24
+
+    def test_disabled_records_nothing(self):
+        tracer = EventTracer(enabled=False)
+        fill(tracer, 5)
+        assert len(tracer) == 0
+
+    def test_clear(self):
+        tracer = EventTracer(capacity=2)
+        fill(tracer, 5)
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.dropped == 0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            EventTracer(capacity=0)
+
+
+class TestQueries:
+    def test_kind_filter_and_counts(self):
+        tracer = EventTracer()
+        fill(tracer, 4, "ACT")
+        fill(tracer, 2, "RFM")
+        assert tracer.counts() == {"ACT": 4, "RFM": 2}
+        assert len(tracer.events("RFM")) == 2
+
+    def test_merge_events_time_orders(self):
+        a, b = EventTracer(), EventTracer()
+        a.record(300, "ACT")
+        b.record(100, "REF")
+        b.record(200, "PRE")
+        merged = merge_events([a, b])
+        assert [event.kind for event in merged] == ["REF", "PRE", "ACT"]
+
+
+class TestExport:
+    def test_jsonl(self):
+        tracer = EventTracer()
+        tracer.record(1500, "ALERT", 1, 2, 3, "srq_full")
+        buffer = io.StringIO()
+        assert tracer.to_jsonl(buffer) == 1
+        record = json.loads(buffer.getvalue())
+        assert record == {"t": 1500, "kind": "ALERT", "sc": 1,
+                          "bank": 2, "row": 3, "cause": "srq_full"}
+
+    def test_jsonl_to_path(self, tmp_path):
+        tracer = EventTracer()
+        fill(tracer, 3)
+        path = tmp_path / "events.jsonl"
+        assert tracer.to_jsonl(str(path)) == 3
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+
+    def test_chrome_trace_document(self, tmp_path):
+        tracer = EventTracer()
+        tracer.record(2_000_000, "ACT", subchannel=1, bank=7, row=42,
+                      cause="miss")
+        tracer.record(3_000_000, "RFM", subchannel=0)
+        path = tmp_path / "trace.json"
+        assert tracer.to_chrome_trace(str(path)) == 2
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        assert len(events) == 2
+        act = events[0]
+        assert act["name"] == "ACT" and act["ph"] == "i"
+        assert act["ts"] == 2.0  # 2e6 ps == 2 us
+        assert act["pid"] == 1 and act["tid"] == 7
+        assert act["args"] == {"row": 42, "cause": "miss"}
+        assert document["otherData"]["dropped"] == 0
+
+    def test_event_as_dict_defaults(self):
+        event = TraceEvent(10, "REF")
+        assert event.as_dict()["bank"] == -1

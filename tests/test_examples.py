@@ -5,6 +5,7 @@ exercised with reduced arguments. Examples are user-facing documentation,
 so a broken example is a broken deliverable.
 """
 
+import json
 import pathlib
 import subprocess
 import sys
@@ -40,6 +41,18 @@ class TestFastExamples:
     def test_file_traces(self):
         out = run_example("file_traces.py")
         assert "PRAC slowdown on the replayed traces" in out
+
+    def test_tracing_demo(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        jsonl = tmp_path / "events.jsonl"
+        out = run_example("tracing_demo.py", "--out", str(trace),
+                          "--jsonl", str(jsonl))
+        assert "ALERT=0" not in out
+        assert "traced RFM events match controller stats" in out
+        document = json.loads(trace.read_text())
+        events = document["traceEvents"]
+        assert any(event["name"] == "ALERT" for event in events)
+        assert len(jsonl.read_text().splitlines()) == len(events)
 
     def test_performance_study_tiny(self):
         out = run_example("performance_study.py", "--workloads",
