@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke obs-smoke ci clean-cache
+.PHONY: test smoke obs-smoke check coverage-check ci clean-cache
 
 # Tier-1 suite (the correctness gate).
 test:
@@ -16,8 +16,24 @@ obs-smoke:
 	$(PYTHON) examples/tracing_demo.py
 	$(PYTHON) -m repro.obs.selfcheck
 
+# Independent verification: conformance oracle on traced campaign
+# points, seeded mutation detection, differential design invariants,
+# and a bounded fuzz smoke (see docs/verification.md).
+check:
+	$(PYTHON) -m repro.check.selfcheck --fuzz-cases 12
+
+# Coverage for the verification layer itself; skips cleanly when
+# pytest-cov is not installed (it is optional tooling, not a dep).
+coverage-check:
+	@if $(PYTHON) -c "import importlib.util,sys; sys.exit(importlib.util.find_spec('pytest_cov') is None)"; then \
+		$(PYTHON) -m pytest -q --cov=src/repro/check --cov-report=term tests/check; \
+	else \
+		echo "pytest-cov not installed; running tests/check without coverage"; \
+		$(PYTHON) -m pytest -q tests/check; \
+	fi
+
 # What CI runs.
-ci: test smoke obs-smoke
+ci: test smoke obs-smoke check
 
 clean-cache:
 	rm -rf benchmarks/results/.cache .repro-cache

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from ..mitigations.base import MitigationPolicy
+from ..rng import derive_seed
 from .harness import run_attack
 from .ledger import LedgerReport
 from .patterns import (Target, blacksmith, decoy_hammer, double_sided,
@@ -36,13 +37,18 @@ class FuzzCase:
 
 @dataclass
 class FuzzResult:
-    """Outcome of a fuzzing campaign."""
+    """Outcome of a fuzzing campaign.
+
+    ``per_case`` rows are ``(description, worst_count, case_seed)``;
+    feeding a row's ``case_seed`` to :func:`replay_case` re-runs that
+    exact pattern in isolation — no need to replay the whole campaign.
+    """
 
     worst_count: int
     worst_case: str
     cases: int
     broken: bool
-    per_case: list[tuple[str, int]]
+    per_case: list[tuple[str, int, int]]
 
 
 def sample_case(rng: random.Random, banks: int, rows: int) -> FuzzCase:
@@ -87,22 +93,48 @@ def sample_case(rng: random.Random, banks: int, rows: int) -> FuzzCase:
         lambda: blacksmith(0, base, pairs=pairs, frequencies=freqs))
 
 
+def replay_case(policy_factory: Callable[[], MitigationPolicy],
+                case_seed: int, trh: int, acts_per_case: int = 100_000,
+                banks: int = 4, rows: int = 1024,
+                refresh_groups: int = 64) -> tuple[FuzzCase, int]:
+    """Re-run one fuzz case from its logged seed.
+
+    The case's pattern is fully determined by ``case_seed`` (the third
+    element of a :class:`FuzzResult` ``per_case`` row), independent of
+    the campaign that found it. Returns the case and its worst
+    unmitigated activation count.
+    """
+    case = sample_case(random.Random(case_seed), banks, rows)
+    result = run_attack(policy_factory(), case.factory(),
+                        acts_per_case, trh=trh, banks=banks,
+                        rows=rows, refresh_groups=refresh_groups,
+                        stop_on_failure=True)
+    return case, result.ledger.max_count
+
+
 def fuzz(policy_factory: Callable[[], MitigationPolicy], trh: int,
          cases: int = 20, acts_per_case: int = 100_000,
          banks: int = 4, rows: int = 1024, refresh_groups: int = 64,
-         seed: int = 0xF422) -> FuzzResult:
-    """Run a fuzzing campaign; returns the worst observation."""
-    rng = random.Random(seed)
+         seed: int = 0xF422,
+         rng: random.Random | None = None) -> FuzzResult:
+    """Run a fuzzing campaign; returns the worst observation.
+
+    ``rng`` (when given) is the explicit randomness handle the case
+    seeds are drawn from; otherwise a private generator derived from
+    ``seed`` is used. Either way each case gets its own logged seed, so
+    any single case replays via :func:`replay_case` without re-running
+    the ones before it.
+    """
+    if rng is None:
+        rng = random.Random(derive_seed(seed, "attack-fuzzer"))
     worst_count, worst_case = 0, "none"
-    per_case: list[tuple[str, int]] = []
+    per_case: list[tuple[str, int, int]] = []
     for _ in range(cases):
-        case = sample_case(rng, banks, rows)
-        result = run_attack(policy_factory(), case.factory(),
-                            acts_per_case, trh=trh, banks=banks,
-                            rows=rows, refresh_groups=refresh_groups,
-                            stop_on_failure=True)
-        count = result.ledger.max_count
-        per_case.append((case.description, count))
+        case_seed = rng.getrandbits(48)
+        case, count = replay_case(policy_factory, case_seed, trh,
+                                  acts_per_case, banks, rows,
+                                  refresh_groups)
+        per_case.append((case.description, count, case_seed))
         if count > worst_count:
             worst_count, worst_case = count, case.description
     return FuzzResult(worst_count=worst_count, worst_case=worst_case,

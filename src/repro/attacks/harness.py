@@ -58,12 +58,17 @@ class AttackHarness:
 
     def __init__(self, policy: MitigationPolicy, trh: int,
                  banks: int = 32, rows: int = 65536,
-                 refresh_groups: int = 8192, enable_refresh: bool = True):
+                 refresh_groups: int = 8192, enable_refresh: bool = True,
+                 observers: list | None = None):
         self.policy = policy
         self.trh = trh
         self.banks = banks
         self.rows = rows
         self.ledger = HammerLedger(banks, rows, trh, refresh_groups)
+        #: notified in lockstep with the ledger (on_activate /
+        #: on_refresh / on_mitigation) — the differential harness's
+        #: shadow auditors plug in here
+        self.observers = list(observers or [])
         self.enable_refresh = enable_refresh
         self.now = 0
         self.next_ref = policy.timing.tREFI
@@ -90,6 +95,8 @@ class AttackHarness:
 
             decision = self.policy.on_activate(bank, row, issue)
             self.ledger.on_activate(bank, row)
+            for observer in self.observers:
+                observer.on_activate(bank, row)
             self._acts += 1
             pre_time = issue + decision.act_timing.tRAS
             self.policy.on_precharge(bank, row, pre_time,
@@ -119,6 +126,8 @@ class AttackHarness:
         while issue >= self.next_ref:
             self.policy.on_refresh(self.next_ref)
             self.ledger.on_refresh()
+            for observer in self.observers:
+                observer.on_refresh()
             self._apply_mitigations()
             ref_end = self.next_ref + timing.tRFC
             issue = max(issue, ref_end)
@@ -150,6 +159,8 @@ class AttackHarness:
     def _apply_mitigations(self) -> None:
         for event in self.policy.drain_mitigations():
             self.ledger.on_mitigation(event.bank, event.row)
+            for observer in self.observers:
+                observer.on_mitigation(event.bank, event.row)
 
 
 def run_attack(policy: MitigationPolicy, pattern: Iterator[Target],

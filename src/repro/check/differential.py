@@ -1,0 +1,220 @@
+"""Differential verification across the mitigation designs.
+
+QPRAC's evaluation leans on exact-PRAC as its ground truth; we do the
+same, structurally: run MoPAC-C, MoPAC-D, QPRAC, and exact-PRAC (MOAT)
+through the activation-level harness on *identical* seeded target
+streams and assert the invariants every correct implementation must
+satisfy, whatever its internals:
+
+* **security** — the omniscient :class:`~repro.attacks.ledger.HammerLedger`
+  never sees a row exceed the tolerated activation count between
+  mitigations (``attack_succeeded`` stays False for every design);
+* **counter conservation** (exact-PRAC designs: ``prac``, ``qprac``) —
+  every per-row PRAC counter equals an independently maintained shadow
+  (+1 per ACT, aggressor zeroed and blast-radius victims +1 per
+  mitigation, refresh groups cleared in lockstep), and the policy's
+  ``counter_updates`` stat equals its ``activations`` stat;
+* **workload identity** — all designs observed the same activation
+  stream (equal ledger totals).
+
+Target streams are derived from a master seed through
+:func:`repro.rng.derive_seed`, so any divergence replays exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..attacks.harness import AttackHarness, Target
+from ..mitigations.mopac_c import MoPACCPolicy
+from ..mitigations.mopac_d import MoPACDPolicy
+from ..mitigations.prac import PRACMoatPolicy
+from ..mitigations.prac_state import BLAST_RADIUS, RefreshSchedule
+from ..mitigations.qprac import QPRACPolicy
+from ..rng import derive_seed
+
+#: designs whose per-row counters must exactly track activations
+EXACT_DESIGNS = ("prac", "qprac")
+
+DESIGNS = ("prac", "qprac", "mopac-c", "mopac-d")
+
+
+class CounterConservationAuditor:
+    """Shadow PRAC counters maintained from the ledger-observer stream.
+
+    Implements the harness observer interface. The shadow mirrors the
+    exact-PRAC counter semantics — +1 per activation, aggressor reset
+    plus blast-radius victim increments per mitigation (footnote 5),
+    refresh groups cleared round-robin — without touching any policy
+    state, so comparing it against ``policy.counter_value`` catches
+    lost, duplicated, or misattributed counter updates on either side.
+    """
+
+    def __init__(self, banks: int, rows: int, refresh_groups: int):
+        self.banks = banks
+        self.rows = rows
+        self.counts = [np.zeros(rows, dtype=np.int64) for _ in range(banks)]
+        self.schedules = [RefreshSchedule(rows, refresh_groups)
+                          for _ in range(banks)]
+
+    def on_activate(self, bank: int, row: int) -> None:
+        self.counts[bank][row] += 1
+
+    def on_refresh(self) -> None:
+        for bank in range(self.banks):
+            start, stop = self.schedules[bank].advance()
+            self.counts[bank][start:stop] = 0
+
+    def on_mitigation(self, bank: int, row: int) -> None:
+        counts = self.counts[bank]
+        counts[row] = 0
+        for offset in range(1, BLAST_RADIUS + 1):
+            for victim in (row - offset, row + offset):
+                if 0 <= victim < self.rows:
+                    counts[victim] += 1
+
+    def mismatches(self, policy) -> list[tuple[int, int, int, int]]:
+        """(bank, row, shadow, policy) for every diverging counter."""
+        out = []
+        for bank in range(self.banks):
+            diff = np.nonzero(
+                self.counts[bank]
+                != np.array([policy.counter_value(bank, r)
+                             for r in range(self.rows)]))[0]
+            for row in diff:
+                out.append((bank, int(row), int(self.counts[bank][row]),
+                            policy.counter_value(bank, int(row))))
+        return out
+
+
+@dataclass
+class DesignOutcome:
+    design: str
+    max_count: int
+    attack_succeeded: bool
+    total_activations: int
+    counter_mismatches: list = field(default_factory=list)
+    stats_conserved: bool = True
+
+
+@dataclass
+class DifferentialReport:
+    """Aggregate verdict of one differential run."""
+
+    trh: int
+    activations: int
+    seed: int
+    outcomes: list[DesignOutcome] = field(default_factory=list)
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        lines = [f"differential trh={self.trh} acts={self.activations} "
+                 f"seed={hex(self.seed)}: "
+                 + ("OK" if self.ok else f"{len(self.failures)} failure(s)")]
+        for o in self.outcomes:
+            lines.append(f"  {o.design}: max_count={o.max_count} "
+                         f"acts={o.total_activations}"
+                         + ("" if not o.counter_mismatches else
+                            f" counter_mismatches="
+                            f"{len(o.counter_mismatches)}"))
+        lines.extend(f"  FAIL: {f}" for f in self.failures)
+        return "\n".join(lines)
+
+
+def make_targets(seed: int, banks: int, rows: int,
+                 activations: int) -> list[Target]:
+    """Seeded adversarial target stream shared by every design.
+
+    A blend of focused hammering (few hot rows — the single-sided /
+    many-sided regimes) and background noise, which exercises both the
+    trackers' hot paths and their eviction/refresh interactions.
+    """
+    rng = random.Random(derive_seed(seed, "differential-targets"))
+    hot = [(rng.randrange(banks), rng.randrange(rows))
+           for _ in range(max(2, banks // 2))]
+    targets: list[Target] = []
+    for _ in range(activations):
+        roll = rng.random()
+        if roll < 0.7:
+            targets.append(rng.choice(hot))
+        elif roll < 0.8:  # neighbouring rows: blast-radius interactions
+            bank, row = rng.choice(hot)
+            targets.append((bank, min(rows - 1,
+                                      max(0, row + rng.choice((-1, 1))))))
+        else:
+            targets.append((rng.randrange(banks), rng.randrange(rows)))
+    return targets
+
+
+def _make_policy(design: str, trh: int, banks: int, rows: int,
+                 groups: int, seed: int):
+    if design == "prac":
+        return PRACMoatPolicy(trh, banks, rows, groups)
+    if design == "qprac":
+        return QPRACPolicy(trh, banks, rows, groups)
+    if design == "mopac-c":
+        return MoPACCPolicy(
+            trh, banks, rows, refresh_groups=groups,
+            rng=random.Random(derive_seed(seed, "mopac-c")))
+    if design == "mopac-d":
+        return MoPACDPolicy(
+            trh, banks, rows, refresh_groups=groups,
+            rng=random.Random(derive_seed(seed, "mopac-d")))
+    raise ValueError(f"unknown design {design!r}")
+
+
+def run_differential(trh: int = 500, activations: int = 60_000,
+                     banks: int = 4, rows: int = 512,
+                     refresh_groups: int = 64,
+                     seed: int = 0xD1FF,
+                     designs: tuple[str, ...] = DESIGNS
+                     ) -> DifferentialReport:
+    """Run every design on one seeded stream; check the invariants."""
+    report = DifferentialReport(trh=trh, activations=activations, seed=seed)
+    targets = make_targets(seed, banks, rows, activations)
+    totals: dict[str, int] = {}
+    for design in designs:
+        policy = _make_policy(design, trh, banks, rows, refresh_groups,
+                              seed)
+        auditor = (CounterConservationAuditor(banks, rows, refresh_groups)
+                   if design in EXACT_DESIGNS else None)
+        harness = AttackHarness(
+            policy, trh, banks, rows, refresh_groups,
+            observers=[auditor] if auditor else [])
+        result = harness.run(iter(targets), activations)
+        outcome = DesignOutcome(
+            design=design, max_count=result.ledger.max_count,
+            attack_succeeded=result.attack_succeeded,
+            total_activations=result.ledger.total_activations)
+        if result.attack_succeeded:
+            report.failures.append(
+                f"{design}: row ({result.ledger.max_bank},"
+                f"{result.ledger.max_row}) reached "
+                f"{result.ledger.max_count} > trh={trh} unmitigated")
+        if auditor is not None:
+            outcome.counter_mismatches = auditor.mismatches(policy)[:10]
+            if outcome.counter_mismatches:
+                bank, row, shadow, got = outcome.counter_mismatches[0]
+                report.failures.append(
+                    f"{design}: counter conservation broken, e.g. "
+                    f"bank {bank} row {row}: shadow {shadow} != "
+                    f"policy {got}")
+            stats = policy.stats
+            outcome.stats_conserved = \
+                stats.counter_updates == stats.activations
+            if not outcome.stats_conserved:
+                report.failures.append(
+                    f"{design}: counter_updates {stats.counter_updates} "
+                    f"!= activations {stats.activations}")
+        totals[design] = result.ledger.total_activations
+        report.outcomes.append(outcome)
+    if len(set(totals.values())) > 1:
+        report.failures.append(f"designs saw different streams: {totals}")
+    return report

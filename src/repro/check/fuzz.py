@@ -1,0 +1,295 @@
+"""Property-based fuzzing of the MC scheduler and page policies.
+
+Each fuzz case builds a real :class:`~repro.mc.controller.MemoryController`
+(with a randomly drawn mitigation design, page policy, refresh mode, and
+geometry) on a private event heap, drives it with a seeded randomized
+request stream — bursty arrivals, conflict ping-pong, hot rows, writes —
+and replays the traced command stream through the conformance oracle.
+The property under test: *every stream the controller emits is legal.*
+
+Failures shrink by trace-prefix bisection (:func:`shrink_prefix`) and
+carry the case's derivation seed, so ``replay_case(master_seed, index)``
+reproduces the exact controller run and trace.
+
+Case seeds come from :func:`repro.rng.derive_seed` named streams off one
+master seed — logging the master seed is enough to replay any case.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..config import DRAMConfig
+from ..dram.commands import BankAddress, LineAddress
+from ..dram.timing import ddr5_prac
+from ..mc.controller import MemoryController
+from ..mc.pagepolicy import make_page_policy
+from ..mc.request import MemRequest
+from ..mitigations.mopac_c import MoPACCPolicy
+from ..mitigations.mopac_d import MoPACDPolicy
+from ..mitigations.prac import BaselinePolicy, PRACMoatPolicy
+from ..mitigations.qprac import QPRACPolicy
+from ..obs.tracer import EventTracer, TraceEvent
+from ..rng import derive_seed
+from .oracle import ConformanceOracle, OracleConfig, Violation
+
+NS = 1000
+
+DESIGN_CHOICES = ("baseline", "prac", "qprac", "mopac-c", "mopac-d")
+PAGE_POLICY_CHOICES = ("open", "close", "ton60", "ton200")
+REFRESH_MODE_CHOICES = ("all-bank", "same-bank")
+
+#: runaway-case backstop: heap events processed before giving up
+MAX_EVENTS = 500_000
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    arrival_ps: int
+    bank: int
+    row: int
+    is_write: bool
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fully-derived fuzz scenario (reconstructible from its seed)."""
+
+    index: int
+    seed: int
+    design: str
+    page_policy: str
+    refresh_mode: str
+    banks: int
+    rows: int
+    trh: int
+    requests: tuple[RequestSpec, ...]
+
+    def describe(self) -> str:
+        return (f"case {self.index} (seed {hex(self.seed)}): "
+                f"{self.design}/{self.page_policy}/{self.refresh_mode} "
+                f"banks={self.banks} rows={self.rows} trh={self.trh} "
+                f"requests={len(self.requests)}")
+
+
+@dataclass
+class FuzzFailure:
+    case: FuzzCase
+    violations: list[Violation]
+    shrunk_events: int
+    runaway: bool = False
+
+    def describe(self) -> str:
+        if self.runaway:
+            return f"{self.case.describe()}: runaway (> {MAX_EVENTS} events)"
+        head = str(self.violations[0]) if self.violations else "?"
+        return (f"{self.case.describe()}: {len(self.violations)} "
+                f"violation(s), first at event prefix "
+                f"{self.shrunk_events} — {head}")
+
+
+@dataclass
+class FuzzReport:
+    master_seed: int
+    cases_run: int = 0
+    events_checked: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        lines = [f"fuzz master_seed={hex(self.master_seed)}: "
+                 f"{self.cases_run} case(s), {self.events_checked} events "
+                 + ("OK" if self.ok else f"{len(self.failures)} FAILURES")]
+        lines.extend("  " + f.describe() for f in self.failures)
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Case derivation
+# ---------------------------------------------------------------------------
+def build_case(master_seed: int, index: int) -> FuzzCase:
+    """Derive fuzz case ``index`` deterministically from the master seed."""
+    seed = derive_seed(master_seed, f"fuzz-case-{index}")
+    rng = random.Random(seed)
+    banks = rng.choice((2, 4, 8))
+    rows = rng.choice((64, 128))
+    design = rng.choice(DESIGN_CHOICES)
+    case = FuzzCase(
+        index=index, seed=seed, design=design,
+        page_policy=rng.choice(PAGE_POLICY_CHOICES),
+        refresh_mode=rng.choice(REFRESH_MODE_CHOICES),
+        banks=banks, rows=rows,
+        trh=rng.choice((100, 250)),
+        requests=tuple(_gen_requests(rng, banks, rows)),
+    )
+    return case
+
+
+def _gen_requests(rng: random.Random, banks: int,
+                  rows: int) -> list[RequestSpec]:
+    n = rng.randrange(200, 600)
+    write_frac = rng.uniform(0.0, 0.5)
+    # three stream shapes, possibly blended
+    hot = [(rng.randrange(banks), rng.randrange(rows))
+           for _ in range(rng.randrange(1, 4))]
+    pair_bank = rng.randrange(banks)
+    pair_rows = (rng.randrange(rows), rng.randrange(rows))
+    bursty = rng.random() < 0.5
+    out: list[RequestSpec] = []
+    t = 0
+    for _ in range(n):
+        t += rng.randrange(0, 4 * NS) if bursty \
+            else rng.randrange(0, 120 * NS)
+        roll = rng.random()
+        if roll < 0.4:  # conflict ping-pong on one bank
+            bank, row = pair_bank, pair_rows[len(out) % 2]
+        elif roll < 0.75:  # hot rows (row-hit streaks, tracker pressure)
+            bank, row = rng.choice(hot)
+        else:
+            bank, row = rng.randrange(banks), rng.randrange(rows)
+        out.append(RequestSpec(arrival_ps=t, bank=bank, row=row,
+                               is_write=rng.random() < write_frac))
+    return out
+
+
+def _make_policy(case: FuzzCase):
+    banks, rows, trh = case.banks, case.rows, case.trh
+    groups = min(64, rows)
+    if case.design == "baseline":
+        return BaselinePolicy()
+    if case.design == "prac":
+        return PRACMoatPolicy(trh, banks, rows, groups,
+                              timing=ddr5_prac())
+    if case.design == "qprac":
+        return QPRACPolicy(trh, banks, rows, groups, timing=ddr5_prac())
+    if case.design == "mopac-c":
+        return MoPACCPolicy(trh, banks, rows, refresh_groups=groups,
+                            rng=random.Random(case.seed ^ 0xC))
+    if case.design == "mopac-d":
+        return MoPACDPolicy(trh, banks, rows, refresh_groups=groups,
+                            srq_size=5,
+                            rng=random.Random(case.seed ^ 0xD))
+    raise AssertionError(case.design)
+
+
+# ---------------------------------------------------------------------------
+# Micro-harness: one controller on a private heap
+# ---------------------------------------------------------------------------
+def run_case(case: FuzzCase) -> tuple[list[TraceEvent], list[Violation],
+                                      bool]:
+    """Execute one case; returns (events, violations, runaway)."""
+    policy = _make_policy(case)
+    config = DRAMConfig(banks_per_subchannel=case.banks,
+                        rows_per_bank=case.rows)
+    heap: list = []
+    counter = iter(range(1 << 62))
+
+    def scheduler(time_ps: int, callback) -> None:
+        heapq.heappush(heap, (time_ps, next(counter), callback))
+
+    serviced = []
+    controller = MemoryController(
+        subchannel=0, config=config, policy=policy,
+        scheduler=scheduler, on_complete=serviced.append,
+        page_policy=make_page_policy(case.page_policy),
+        refresh_mode=case.refresh_mode)
+    tracer = EventTracer(capacity=2_000_000)
+    controller.tracer = tracer
+    policy.tracer = tracer
+    policy.tracer_subchannel = 0
+    controller.start()
+    for spec in case.requests:
+        address = LineAddress(BankAddress(0, spec.bank, spec.row), 0)
+        request = MemRequest(core=0, address=address,
+                             arrival_ps=spec.arrival_ps,
+                             is_write=spec.is_write)
+        controller.enqueue(request, now=spec.arrival_ps)
+
+    total = len(case.requests)
+    popped = 0
+    drain_deadline: int | None = None
+    while heap:
+        popped += 1
+        if popped > MAX_EVENTS:
+            return tracer.events(), [], True
+        time_ps, _, callback = heapq.heappop(heap)
+        if drain_deadline is None and len(serviced) == total \
+                and not controller._alert_in_flight:
+            # let pending closes / one refresh round settle, then stop
+            drain_deadline = time_ps + 2 * policy.timing.tREFI
+        if drain_deadline is not None and time_ps > drain_deadline \
+                and not controller._alert_in_flight:
+            break
+        callback(time_ps)
+
+    oracle = ConformanceOracle(OracleConfig.from_policy(
+        policy, banks=case.banks, refresh_mode=case.refresh_mode))
+    violations = oracle.verify(tracer.events())
+    return tracer.events(), violations, False
+
+
+def replay_case(master_seed: int, index: int) -> tuple[FuzzCase,
+                                                       list[Violation]]:
+    """Re-derive and re-run one case from its logged seeds."""
+    case = build_case(master_seed, index)
+    _, violations, _ = run_case(case)
+    return case, violations
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+def shrink_prefix(items: Sequence, fails: Callable[[Sequence], bool]) -> int:
+    """Smallest k such that ``fails(items[:k])``, by bisection.
+
+    Assumes prefix-monotonicity (once a prefix fails, every extension
+    fails) — true for oracle violations, which depend only on events up
+    to and including the violating one.
+    """
+    if not fails(items):
+        raise ValueError("full sequence does not fail")
+    lo, hi = 1, len(items)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if fails(items[:mid]):
+            hi = mid
+        else:
+            lo = mid + 1
+    return hi
+
+
+def _shrink_trace(case: FuzzCase, events: list[TraceEvent]) -> int:
+    config_policy = _make_policy(case)
+    oracle_config = OracleConfig.from_policy(
+        config_policy, banks=case.banks, refresh_mode=case.refresh_mode)
+
+    def fails(prefix) -> bool:
+        return bool(ConformanceOracle(oracle_config).verify(list(prefix)))
+
+    return shrink_prefix(events, fails)
+
+
+# ---------------------------------------------------------------------------
+# Campaign
+# ---------------------------------------------------------------------------
+def run_fuzz(cases: int = 20, master_seed: int = 0xC4EC) -> FuzzReport:
+    """Fuzz ``cases`` randomized controller scenarios."""
+    report = FuzzReport(master_seed=master_seed)
+    for index in range(cases):
+        case = build_case(master_seed, index)
+        events, violations, runaway = run_case(case)
+        report.cases_run += 1
+        report.events_checked += len(events)
+        if runaway:
+            report.failures.append(FuzzFailure(case, [], 0, runaway=True))
+        elif violations:
+            shrunk = _shrink_trace(case, events)
+            report.failures.append(
+                FuzzFailure(case, violations, shrunk))
+    return report

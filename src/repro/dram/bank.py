@@ -100,6 +100,10 @@ class Bank:
         timing = self._require_open(row, now)
         self.stats.reads += 1
         self.stats.row_hits += 1
+        # Read-to-precharge: the burst must leave the bank before the
+        # row closes, so a forward-dated read cannot be trailed by a
+        # PRE dated earlier than the read itself.
+        self.ready_pre = max(self.ready_pre, now + timing.tBURST)
         return now + timing.tCAS + timing.tBURST
 
     def write(self, row: int, now: int) -> int:

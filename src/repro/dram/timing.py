@@ -126,17 +126,45 @@ def ddr5_base() -> TimingSet:
     )
 
 
-def ddr5_prac() -> TimingSet:
-    """DDR5 timings with PRAC counter-update overheads (Table 1, 'PRAC')."""
-    base = ddr5_base()
+#: PRAC timing inflation over the base device (paper Table 1 deltas):
+#: the per-row counter read-modify-write lengthens the precharge by
+#: 22 ns and the whole row cycle by 6 ns, and the updated counter adds
+#: 2 ns before the first column command; the row-open window absorbs
+#: the rest (tRAS' = tRC' - tRP').
+PRAC_TRP_DELTA = ns(22)
+PRAC_TRCD_DELTA = ns(2)
+PRAC_TRC_DELTA = ns(6)
+
+
+def derive_prac(base: TimingSet, name: str | None = None) -> TimingSet:
+    """PRAC-inflated variant of an arbitrary base timing set.
+
+    Applies the Table 1 deltas (tRP +22 ns, tRCD +2 ns, tRC +6 ns) and
+    rebalances tRAS to keep the ``tRC == tRAS + tRP`` identity. Devices
+    whose row cycle is too short to absorb the longer precharge have no
+    PRAC variant; that surfaces as a :class:`ValueError` here rather
+    than as a negative tRAS downstream.
+    """
+    trp = base.tRP + PRAC_TRP_DELTA
+    trc = base.tRC + PRAC_TRC_DELTA
+    tras = trc - trp
+    if tras <= 0:
+        raise ValueError(
+            f"{base.name}: tRC {to_ns(base.tRC)} ns too short for PRAC "
+            f"(derived tRAS would be {to_ns(tras)} ns)")
     return replace(
         base,
-        name="DDR5-6000AN+PRAC",
-        tRCD=ns(16),
-        tRP=ns(36),
-        tRAS=ns(16),
-        tRC=ns(52),
+        name=name or f"{base.name}+PRAC",
+        tRCD=base.tRCD + PRAC_TRCD_DELTA,
+        tRP=trp,
+        tRAS=tras,
+        tRC=trc,
     )
+
+
+def ddr5_prac() -> TimingSet:
+    """DDR5 timings with PRAC counter-update overheads (Table 1, 'PRAC')."""
+    return derive_prac(ddr5_base(), name="DDR5-6000AN+PRAC")
 
 
 @dataclass(frozen=True)

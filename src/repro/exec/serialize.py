@@ -30,6 +30,21 @@ from ..sim.system import RowActivityStats, SystemResult
 SCHEMA_VERSION = 2
 
 
+class SchemaMismatch(ValueError):
+    """Document written under a different schema version.
+
+    Subclasses ``ValueError`` so existing ``except ValueError`` cache
+    paths keep treating it as a miss; carries the versions so tooling
+    can report *which* layout was found.
+    """
+
+    def __init__(self, found: Any, expected: int):
+        self.found = found
+        self.expected = expected
+        super().__init__(
+            f"result schema {found!r}, expected {expected}")
+
+
 def result_to_dict(result: SystemResult) -> dict[str, Any]:
     """Flatten a result into a JSON-serialisable document."""
     return {
@@ -58,14 +73,14 @@ def config_from_dict(data: dict[str, Any]) -> SystemConfig:
 def result_from_dict(data: dict[str, Any]) -> SystemResult:
     """Inverse of :func:`result_to_dict`.
 
-    Raises ``ValueError`` on a schema mismatch and ``KeyError`` /
-    ``TypeError`` on structurally broken documents; the cache maps all
-    of those to a miss.
+    Raises :class:`SchemaMismatch` (a ``ValueError``) on documents from
+    another schema version and ``KeyError`` / ``TypeError`` on
+    structurally broken documents; the cache maps all of those to a
+    miss.
     """
     schema = data.get("schema")
     if schema != SCHEMA_VERSION:
-        raise ValueError(f"result schema {schema!r}, "
-                         f"expected {SCHEMA_VERSION}")
+        raise SchemaMismatch(schema, SCHEMA_VERSION)
     activity = data["row_activity"]
     return SystemResult(
         config=config_from_dict(data["config"]),

@@ -120,9 +120,26 @@ class MemoryController:
         #: issue times of the last four ACTs (tFAW rolling window)
         self._recent_acts = collections.deque(maxlen=4)
         self.next_ref = policy.timing.tREFI
+        #: when the pending refresh event will actually execute (equals
+        #: the cadence anchor unless the refresh was deferred past an
+        #: RFM stall); this is what the commit horizon consults
+        self._ref_horizon = self.next_ref
         #: REFsb commands issued so far (same-bank mode cadence anchor)
         self._refsb_count = 0
         self._alert_in_flight = False
+        #: RFM pop time of the in-flight ALERT episode (commit horizon)
+        self._alert_deadline: int | None = None
+        pair = policy.timing_pair()
+        #: pessimistic tRCD before the episode decision exists
+        self._trcd_bound = max(pair[0].tRCD, pair[1].tRCD)
+        #: pessimistic span from the column grant to the last date the
+        #: episode can commit (the closing PRE behind a write's
+        #: recovery, or the tRAS wait)
+        tail = max(t.tRAS + t.tWR + 2 * t.tBURST for t in pair)
+        #: how far past an event pop a service may date commands and
+        #: still stay inside the tALERT_NORMAL grace of any ALERT that
+        #: a later-popping event asserts
+        self._fresh_slack = policy.timing.tALERT_NORMAL - tail
         self.stats = MCStats()
         #: arrival-to-data latency census of serviced requests
         self.latency_hist = Histogram(LATENCY_BOUNDS_PS)
@@ -158,8 +175,10 @@ class MemoryController:
             self.next_ref = self.policy.timing.tREFI \
                 // len(self.banks)
             self._refsb_count = 0
+            self._ref_horizon = self.next_ref
             self.schedule(self.next_ref, self._refsb_event)
         else:
+            self._ref_horizon = self.next_ref
             self.schedule(self.next_ref, self._ref_event)
 
     def enqueue(self, request: MemRequest, now: int) -> None:
@@ -194,6 +213,10 @@ class MemoryController:
             return
 
         request = self._select(queue, bank)
+        retry = self._commit_defer(bank_index, bank, request, now)
+        if retry is not None:
+            self._kick(bank_index, retry)
+            return
         t_col, done = self._issue(bank_index, bank, request, now)
         queue.remove(request)
         request.completion_ps = done
@@ -218,6 +241,78 @@ class MemoryController:
                 if request.row == bank.open_row:
                     return request
         return queue[0]
+
+    def _commit_horizon(self, bank_index: int) -> int:
+        """Exclusive upper bound on command dates committable right now.
+
+        Callbacks commit commands with forward-dated timestamps (a
+        conflict's PRE + ACT chain, the bus-serialisation skew), so a
+        command could otherwise be dated inside a maintenance window that
+        a later-popping event imposes: past the next REF that touches
+        this bank, or past the RFM pop of an in-flight ALERT. Commands at
+        or beyond the horizon must be deferred until the boundary event
+        has run and re-blocked the banks.
+        """
+        if self.refresh_mode == "same-bank":
+            # this bank's own next REFsb slot on the cumulative cadence;
+            # refreshes execute in event order, so nothing touching this
+            # bank can run before the pending refresh's execution time
+            ahead = (bank_index - self._next_ref_bank) % len(self.banks)
+            slot = self._refsb_count + 1 + ahead
+            anchor = slot * self.policy.timing.tREFI // len(self.banks)
+            horizon = max(self._ref_horizon, anchor)
+            # a REFsb to ANY bank may drain mitigations and assert an
+            # ALERT whose all-bank RFM stall opens tALERT_NORMAL after
+            # the pop, so no command may be dated at or past that point
+            horizon = min(horizon, self._ref_horizon
+                          + self.policy.timing.tALERT_NORMAL)
+        else:
+            horizon = self._ref_horizon
+        if self._alert_deadline is not None:
+            horizon = min(horizon, self._alert_deadline)
+        return horizon
+
+    def _commit_defer(self, bank_index: int, bank: Bank,
+                      request: MemRequest, now: int) -> int | None:
+        """Retry time if servicing ``request`` now would cross the horizon.
+
+        Mirrors the dating arithmetic of :meth:`_issue` without mutating
+        any state, using the pessimistic tRCD bound in place of the
+        not-yet-made episode decision. Re-kicking at the horizon means
+        the deferred service observes the maintenance event's blocking
+        (and forced closes) exactly as an in-order controller would.
+        """
+        horizon = self._commit_horizon(bank_index)
+        timing = self.policy.timing
+        pop_now = now
+        now = max(now, request.arrival_ps)
+        if bank.is_open and bank.open_row == request.row:
+            latest = max(now, bank.earliest_column(),
+                         self.bus_free - timing.tCAS)
+        else:
+            if bank.is_open:  # conflict: the close chains into the ACT
+                decision = self.episodes[bank_index]
+                assert decision is not None
+                t_pre = max(now, bank.earliest_precharge())
+                ready_act = max(t_pre + decision.pre_timing.tRP,
+                                bank.last_act + decision.pre_timing.tRC,
+                                bank.blocked_until)
+            else:
+                ready_act = bank.earliest_activate()
+            t_act = max(now, ready_act, self.next_act_ok)
+            if len(self._recent_acts) == 4:
+                t_act = max(t_act, self._recent_acts[0] + timing.tFAW)
+            latest = max(now, t_act + self._trcd_bound,
+                         self.bus_free - timing.tCAS)
+        if latest - pop_now > self._fresh_slack:
+            # A not-yet-arrived request, a deep data-bus backlog, or a
+            # long ready-time chain would forward-date commands more
+            # than tALERT_NORMAL past this pop — potentially inside the
+            # window or stall of an ALERT that a later-popping event
+            # (another bank's chain, a mitigation drain) asserts. Wait
+            # until the whole chain's dates fall within the grace.
+            return latest - self._fresh_slack
+        return horizon if latest >= horizon else None
 
     def _issue(self, bank_index: int, bank: Bank, request: MemRequest,
                now: int) -> tuple[int, int]:
@@ -251,7 +346,8 @@ class MemoryController:
                 self.act_hook(t_act, bank_index, request.row)
             if self.tracer is not None:
                 self.tracer.record(t_act, "ACT", self.subchannel,
-                                   bank_index, request.row, act_cause)
+                                   bank_index, request.row, act_cause,
+                                   cu=decision.counter_update)
             self._check_alert(t_act)
 
         # Column command: respect tRCD and data-bus serialisation.
@@ -261,6 +357,9 @@ class MemoryController:
             done = bank.write(request.row, t_col)
         else:
             done = bank.read(request.row, t_col)
+        if self.tracer is not None:
+            self.tracer.record(t_col, "WR" if request.is_write else "RD",
+                               self.subchannel, bank_index, request.row)
         self.bus_free = t_col + timing.tCAS + timing.tBURST
         self._bank_last_access[bank_index] = t_col
         return t_col, done
@@ -272,7 +371,14 @@ class MemoryController:
         queued_hits = sum(1 for r in self.queues[bank_index]
                           if r.row == bank.open_row)
         if not self.page_policy.keep_open(queued_hits):
-            self._close(bank_index, bank, max(now, bank.earliest_precharge()))
+            when = max(now, bank.earliest_precharge())
+            if when >= self._commit_horizon(bank_index):
+                # cannot date the PRE across the maintenance boundary;
+                # retry after the boundary event (stamp-guarded, so a
+                # fresh access or a forced close cancels the retry)
+                self._defer_close(bank_index, now)
+                return
+            self._close(bank_index, bank, when)
             return
         timeout = self.page_policy.timeout_ps()
         if timeout is not None:
@@ -281,6 +387,13 @@ class MemoryController:
                           lambda t, b=bank_index, s=access_stamp:
                           self._timeout_close(b, s, t))
 
+    def _defer_close(self, bank_index: int, now: int) -> None:
+        """Re-attempt a policy-driven close after the commit horizon."""
+        access_stamp = self._bank_last_access[bank_index]
+        self.schedule(self._commit_horizon(bank_index),
+                      lambda t, b=bank_index, s=access_stamp:
+                      self._timeout_close(b, s, t))
+
     def _timeout_close(self, bank_index: int, access_stamp: int,
                        now: int) -> None:
         bank = self.banks[bank_index]
@@ -288,7 +401,11 @@ class MemoryController:
             return
         if self._bank_last_access[bank_index] != access_stamp:
             return  # the row was touched again; a fresh timer is armed
-        self._close(bank_index, bank, max(now, bank.earliest_precharge()))
+        when = max(now, bank.earliest_precharge())
+        if when >= self._commit_horizon(bank_index):
+            self._defer_close(bank_index, now)
+            return
+        self._close(bank_index, bank, when)
 
     def _close(self, bank_index: int, bank: Bank, when: int) -> None:
         """Precharge the open row, honouring the episode's decision."""
@@ -301,7 +418,8 @@ class MemoryController:
         if self.tracer is not None:
             self.tracer.record(
                 when, "PRE", self.subchannel, bank_index, row,
-                "counter_update" if decision.counter_update else "")
+                "counter_update" if decision.counter_update else "",
+                cu=decision.counter_update)
         self.policy.on_precharge(bank_index, row, when,
                                  decision.counter_update)
         self.policy.note_row_open(bank_index, row, when - open_since)
@@ -311,7 +429,35 @@ class MemoryController:
     # ------------------------------------------------------------------
     # Refresh and ALERT
     # ------------------------------------------------------------------
+    def _refresh_collides_with_alert(self, now: int,
+                                     banks: list[Bank]) -> int | None:
+        """Stall end if an imminent RFM would overlap refresh execution.
+
+        A refresh force-closes the open rows of ``banks``, dating the
+        PREs at each bank's ``earliest_precharge()``; if the in-flight
+        ALERT's RFM pops at or before the last such close, those PREs
+        would land inside the ABO stall. The refresh is then re-run
+        right after the stall instead (the tREFI cadence anchor is
+        untouched — the refresh merely executes late, which the
+        conformance oracle allows up to the stall bound).
+        """
+        if self._alert_deadline is None:
+            return None
+        close_by = now
+        for bank in banks:
+            if bank.is_open:
+                close_by = max(close_by, bank.earliest_precharge())
+        if close_by < self._alert_deadline:
+            return None
+        level = getattr(self.policy, "abo_level", 1)
+        return self._alert_deadline + level * self.policy.timing.tALERT_RFM
+
     def _ref_event(self, now: int) -> None:
+        retry = self._refresh_collides_with_alert(now, self.banks)
+        if retry is not None:
+            self._ref_horizon = retry
+            self.schedule(retry, self._ref_event)
+            return
         self.stats.refreshes += 1
         if self.tracer is not None:
             self.tracer.record(now, "REF", self.subchannel, -1, -1,
@@ -328,6 +474,7 @@ class MemoryController:
         self.policy.on_refresh(now)
         self._check_alert(now)
         self.next_ref += self.policy.timing.tREFI
+        self._ref_horizon = self.next_ref
         self.schedule(self.next_ref, self._ref_event)
         for index in range(len(self.banks)):
             if self.queues[index]:
@@ -335,6 +482,12 @@ class MemoryController:
 
     def _refsb_event(self, now: int) -> None:
         """Same-bank refresh: one bank closed and blocked for tRFCsb."""
+        retry = self._refresh_collides_with_alert(
+            now, [self.banks[self._next_ref_bank]])
+        if retry is not None:
+            self._ref_horizon = retry
+            self.schedule(retry, self._refsb_event)
+            return
         self.stats.refreshes += 1
         index = self._next_ref_bank
         self._next_ref_bank = (index + 1) % len(self.banks)
@@ -357,7 +510,11 @@ class MemoryController:
         self._refsb_count += 1
         self.next_ref = ((self._refsb_count + 1) * self.policy.timing.tREFI
                          // len(self.banks))
-        self.schedule(self.next_ref, self._refsb_event)
+        # catch-up after a deferral: the anchor may already have passed,
+        # in which case the next REFsb runs immediately (at ``now``, not
+        # at the stale anchor — events cannot execute in the past)
+        self._ref_horizon = max(self.next_ref, now)
+        self.schedule(self._ref_horizon, self._refsb_event)
         if self.queues[index]:
             self._kick(index, start + self.policy.timing.tRFCsb)
 
@@ -370,6 +527,7 @@ class MemoryController:
             self.tracer.record(now, "ALERT", self.subchannel, -1, -1,
                                ",".join(sorted(causes)) if causes else "")
         deadline = now + self.policy.timing.tALERT_NORMAL
+        self._alert_deadline = deadline
         self.schedule(deadline, self._rfm_event)
 
     def _rfm_event(self, now: int) -> None:
@@ -385,6 +543,7 @@ class MemoryController:
         self.stats.alerts += 1
         self.stats.rfm_commands += level
         self._alert_in_flight = False
+        self._alert_deadline = None
         self._check_alert(end)
         for index in range(len(self.banks)):
             if self.queues[index]:

@@ -119,6 +119,17 @@ class MitigationPolicy:
     def on_rfm(self, now: int) -> None:
         """Perform the work of one RFM (the 350 ns ABO service window)."""
 
+    def timing_pair(self) -> tuple[TimingSet, TimingSet]:
+        """(normal, counter-update) timing sets this policy can request.
+
+        Most designs run every episode on one timing set, so both slots
+        are :attr:`timing`; MoPAC-C overrides this with its dual sets.
+        The MC uses the pair to bound episode timings before the episode
+        decision exists, and the conformance oracle uses it to pick the
+        right set from a traced episode's counter-update flag.
+        """
+        return self.timing, self.timing
+
     # -- introspection -----------------------------------------------------
     def counter_value(self, bank: int, row: int) -> int:
         """Current PRAC counter value for (bank, row); 0 if untracked."""

@@ -50,6 +50,9 @@ class MoPACCPolicy(PRACMoatPolicy):
         return EpisodeDecision(act_timing=timing, pre_timing=timing,
                                counter_update=update)
 
+    def timing_pair(self):
+        return self.timings.normal, self.timings.counter_update
+
     def on_precharge(self, bank: int, row: int, now: int,
                      counter_update: bool) -> None:
         if not counter_update:

@@ -29,14 +29,23 @@ import json
 from typing import IO, Iterable, NamedTuple
 
 #: Event kinds the simulator emits (free-form strings are allowed too).
-KINDS = ("ACT", "PRE", "REF", "RFM", "ALERT", "DRAIN", "MITIGATE")
+KINDS = ("ACT", "PRE", "RD", "WR", "REF", "RFM", "ALERT", "DRAIN",
+         "MITIGATE")
 
 #: Default ring capacity: enough for every event of a reduced-scale run.
 DEFAULT_CAPACITY = 1_000_000
 
 
 class TraceEvent(NamedTuple):
-    """One traced DRAM-side event."""
+    """One traced DRAM-side event.
+
+    ``cu`` marks counter-update episodes: on an ACT it records that the
+    episode was selected for a PRAC read-modify-write (and therefore runs
+    on the inflated PRAC timing set); on a PRE it marks a PREcu. The
+    protocol-conformance oracle (:mod:`repro.check.oracle`) uses the flag
+    to pick the correct per-episode timing set when re-verifying the
+    command stream.
+    """
 
     time_ps: int
     kind: str
@@ -44,11 +53,13 @@ class TraceEvent(NamedTuple):
     bank: int = -1
     row: int = -1
     cause: str = ""
+    cu: bool = False
 
     def as_dict(self) -> dict:
         return {"t": self.time_ps, "kind": self.kind,
                 "sc": self.subchannel, "bank": self.bank,
-                "row": self.row, "cause": self.cause}
+                "row": self.row, "cause": self.cause,
+                "cu": self.cu}
 
 
 class EventTracer:
@@ -66,13 +77,14 @@ class EventTracer:
 
     # -- recording ---------------------------------------------------------
     def record(self, time_ps: int, kind: str, subchannel: int = -1,
-               bank: int = -1, row: int = -1, cause: str = "") -> None:
+               bank: int = -1, row: int = -1, cause: str = "",
+               cu: bool = False) -> None:
         if not self.enabled:
             return
         if len(self._ring) == self.capacity:
             self.dropped += 1
         self._ring.append(
-            TraceEvent(time_ps, kind, subchannel, bank, row, cause))
+            TraceEvent(time_ps, kind, subchannel, bank, row, cause, cu))
 
     def __len__(self) -> int:
         return len(self._ring)

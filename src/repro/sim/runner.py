@@ -17,6 +17,7 @@ Designs (paper nomenclature):
 
 * ``baseline``   — unprotected DDR5,
 * ``prac``       — PRAC + ABO with MOAT (Figure 2's 10% offender),
+* ``qprac``      — PRAC with proactive priority-queue service (S 9.1),
 * ``mopac-c``    — Section 5,
 * ``mopac-d``    — Section 6,
 * ``mopac-d-nup``— Section 8.
@@ -46,7 +47,8 @@ from .system import System, SystemResult
 
 log = get_logger(__name__)
 
-DESIGNS = ("baseline", "prac", "mopac-c", "mopac-d", "mopac-d-nup")
+DESIGNS = ("baseline", "prac", "qprac", "mopac-c", "mopac-d",
+           "mopac-d-nup")
 
 #: Default experiment scale: instructions per core. The paper runs 100M;
 #: slowdown ratios are stationary, so the scaled default converges to the
@@ -121,6 +123,13 @@ def make_policy_factory(point: DesignPoint,
                 if point.refresh_scale < 1 else ddr5_prac()
             return PRACMoatPolicy(point.trh, banks, rows, groups,
                                   timing=prac_timing)
+        if point.design == "qprac":
+            from ..dram.timing import ddr5_prac
+            from ..mitigations.qprac import QPRACPolicy
+            prac_timing = ddr5_prac().scaled_refresh(point.refresh_scale) \
+                if point.refresh_scale < 1 else ddr5_prac()
+            return QPRACPolicy(point.trh, banks, rows, groups,
+                               timing=prac_timing)
         if point.design == "mopac-c":
             import random
             from ..dram.timing import MoPACTimings, ddr5_prac

@@ -9,7 +9,9 @@ execute them, then aggregate per-run stats into CSVs
   point into a campaign directory,
 * ``run``   — execute every INI in the directory, appending one CSV row
   per run (weighted-speedup slowdown, RBHR, ALERTs, energy),
-* ``stats`` — aggregate the CSV into a per-configuration summary table.
+* ``stats`` — aggregate the CSV into a per-configuration summary table,
+* ``verify`` — replay each planned point's traced DDR5 command stream
+  through the independent conformance oracle (:mod:`repro.check`).
 
 ``run`` executes through the :mod:`repro.exec.engine`: evaluation
 points (and their baselines) fan out across worker processes, results
@@ -114,6 +116,29 @@ def run(directory: pathlib.Path, workers: int | None = None,
     return csv_path
 
 
+def verify(directory: pathlib.Path, limit: int | None = None) -> int:
+    """Replay every planned point through the conformance oracle.
+
+    Re-runs each INI's design point with tracing enabled and checks the
+    captured DDR5 command stream against :mod:`repro.check.oracle`.
+    Returns the number of failing points.
+    """
+    from ..check.driver import verify_point
+    ini_paths = sorted(directory.glob("*.ini"))
+    if not ini_paths:
+        raise FileNotFoundError(f"no .ini files in {directory}")
+    points = [load_design_point(str(path)) for path in ini_paths]
+    if limit is not None:
+        points = points[:limit]
+    failures = 0
+    for index, point in enumerate(points):
+        verdict = verify_point(point)
+        print(f"[{index + 1}/{len(points)}] {verdict.describe()}")
+        if not verdict.ok:
+            failures += 1
+    return failures
+
+
 def stats(directory: pathlib.Path) -> str:
     csv_path = directory / "results.csv"
     if not csv_path.exists():
@@ -136,7 +161,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.tools.campaign",
         description="Plan, run, and aggregate an evaluation campaign.")
-    parser.add_argument("command", choices=("plan", "run", "stats"))
+    parser.add_argument("command",
+                        choices=("plan", "run", "stats", "verify"))
     parser.add_argument("--dir", default="campaign",
                         help="campaign directory")
     parser.add_argument("--workloads", nargs="*",
@@ -157,6 +183,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress logging (same as "
                              "REPRO_LOG=warning)")
+    parser.add_argument("--limit", type=int, default=None,
+                        help="verify: only check the first N points")
     args = parser.parse_args(argv)
     configure("warning" if args.quiet else None)
     directory = pathlib.Path(args.dir)
@@ -174,6 +202,13 @@ def main(argv: list[str] | None = None) -> int:
                        verbose=not args.quiet)
         log.info("wrote %s", csv_path)
         return 0
+    if args.command == "verify":
+        try:
+            failures = verify(directory, limit=args.limit)
+        except FileNotFoundError as error:
+            log.error("%s", error)
+            return 2
+        return 1 if failures else 0
     try:
         print(stats(directory), end="")
     except FileNotFoundError as error:

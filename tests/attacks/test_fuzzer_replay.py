@@ -1,0 +1,60 @@
+"""Replayability of attack-fuzzer cases from their logged seeds."""
+
+import random
+
+from repro.attacks.fuzzer import fuzz, replay_case
+from repro.mitigations.mopac_d import MoPACDPolicy
+from repro.mitigations.prac import BaselinePolicy
+
+GEO = dict(banks=4, rows=1024, refresh_groups=64)
+
+
+def mopac_d():
+    return MoPACDPolicy(500, **GEO, rng=random.Random(1))
+
+
+class TestPerCaseSeeds:
+    def test_rows_carry_distinct_case_seeds(self):
+        result = fuzz(mopac_d, trh=500, cases=6, acts_per_case=20_000,
+                      seed=11, **GEO)
+        seeds = [row[2] for row in result.per_case]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_explicit_rng_handle_reproduces_campaign(self):
+        a = fuzz(mopac_d, trh=500, cases=4, acts_per_case=20_000,
+                 rng=random.Random(99), **GEO)
+        b = fuzz(mopac_d, trh=500, cases=4, acts_per_case=20_000,
+                 rng=random.Random(99), **GEO)
+        assert a.per_case == b.per_case
+
+    def test_rng_handle_overrides_seed(self):
+        a = fuzz(mopac_d, trh=500, cases=3, acts_per_case=20_000,
+                 seed=1, rng=random.Random(42), **GEO)
+        b = fuzz(mopac_d, trh=500, cases=3, acts_per_case=20_000,
+                 seed=2, rng=random.Random(42), **GEO)
+        assert [r[2] for r in a.per_case] == [r[2] for r in b.per_case]
+
+
+class TestReplay:
+    def test_each_logged_case_replays_exactly(self):
+        result = fuzz(mopac_d, trh=500, cases=5, acts_per_case=20_000,
+                      seed=7, **GEO)
+        for description, count, case_seed in result.per_case:
+            case, replayed = replay_case(mopac_d, case_seed, trh=500,
+                                         acts_per_case=20_000, **GEO)
+            assert case.description == description
+            assert replayed == count
+
+    def test_replay_reproduces_a_break_without_the_campaign(self):
+        campaign = fuzz(lambda: BaselinePolicy(), trh=500, cases=6,
+                        acts_per_case=40_000, seed=12, banks=4,
+                        rows=1024, refresh_groups=1024)
+        assert campaign.broken
+        breaking = [row for row in campaign.per_case if row[1] > 500]
+        description, count, case_seed = breaking[0]
+        case, replayed = replay_case(
+            lambda: BaselinePolicy(), case_seed, trh=500,
+            acts_per_case=40_000, banks=4, rows=1024,
+            refresh_groups=1024)
+        assert case.description == description
+        assert replayed == count > 500

@@ -1,0 +1,60 @@
+"""Determinism matrix: one seed, one answer — regardless of machinery.
+
+The same design point must produce bit-identical ``SystemResult.stats``
+(and core/MC stats) whether it runs serially or through the parallel
+sweep engine, and whether or not an :class:`EventTracer` is attached.
+Tracing is observability, not physics; parallelism is transport, not
+physics. Any divergence here means hidden global state or an
+order-dependent code path.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.exec.engine import SweepEngine
+from repro.obs.tracer import EventTracer
+from repro.sim.runner import DesignPoint, run_point
+
+FAST = dict(instructions=6_000, rows_per_bank=512, refresh_scale=1 / 256)
+
+POINTS = [
+    DesignPoint(workload="mcf", design="mopac-c", **FAST),
+    DesignPoint(workload="xalancbmk", design="mopac-d", **FAST),
+    DesignPoint(workload="hammer", design="qprac", trh=500, **FAST),
+]
+
+
+def fingerprint(result):
+    return (
+        dict(result.stats),
+        [dataclasses.asdict(s) for s in result.core_stats],
+        [dataclasses.asdict(s) for s in result.mc_stats],
+        result.elapsed_ps,
+    )
+
+
+@pytest.mark.parametrize("point", POINTS,
+                         ids=lambda p: f"{p.workload}.{p.design}")
+class TestTracerTransparency:
+    def test_tracer_on_equals_tracer_off(self, point):
+        bare = run_point(point)
+        tracer = EventTracer(capacity=2_000_000)
+        traced = run_point(point, tracer=tracer)
+        assert len(tracer) > 0  # the traced run really did record
+        assert fingerprint(traced) == fingerprint(bare)
+
+    def test_rerun_is_bit_identical(self, point):
+        assert fingerprint(run_point(point)) == fingerprint(run_point(point))
+
+
+class TestSerialParallelEquivalence:
+    def test_sweep_paths_agree(self):
+        serial = SweepEngine(workers=1, parallel=False, cache=None,
+                             use_memo=False)
+        parallel = SweepEngine(workers=2, parallel=True, cache=None,
+                               use_memo=False)
+        serial_results = serial.run(POINTS)
+        parallel_results = parallel.run(POINTS)
+        for point, a, b in zip(POINTS, serial_results, parallel_results):
+            assert fingerprint(a) == fingerprint(b), point

@@ -1,0 +1,66 @@
+"""Property-based tests for the PRAC timing derivation.
+
+Randomly perturbed base devices must always yield a PRAC variant that
+(a) keeps every constraint positive, (b) preserves the tRC identity,
+(c) is monotone — PRAC never makes tRP/tRCD/tRC shorter — and (d) is
+rejected cleanly (never a broken TimingSet) when the row cycle cannot
+absorb the longer precharge.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.timing import (PRAC_TRC_DELTA, PRAC_TRP_DELTA, TimingSet,
+                               ddr5_base, derive_prac)
+from repro.units import ns
+
+
+def perturbed_base(trcd_ns, trp_ns, tras_ns):
+    base = ddr5_base()
+    return replace(base, name="fuzzed", tRCD=ns(trcd_ns), tRP=ns(trp_ns),
+                   tRAS=ns(tras_ns), tRC=ns(tras_ns + trp_ns))
+
+
+# row cycles long enough for PRAC: tRAS + tRP + 6 > tRP + 22, i.e.
+# tRAS > 16 ns — drawn comfortably above so the derivation must succeed
+@given(trcd=st.integers(2, 60), trp=st.integers(2, 60),
+       tras=st.integers(17, 120))
+@settings(max_examples=200)
+def test_derived_prac_positive_and_monotone(trcd, trp, tras):
+    base = perturbed_base(trcd, trp, tras)
+    prac = derive_prac(base)
+    # all constraints stay positive (TimingSet.__post_init__ re-checks
+    # most, but tRAS and the ALERT windows are not covered there)
+    for field in ("tRCD", "tRP", "tRAS", "tRC", "tFAW", "tRRD",
+                  "tALERT_NORMAL", "tALERT_RFM"):
+        assert getattr(prac, field) > 0, field
+    # the tRC identity survives the rebalance
+    assert prac.tRC == prac.tRAS + prac.tRP
+    # monotone: PRAC only ever inflates the externally visible timings
+    assert prac.tRCD >= base.tRCD
+    assert prac.tRP >= base.tRP
+    assert prac.tRC >= base.tRC
+    # and by exactly the documented deltas
+    assert prac.tRP - base.tRP == PRAC_TRP_DELTA
+    assert prac.tRC - base.tRC == PRAC_TRC_DELTA
+
+
+@given(trcd=st.integers(2, 60), trp=st.integers(2, 60),
+       tras=st.integers(1, 16))
+@settings(max_examples=100)
+def test_too_short_row_cycle_rejected(trcd, trp, tras):
+    base = perturbed_base(trcd, trp, tras)
+    with pytest.raises(ValueError, match="too short for PRAC"):
+        derive_prac(base)
+
+
+@given(tras=st.integers(17, 120))
+@settings(max_examples=50)
+def test_derived_set_constructible(tras):
+    # derive_prac's output must pass TimingSet validation end to end
+    prac = derive_prac(perturbed_base(14, 14, tras))
+    assert isinstance(prac, TimingSet)
+    assert prac.row_conflict_read_latency() > 0

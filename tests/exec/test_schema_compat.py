@@ -1,0 +1,61 @@
+"""Back-compat regression: old cache documents are rejected, not mangled.
+
+``tests/exec/data/result_v1.json`` is a checked-in schema-v1 result
+document (the layout before the v2 observability fields). The v2 reader
+must refuse it with the versioned :class:`SchemaMismatch` error — never
+silently deserialize it into a result missing fields — and the on-disk
+cache must treat it as a miss rather than crash.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exec.cache import ResultCache
+from repro.exec.serialize import (SCHEMA_VERSION, SchemaMismatch,
+                                  result_from_dict)
+from repro.sim.runner import DesignPoint
+
+GOLDEN_V1 = Path(__file__).parent / "data" / "result_v1.json"
+
+
+@pytest.fixture
+def v1_doc():
+    return json.loads(GOLDEN_V1.read_text())
+
+
+class TestV1Golden:
+    def test_golden_is_schema_one(self, v1_doc):
+        assert v1_doc["schema"] == 1
+        # the very fields whose introduction bumped the version
+        assert "stats" not in v1_doc
+        assert "phases" not in v1_doc
+
+    def test_reader_rejects_with_versioned_error(self, v1_doc):
+        with pytest.raises(SchemaMismatch) as excinfo:
+            result_from_dict(v1_doc)
+        assert excinfo.value.found == 1
+        assert excinfo.value.expected == SCHEMA_VERSION
+
+    def test_mismatch_is_a_value_error_mentioning_schema(self, v1_doc):
+        # older call sites catch ValueError and grep for "schema";
+        # the typed exception must stay drop-in compatible
+        with pytest.raises(ValueError, match="schema"):
+            result_from_dict(v1_doc)
+
+    def test_cache_treats_v1_record_as_miss(self, v1_doc, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = DesignPoint(workload="mcf", design="mopac-c",
+                          instructions=6_000, rows_per_bank=512,
+                          refresh_scale=1 / 256)
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(v1_doc))
+        assert cache.get(key) is None
+
+    def test_missing_schema_key_rejected(self, v1_doc):
+        v1_doc.pop("schema")
+        with pytest.raises(SchemaMismatch) as excinfo:
+            result_from_dict(v1_doc)
+        assert excinfo.value.found is None

@@ -69,7 +69,15 @@ class TestExport:
         assert tracer.to_jsonl(buffer) == 1
         record = json.loads(buffer.getvalue())
         assert record == {"t": 1500, "kind": "ALERT", "sc": 1,
-                          "bank": 2, "row": 3, "cause": "srq_full"}
+                          "bank": 2, "row": 3, "cause": "srq_full",
+                          "cu": False}
+
+    def test_jsonl_counter_update_flag(self):
+        tracer = EventTracer()
+        tracer.record(2000, "ACT", 0, 1, 9, "miss", cu=True)
+        buffer = io.StringIO()
+        tracer.to_jsonl(buffer)
+        assert json.loads(buffer.getvalue())["cu"] is True
 
     def test_jsonl_to_path(self, tmp_path):
         tracer = EventTracer()
