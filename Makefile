@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke obs-smoke check coverage-check ci clean-cache
+.PHONY: test smoke obs-smoke serve-smoke check coverage-check ci clean-cache
 
 # Tier-1 suite (the correctness gate).
 test:
@@ -15,6 +15,12 @@ smoke:
 obs-smoke:
 	$(PYTHON) examples/tracing_demo.py
 	$(PYTHON) -m repro.obs.selfcheck
+
+# Simulation service: boots the daemon, drives three concurrent
+# clients (dedup + bit-identical vs serial), then SIGTERM + restart
+# resuming the journaled queue (see docs/serving.md).
+serve-smoke:
+	$(PYTHON) -m repro.serve.smoke
 
 # Independent verification: conformance oracle on traced campaign
 # points, seeded mutation detection, differential design invariants,
@@ -33,7 +39,7 @@ coverage-check:
 	fi
 
 # What CI runs.
-ci: test smoke obs-smoke check
+ci: test smoke obs-smoke serve-smoke check
 
 clean-cache:
 	rm -rf benchmarks/results/.cache .repro-cache

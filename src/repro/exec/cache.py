@@ -114,6 +114,10 @@ class ResultCache:
         self.salt = effective_salt() if salt is None else salt
         self.counters = CacheCounters()
 
+    def register_stats(self, registry, prefix: str = "exec.cache") -> None:
+        """Expose the hit/miss/corrupt/write counters via an obs registry."""
+        registry.register(prefix, self.counters.as_dict)
+
     def path_for(self, point: Any) -> pathlib.Path:
         key = point_key(point, self.salt)
         return self.directory / key[:2] / f"{key}.json"
@@ -175,3 +179,97 @@ class ResultCache:
             except OSError:
                 pass
         return removed
+
+    # -- maintenance -------------------------------------------------------
+    def entries(self) -> list[tuple[float, int, pathlib.Path]]:
+        """Every entry as ``(mtime, size_bytes, path)``, oldest first.
+
+        Entries that vanish or cannot be statted mid-scan (a concurrent
+        writer or GC) are skipped, never raised.
+        """
+        scanned: list[tuple[float, int, pathlib.Path]] = []
+        if not self.directory.is_dir():
+            return scanned
+        for path in self.directory.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            scanned.append((stat.st_mtime, stat.st_size, path))
+        scanned.sort(key=lambda item: (item[0], str(item[2])))
+        return scanned
+
+    def size_bytes(self) -> int:
+        """Total bytes held by cache entries."""
+        return sum(size for _, size, _ in self.entries())
+
+    def prune(self, max_bytes: int) -> tuple[int, int]:
+        """Evict oldest entries until the cache holds <= ``max_bytes``.
+
+        Eviction is strictly oldest-``mtime``-first (ties broken by
+        path for determinism). Unreadable or corrupt entries need no
+        special casing — eviction never parses the documents — and
+        files already deleted by a concurrent process are counted as
+        freed. Returns ``(entries_removed, bytes_freed)``.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        scanned = self.entries()
+        total = sum(size for _, size, _ in scanned)
+        removed = freed = 0
+        for _, size, path in scanned:
+            if total - freed <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+            except OSError as error:
+                log.warning("could not evict %s (%s)", path, error)
+                continue
+            removed += 1
+            freed += size
+        return removed, freed
+
+
+# ----------------------------------------------------------------------
+# Maintenance CLI: ``python -m repro.exec.cache``
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    """Inspect, prune, or clear the on-disk result cache."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.exec.cache",
+        description="Result-cache maintenance: stats, size-bounded GC.")
+    parser.add_argument("--dir", default=None,
+                        help=f"cache directory (default: ${CACHE_DIR_ENV})")
+    parser.add_argument("--prune-bytes", type=int, default=None,
+                        metavar="N",
+                        help="evict oldest entries until <= N bytes remain")
+    parser.add_argument("--clear", action="store_true",
+                        help="delete every entry")
+    args = parser.parse_args(argv)
+
+    directory = pathlib.Path(args.dir) if args.dir else default_cache_dir()
+    if directory is None:
+        parser.error(f"no cache directory: pass --dir or set "
+                     f"{CACHE_DIR_ENV}")
+    cache = ResultCache(directory)
+
+    if args.clear:
+        print(f"cleared {cache.clear()} entries from {directory}")
+        return 0
+    if args.prune_bytes is not None:
+        if args.prune_bytes < 0:
+            parser.error("--prune-bytes must be >= 0")
+        removed, freed = cache.prune(args.prune_bytes)
+        print(f"pruned {removed} entries ({freed} bytes) from {directory}; "
+              f"{len(cache)} entries ({cache.size_bytes()} bytes) remain")
+        return 0
+    print(f"{directory}: {len(cache)} entries, {cache.size_bytes()} bytes")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,6 +43,7 @@ from ..obs.log import get_logger
 from ..obs.profiler import PhaseProfiler
 from ..sim import runner
 from .cache import ResultCache, default_cache_dir
+from .env import env_flag, env_int
 
 log = get_logger(__name__)
 
@@ -116,10 +117,26 @@ class EngineMetrics:
 
 
 def default_workers() -> int:
-    value = os.environ.get("REPRO_WORKERS")
-    if value:
-        return max(int(value), 1)
+    """Worker count from ``REPRO_WORKERS``, else ``os.cpu_count()``.
+
+    Malformed values (non-integers, zero, negatives) raise
+    :class:`~repro.exec.env.EnvKnobError` instead of being silently
+    clamped.
+    """
+    value = env_int("REPRO_WORKERS", minimum=1)
+    if value is not None:
+        return value
     return os.cpu_count() or 1
+
+
+def serial_forced() -> bool:
+    """Whether ``REPRO_SERIAL`` forces the inline path.
+
+    Accepts the usual boolean spellings; ``REPRO_SERIAL=0`` now means
+    *not* serial (historically any non-empty string, including ``"0"``,
+    enabled serial mode).
+    """
+    return env_flag("REPRO_SERIAL")
 
 
 class SweepEngine:
@@ -164,6 +181,17 @@ class SweepEngine:
         #: wall-time breakdown: "lookup" (memo + cache reads),
         #: "simulate" (miss execution, inclusive), "cache_io" (writes)
         self.profiler = PhaseProfiler()
+
+    def register_stats(self, registry, prefix: str = "exec") -> None:
+        """Expose engine + cache counters through an obs registry.
+
+        Snapshots gain ``<prefix>.engine.*`` (points, hit/miss split,
+        wall times) and, when the disk cache is enabled,
+        ``<prefix>.cache.*`` (hits/misses/corrupt/writes).
+        """
+        registry.register(f"{prefix}.engine", self.metrics.as_dict)
+        if self.cache is not None:
+            self.cache.register_stats(registry, f"{prefix}.cache")
 
     # ------------------------------------------------------------------
     def run(self, points: Sequence[runner.DesignPoint]) -> list[Any]:
@@ -238,7 +266,7 @@ class SweepEngine:
             self.progress(outcome)
 
     def _run_parallel(self, misses: list) -> bool:
-        if os.environ.get("REPRO_SERIAL"):
+        if serial_forced():
             return False
         if self.parallel is not None:
             return self.parallel and self.workers > 1

@@ -1,0 +1,194 @@
+"""Thin blocking client for the simulation service.
+
+Stdlib-only (``http.client`` + a Unix-socket transport); no asyncio on
+the client side. Used by the ``campaign submit/status/fetch``
+subcommands and the serve smoke test, and importable by anything else
+that wants to talk to a running daemon::
+
+    from repro.serve.client import ServeClient
+    client = ServeClient("unix:/tmp/serve/serve.sock")
+    job_id = client.submit(points, priority=1)
+    client.wait(job_id)
+    results = client.result(job_id)     # list[SystemResult]
+
+``wait()`` polls; with ``tolerate_disconnects=True`` it rides out a
+server restart (connection errors count against the overall deadline,
+not as failures), which is what lets a campaign survive a daemon
+SIGTERM + resume without the client noticing anything but latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import http.client
+import json
+import socket
+import time
+from typing import Any
+
+from ..exec.serialize import result_from_dict
+from ..sim.runner import DesignPoint
+from .protocol import parse_address
+
+
+class ServeError(RuntimeError):
+    """The server answered with an error status."""
+
+    def __init__(self, status: int, payload: Any):
+        self.status = status
+        self.payload = payload
+        message = payload.get("error") if isinstance(payload, dict) \
+            else str(payload)
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """``http.client`` transport over an ``AF_UNIX`` socket."""
+
+    def __init__(self, path: str, timeout: float):
+        super().__init__("localhost", timeout=timeout)
+        self._path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self._path)
+        self.sock = sock
+
+
+def _point_fields(point: Any) -> dict[str, Any]:
+    if dataclasses.is_dataclass(point) and not isinstance(point, type):
+        return dataclasses.asdict(point)
+    if isinstance(point, dict):
+        return point
+    raise TypeError(f"expected DesignPoint or dict, got "
+                    f"{type(point).__name__}")
+
+
+class ServeClient:
+    """One server address; connections are opened per request."""
+
+    def __init__(self, address: str, timeout_s: float = 30.0):
+        self.address = address
+        self.kind, self.target = parse_address(address)
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    def request(self, method: str, path: str,
+                body: Any | None = None) -> tuple[int, Any]:
+        """One round trip; returns ``(status, decoded_json)``.
+
+        Raises ``OSError``/``http.client.HTTPException`` subclasses on
+        transport failures (server down, socket missing, mid-restart).
+        """
+        if self.kind == "unix":
+            conn: http.client.HTTPConnection = _UnixHTTPConnection(
+                self.target, self.timeout_s)
+        else:
+            host, port = self.target
+            conn = http.client.HTTPConnection(host, port,
+                                              timeout=self.timeout_s)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            document = json.loads(raw) if raw else {}
+            return response.status, document
+        finally:
+            conn.close()
+
+    def _call(self, method: str, path: str,
+              body: Any | None = None) -> Any:
+        status, document = self.request(method, path, body)
+        if status >= 400:
+            raise ServeError(status, document)
+        return document
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict[str, Any]:
+        return self._call("GET", "/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self._call("GET", "/stats")
+
+    def submit(self, points: list[Any], priority: int = 0,
+               timeout_s: float | None = None) -> str:
+        """Submit a job; returns its id once the server journaled it."""
+        body: dict[str, Any] = {
+            "points": [_point_fields(p) for p in points],
+            "priority": priority,
+        }
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self._call("POST", "/submit", body)["id"]
+
+    def status(self, job_id: str | None = None) -> dict[str, Any]:
+        path = "/status" if job_id is None else f"/status?id={job_id}"
+        return self._call("GET", path)
+
+    def result(self, job_id: str, decode: bool = True) -> list[Any]:
+        """Results of a done job, in submitted point order.
+
+        ``decode=True`` rebuilds full ``SystemResult`` objects; with
+        ``decode=False`` the raw cache-schema documents come back.
+        Raises :class:`ServeError` (409) while the job is not done.
+        """
+        document = self._call("GET", f"/result?id={job_id}")
+        raw = document["results"]
+        if not decode:
+            return raw
+        return [result_from_dict(fields) for fields in raw]
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._call("POST", "/cancel", {"id": job_id})
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the server to drain and exit (same as SIGTERM)."""
+        return self._call("POST", "/shutdown", {})
+
+    # ------------------------------------------------------------------
+    def wait_ready(self, timeout_s: float = 30.0,
+                   poll_s: float = 0.05) -> dict[str, Any]:
+        """Block until ``/healthz`` answers (server finished booting)."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                return self.healthz()
+            except (OSError, http.client.HTTPException) as error:
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"server at {self.address} not ready after "
+                        f"{timeout_s:g}s ({error})") from None
+                time.sleep(poll_s)
+
+    def wait(self, job_id: str, timeout_s: float = 600.0,
+             poll_s: float = 0.1,
+             tolerate_disconnects: bool = False) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns it.
+
+        With ``tolerate_disconnects`` transport errors (the server is
+        restarting) are retried until ``timeout_s`` runs out.
+        """
+        from .jobs import TERMINAL
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                document = self.status(job_id)
+                if document["state"] in TERMINAL:
+                    return document
+            except (OSError, http.client.HTTPException) as error:
+                if not tolerate_disconnects:
+                    raise
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"{job_id}: server unreachable past deadline "
+                        f"({error})") from None
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"{job_id} not finished after {timeout_s:g}s")
+            time.sleep(poll_s)

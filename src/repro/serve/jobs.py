@@ -1,0 +1,197 @@
+"""Job model, priority queue, and the crash-safe JSONL journal.
+
+A **job** is an ordered list of design points submitted together; its
+results come back in the same order. Jobs move through::
+
+    queued -> running -> done
+                      -> failed     (point error, timeout, too many
+                                     worker crashes)
+                      -> cancelled  (client request)
+
+The **journal** makes the queue durable: every accepted submission is
+appended as one JSON line *before* the client sees a job id, and every
+terminal transition is appended when it happens. Restart recovery is a
+single forward replay — a submission with no terminal record is still
+owed to some client and re-enqueues as ``queued`` (half-run jobs redo
+their points, which short-circuit through the result cache, so no
+simulation work is actually repeated). The journal is then compacted to
+just the pending submissions, so it cannot grow without bound.
+
+A torn trailing line (the previous process died mid-append) is ignored
+with a warning; any other undecodable line is, too — the journal is a
+recovery aid, never a correctness dependency for completed work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import tempfile
+import time
+from typing import Any
+
+from ..obs.log import get_logger
+from ..sim.runner import DesignPoint
+
+log = get_logger(__name__)
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States after which a job never runs again.
+TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+
+
+@dataclasses.dataclass
+class Job:
+    """One submitted batch of design points."""
+
+    id: str
+    points: list[DesignPoint]
+    priority: int = 0
+    timeout_s: float | None = None
+    state: str = QUEUED
+    error: str | None = None
+    submitted_s: float = 0.0
+    started_s: float | None = None
+    finished_s: float | None = None
+    #: resolved results, in point order (populated when state == DONE;
+    #: held in memory only — durable copies live in the result cache)
+    results: list[Any] | None = None
+
+    def public(self) -> dict[str, Any]:
+        """The status document served to clients (no result payload)."""
+        return {
+            "id": self.id,
+            "state": self.state,
+            "points": len(self.points),
+            "priority": self.priority,
+            "timeout_s": self.timeout_s,
+            "error": self.error,
+            "submitted_s": self.submitted_s,
+            "started_s": self.started_s,
+            "finished_s": self.finished_s,
+        }
+
+    def submit_record(self) -> dict[str, Any]:
+        return {
+            "op": "submit",
+            "id": self.id,
+            "priority": self.priority,
+            "timeout_s": self.timeout_s,
+            "submitted_s": self.submitted_s,
+            "points": [dataclasses.asdict(p) for p in self.points],
+        }
+
+
+def job_from_record(record: dict[str, Any]) -> Job:
+    """Rebuild a queued job from its journal submit record."""
+    return Job(
+        id=str(record["id"]),
+        points=[DesignPoint(**fields) for fields in record["points"]],
+        priority=int(record.get("priority", 0)),
+        timeout_s=record.get("timeout_s"),
+        submitted_s=float(record.get("submitted_s", 0.0)),
+    )
+
+
+class Journal:
+    """Append-only JSONL record of submissions and terminal states."""
+
+    def __init__(self, path: str | pathlib.Path):
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _append(self, record: dict[str, Any]) -> None:
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record_submit(self, job: Job) -> None:
+        self._append(job.submit_record())
+
+    def record_state(self, job_id: str, state: str,
+                     error: str | None = None) -> None:
+        if state not in TERMINAL:
+            raise ValueError(f"only terminal states are journaled, "
+                             f"not {state!r}")
+        record: dict[str, Any] = {"op": "state", "id": job_id,
+                                  "state": state}
+        if error is not None:
+            record["error"] = error
+        self._append(record)
+
+    def close(self) -> None:
+        self._handle.close()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def load(path: str | pathlib.Path) -> list[Job]:
+        """Replay a journal; returns still-pending jobs in submit order."""
+        path = pathlib.Path(path)
+        if not path.exists():
+            return []
+        pending: dict[str, Job] = {}
+        with open(path, encoding="utf-8") as handle:
+            for number, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    op = record["op"]
+                    if op == "submit":
+                        job = job_from_record(record)
+                        pending[job.id] = job
+                    elif op == "state":
+                        pending.pop(str(record["id"]), None)
+                    else:
+                        raise ValueError(f"unknown op {op!r}")
+                except (ValueError, KeyError, TypeError) as error:
+                    # Torn trailing line from a crash mid-append, or a
+                    # hand-edited journal: skip, never fail recovery.
+                    log.warning("%s:%d: skipping bad journal line (%s)",
+                                path, number, error)
+        return list(pending.values())
+
+    @staticmethod
+    def compact(path: str | pathlib.Path, jobs: list[Job]) -> None:
+        """Atomically rewrite the journal to just ``jobs``' submissions."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for job in jobs:
+                    handle.write(json.dumps(job.submit_record()) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+
+def next_job_id(existing: list[str]) -> int:
+    """First free ``job-<n>`` counter given already-journaled ids."""
+    highest = 0
+    for job_id in existing:
+        _, _, suffix = job_id.partition("-")
+        if suffix.isdigit():
+            highest = max(highest, int(suffix))
+    return highest + 1
+
+
+def make_job(counter: int, points: list[DesignPoint], priority: int = 0,
+             timeout_s: float | None = None) -> Job:
+    return Job(id=f"job-{counter}", points=points, priority=priority,
+               timeout_s=timeout_s, submitted_s=time.time())

@@ -19,17 +19,32 @@ persist in the on-disk cache (``--cache-dir`` / ``REPRO_CACHE_DIR``),
 and re-running a campaign only simulates what is not cached yet.
 ``--serial`` restores the inline path (identical numbers).
 
+Against a running :mod:`repro.serve` daemon the same campaign executes
+remotely — concurrent campaigns share one worker pool and deduplicate
+overlapping points (see ``docs/serving.md``):
+
+* ``submit`` — send every planned point (plus baselines) as one job;
+  the job id is remembered in ``<dir>/job.json``,
+* ``status`` — poll the job,
+* ``fetch``  — wait for completion and write the same ``results.csv``
+  the local ``run`` would have produced (bit-identical numbers).
+
 Example::
 
     python -m repro.tools.campaign plan  --dir camp --workloads add mcf
     python -m repro.tools.campaign run   --dir camp --workers 8
     python -m repro.tools.campaign stats --dir camp
+
+    python -m repro.tools.campaign submit --dir camp --server unix:/tmp/s.sock
+    python -m repro.tools.campaign fetch  --dir camp
+    python -m repro.tools.campaign stats  --dir camp
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
+import json
 import os
 import pathlib
 from dataclasses import replace
@@ -65,34 +80,33 @@ def plan(directory: pathlib.Path, workloads, designs, trhs,
     return paths
 
 
-def run(directory: pathlib.Path, workers: int | None = None,
-        parallel: bool | None = None,
-        verbose: bool = True) -> pathlib.Path:
-    csv_path = directory / "results.csv"
+def planned_points(directory: pathlib.Path
+                   ) -> tuple[list[pathlib.Path], list[DesignPoint],
+                              list[DesignPoint]]:
+    """The campaign's INIs, their points, and the flat point+baseline
+    list in execution order."""
     ini_paths = sorted(directory.glob("*.ini"))
     if not ini_paths:
         raise FileNotFoundError(f"no .ini files in {directory}")
-
     points = [load_design_point(str(path)) for path in ini_paths]
     flat: list[DesignPoint] = []
     for point in points:
         flat.append(point)
         flat.append(point.baseline())
+    return ini_paths, points, flat
 
-    total = len(set(flat))
 
-    def progress(outcome: PointOutcome) -> None:
-        point = outcome.point
-        log.info("[%3d/%d] %s.%s.t%d (%s, %.1fs)",
-                 outcome.index + 1, total, point.workload, point.design,
-                 point.trh, outcome.source, outcome.wall_s)
+def write_results_csv(csv_path: pathlib.Path,
+                      ini_paths: list[pathlib.Path],
+                      points: list[DesignPoint],
+                      results: list) -> pathlib.Path:
+    """Render one CSV row per evaluation from the flat result list.
 
-    engine = SweepEngine(workers=workers, parallel=parallel,
-                         progress=progress if verbose else None)
-    results = engine.run(flat)
-    log.info("%s", engine.metrics.summary())
-    log.info("phases: %s", engine.profiler.summary())
-
+    ``results`` interleaves evaluation and baseline results, exactly as
+    :func:`planned_points` interleaves the flat point list — the local
+    ``run`` and the remote ``fetch`` both funnel through here, which is
+    what keeps their CSVs byte-identical.
+    """
     with open(csv_path, "w", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=CSV_FIELDS)
         writer.writeheader()
@@ -114,6 +128,88 @@ def run(directory: pathlib.Path, workers: int | None = None,
                 "requests": result.total_requests,
             })
     return csv_path
+
+
+def run(directory: pathlib.Path, workers: int | None = None,
+        parallel: bool | None = None,
+        verbose: bool = True) -> pathlib.Path:
+    csv_path = directory / "results.csv"
+    ini_paths, points, flat = planned_points(directory)
+
+    total = len(set(flat))
+
+    def progress(outcome: PointOutcome) -> None:
+        point = outcome.point
+        log.info("[%3d/%d] %s.%s.t%d (%s, %.1fs)",
+                 outcome.index + 1, total, point.workload, point.design,
+                 point.trh, outcome.source, outcome.wall_s)
+
+    engine = SweepEngine(workers=workers, parallel=parallel,
+                         progress=progress if verbose else None)
+    results = engine.run(flat)
+    log.info("%s", engine.metrics.summary())
+    log.info("phases: %s", engine.profiler.summary())
+    return write_results_csv(csv_path, ini_paths, points, results)
+
+
+# ----------------------------------------------------------------------
+# Remote execution through a repro.serve daemon
+# ----------------------------------------------------------------------
+def _job_file(directory: pathlib.Path) -> pathlib.Path:
+    return directory / "job.json"
+
+
+def _load_job(directory: pathlib.Path,
+              server: str | None) -> tuple[str, str]:
+    """The campaign's submitted ``(job_id, server_address)``."""
+    path = _job_file(directory)
+    if not path.exists():
+        raise FileNotFoundError(
+            f"{path} missing; run `campaign submit` first")
+    record = json.loads(path.read_text())
+    return record["id"], server or record["server"]
+
+
+def submit(directory: pathlib.Path, server: str,
+           priority: int = 0) -> str:
+    """Submit the planned campaign as one job; remembers the id."""
+    from ..serve.client import ServeClient
+    _, _, flat = planned_points(directory)
+    client = ServeClient(server)
+    job_id = client.submit(flat, priority=priority)
+    _job_file(directory).write_text(json.dumps(
+        {"id": job_id, "server": server}) + "\n")
+    log.info("submitted %d points as %s to %s", len(flat), job_id,
+             server)
+    return job_id
+
+
+def status(directory: pathlib.Path, server: str | None = None) -> dict:
+    from ..serve.client import ServeClient
+    job_id, server = _load_job(directory, server)
+    return ServeClient(server).status(job_id)
+
+
+def fetch(directory: pathlib.Path, server: str | None = None,
+          wait_s: float = 600.0) -> pathlib.Path:
+    """Wait for the submitted job and write ``results.csv``."""
+    from ..serve.client import ServeClient
+    job_id, server = _load_job(directory, server)
+    ini_paths, points, flat = planned_points(directory)
+    client = ServeClient(server)
+    document = client.wait(job_id, timeout_s=wait_s,
+                           tolerate_disconnects=True)
+    if document["state"] != "done":
+        raise RuntimeError(f"{job_id} ended {document['state']}: "
+                           f"{document['error']}")
+    results = client.result(job_id)
+    if len(results) != len(flat):
+        raise RuntimeError(
+            f"{job_id} returned {len(results)} results for "
+            f"{len(flat)} submitted points; was the campaign "
+            f"re-planned after submit?")
+    return write_results_csv(directory / "results.csv", ini_paths,
+                             points, results)
 
 
 def verify(directory: pathlib.Path, limit: int | None = None) -> int:
@@ -162,7 +258,8 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro.tools.campaign",
         description="Plan, run, and aggregate an evaluation campaign.")
     parser.add_argument("command",
-                        choices=("plan", "run", "stats", "verify"))
+                        choices=("plan", "run", "stats", "verify",
+                                 "submit", "status", "fetch"))
     parser.add_argument("--dir", default="campaign",
                         help="campaign directory")
     parser.add_argument("--workloads", nargs="*",
@@ -185,6 +282,13 @@ def main(argv: list[str] | None = None) -> int:
                              "REPRO_LOG=warning)")
     parser.add_argument("--limit", type=int, default=None,
                         help="verify: only check the first N points")
+    parser.add_argument("--server", default=None,
+                        help="repro.serve address (unix:/path.sock or "
+                             "host:port) for submit/status/fetch")
+    parser.add_argument("--priority", type=int, default=0,
+                        help="submit: job priority (higher runs first)")
+    parser.add_argument("--wait-s", type=float, default=600.0,
+                        help="fetch: how long to wait for the job")
     args = parser.parse_args(argv)
     configure("warning" if args.quiet else None)
     directory = pathlib.Path(args.dir)
@@ -209,6 +313,34 @@ def main(argv: list[str] | None = None) -> int:
             log.error("%s", error)
             return 2
         return 1 if failures else 0
+    if args.command == "submit":
+        if not args.server:
+            parser.error("submit requires --server")
+        try:
+            print(submit(directory, args.server,
+                         priority=args.priority))
+        except FileNotFoundError as error:
+            log.error("%s", error)
+            return 2
+        return 0
+    if args.command == "status":
+        try:
+            document = status(directory, server=args.server)
+        except FileNotFoundError as error:
+            log.error("%s", error)
+            return 2
+        for key in sorted(document):
+            print(f"{key}={document[key]}")
+        return 0
+    if args.command == "fetch":
+        try:
+            csv_path = fetch(directory, server=args.server,
+                             wait_s=args.wait_s)
+        except (FileNotFoundError, RuntimeError, TimeoutError) as error:
+            log.error("%s", error)
+            return 2
+        log.info("wrote %s", csv_path)
+        return 0
     try:
         print(stats(directory), end="")
     except FileNotFoundError as error:

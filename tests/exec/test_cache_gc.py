@@ -1,0 +1,201 @@
+"""Cache maintenance: size-bounded GC, the CLI, concurrent writers."""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.exec.cache import ResultCache, main, point_key
+from repro.exec.serialize import result_to_dict
+from repro.sim.runner import DesignPoint, run_point
+
+FAST = dict(instructions=6_000, rows_per_bank=512, refresh_scale=1 / 256)
+POINT = DesignPoint(workload="add", design="baseline", **FAST)
+
+
+def make_entry(cache_dir, name, size, mtime):
+    """Plant a raw cache file (GC never parses entries)."""
+    shard = cache_dir / name[:2]
+    shard.mkdir(parents=True, exist_ok=True)
+    path = shard / f"{name}.json"
+    path.write_bytes(b"x" * size)
+    os.utime(path, (mtime, mtime))
+    return path
+
+
+class TestEntriesAndSize:
+    def test_entries_sorted_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        make_entry(tmp_path, "aa11", 10, mtime=300)
+        make_entry(tmp_path, "bb22", 20, mtime=100)
+        make_entry(tmp_path, "cc33", 30, mtime=200)
+        names = [path.stem for _, _, path in cache.entries()]
+        assert names == ["bb22", "cc33", "aa11"]
+
+    def test_mtime_ties_break_by_path(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        make_entry(tmp_path, "bb22", 10, mtime=100)
+        make_entry(tmp_path, "aa11", 10, mtime=100)
+        names = [path.stem for _, _, path in cache.entries()]
+        assert names == ["aa11", "bb22"]
+
+    def test_size_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        make_entry(tmp_path, "aa11", 10, mtime=100)
+        make_entry(tmp_path, "bb22", 32, mtime=200)
+        assert cache.size_bytes() == 42
+
+    def test_empty_directory(self, tmp_path):
+        cache = ResultCache(tmp_path / "missing")
+        assert cache.entries() == []
+        assert cache.size_bytes() == 0
+
+
+class TestPrune:
+    def test_evicts_oldest_until_under_budget(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        old = make_entry(tmp_path, "aa11", 100, mtime=100)
+        mid = make_entry(tmp_path, "bb22", 100, mtime=200)
+        new = make_entry(tmp_path, "cc33", 100, mtime=300)
+        removed, freed = cache.prune(max_bytes=150)
+        assert (removed, freed) == (2, 200)
+        assert not old.exists() and not mid.exists()
+        assert new.exists()
+
+    def test_noop_when_under_budget(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        make_entry(tmp_path, "aa11", 100, mtime=100)
+        assert cache.prune(max_bytes=1000) == (0, 0)
+        assert len(cache) == 1
+
+    def test_prune_to_zero_clears_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for index in range(4):
+            make_entry(tmp_path, f"aa{index}{index}", 10, mtime=index)
+        removed, freed = cache.prune(max_bytes=0)
+        assert (removed, freed) == (4, 40)
+        assert len(cache) == 0
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path).prune(max_bytes=-1)
+
+    def test_corrupt_entries_evicted_like_any_other(self, tmp_path):
+        # GC never parses documents, so garbage entries are no obstacle
+        cache = ResultCache(tmp_path)
+        shard = tmp_path / "dd"
+        shard.mkdir()
+        corrupt = shard / "dd44.json"
+        corrupt.write_text("{not json at all")
+        os.utime(corrupt, (50, 50))
+        keeper = make_entry(tmp_path, "ee55", 16, mtime=500)
+        removed, _ = cache.prune(max_bytes=16)
+        assert removed == 1
+        assert not corrupt.exists() and keeper.exists()
+
+    def test_vanished_entry_counts_as_freed(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        doomed = make_entry(tmp_path, "aa11", 64, mtime=100)
+        stale = cache.entries()
+        doomed.unlink()  # a concurrent GC beat us to it
+        monkeypatch.setattr(cache, "entries", lambda: stale)
+        removed, freed = cache.prune(max_bytes=0)
+        assert (removed, freed) == (1, 64)
+
+
+class TestCacheCli:
+    def test_stats_output(self, tmp_path, capsys):
+        make_entry(tmp_path, "aa11", 10, mtime=100)
+        assert main(["--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries" in out and "10 bytes" in out
+
+    def test_prune_bytes(self, tmp_path, capsys):
+        make_entry(tmp_path, "aa11", 100, mtime=100)
+        make_entry(tmp_path, "bb22", 100, mtime=200)
+        assert main(["--dir", str(tmp_path), "--prune-bytes", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 entries (100 bytes)" in out
+
+    def test_clear(self, tmp_path, capsys):
+        make_entry(tmp_path, "aa11", 10, mtime=100)
+        assert main(["--dir", str(tmp_path), "--clear"]) == 0
+        assert "cleared 1 entries" in capsys.readouterr().out
+
+    def test_negative_prune_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["--dir", str(tmp_path), "--prune-bytes", "-5"])
+
+    def test_no_directory_is_an_error(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_env_directory_fallback(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main([]) == 0
+        assert str(tmp_path) in capsys.readouterr().out
+
+
+_WRITER = """
+import json, pathlib, sys
+from repro.exec.cache import ResultCache
+from repro.exec.serialize import result_from_dict
+from repro.sim.runner import DesignPoint
+
+cache_dir, doc_path, point_json, rounds = sys.argv[1:5]
+result = result_from_dict(json.loads(pathlib.Path(doc_path).read_text()))
+point = DesignPoint(**json.loads(point_json))
+cache = ResultCache(cache_dir)
+for _ in range(int(rounds)):
+    cache.put(point, result)
+"""
+
+
+class TestConcurrentWriters:
+    def test_same_key_never_torn(self, tmp_path):
+        """Two processes hammering one key: readers never see a torn
+        entry (atomic tmpfile + rename), and exactly one file remains.
+        """
+        import dataclasses
+
+        result = run_point(POINT)
+        doc = result_to_dict(result)
+        doc_path = tmp_path / "doc.json"
+        doc_path.write_text(json.dumps(doc))
+        cache_dir = tmp_path / "cache"
+        point_json = json.dumps(dataclasses.asdict(POINT))
+
+        import repro
+        src_dir = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env.pop("REPRO_CACHE_SALT", None)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [src_dir, env.get("PYTHONPATH")]))
+        writers = [
+            subprocess.Popen(
+                [sys.executable, "-c", _WRITER, str(cache_dir),
+                 str(doc_path), point_json, "120"],
+                env=env, stderr=subprocess.PIPE)
+            for _ in range(2)
+        ]
+
+        reader = ResultCache(cache_dir)
+        while any(w.poll() is None for w in writers):
+            entry = reader.get(POINT)
+            if entry is not None:
+                assert result_to_dict(entry) == doc
+        for writer in writers:
+            _, stderr = writer.communicate()
+            assert writer.returncode == 0, stderr.decode()
+
+        assert reader.counters.corrupt == 0
+        final = reader.get(POINT)
+        assert final is not None
+        assert result_to_dict(final) == doc
+        shard = cache_dir / point_key(POINT)[:2]
+        assert len(list(shard.glob("*.json"))) == 1
+        assert list(shard.glob("*.tmp")) == []

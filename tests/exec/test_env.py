@@ -1,0 +1,111 @@
+"""Strict REPRO_* environment-knob parsing."""
+
+import pytest
+
+from repro.exec.engine import default_workers, serial_forced
+from repro.exec.env import EnvKnobError, env_flag, env_int
+
+
+class TestEnvInt:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("X_KNOB", raising=False)
+        assert env_int("X_KNOB") is None
+        assert env_int("X_KNOB", default=4) == 4
+
+    def test_empty_returns_default(self, monkeypatch):
+        monkeypatch.setenv("X_KNOB", "  ")
+        assert env_int("X_KNOB", default=4) == 4
+
+    def test_parses_with_whitespace(self, monkeypatch):
+        monkeypatch.setenv("X_KNOB", " 12 ")
+        assert env_int("X_KNOB") == 12
+
+    @pytest.mark.parametrize("bad", ["0", "-3"])
+    def test_below_minimum_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("X_KNOB", bad)
+        with pytest.raises(EnvKnobError, match="X_KNOB"):
+            env_int("X_KNOB", minimum=1)
+
+    def test_custom_minimum(self, monkeypatch):
+        monkeypatch.setenv("X_KNOB", "0")
+        assert env_int("X_KNOB", minimum=0) == 0
+
+    @pytest.mark.parametrize("bad", ["two", "1.5", "0x10", "1e3"])
+    def test_non_integer_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("X_KNOB", bad)
+        with pytest.raises(EnvKnobError, match="X_KNOB"):
+            env_int("X_KNOB")
+
+    def test_error_names_value(self, monkeypatch):
+        monkeypatch.setenv("X_KNOB", "banana")
+        with pytest.raises(EnvKnobError, match="banana"):
+            env_int("X_KNOB")
+
+    def test_is_value_error(self, monkeypatch):
+        monkeypatch.setenv("X_KNOB", "banana")
+        with pytest.raises(ValueError):
+            env_int("X_KNOB")
+
+
+class TestEnvFlag:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("X_FLAG", raising=False)
+        assert env_flag("X_FLAG") is False
+        assert env_flag("X_FLAG", default=True) is True
+
+    @pytest.mark.parametrize("raw", ["1", "true", "YES", "On"])
+    def test_truthy_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("X_FLAG", raw)
+        assert env_flag("X_FLAG") is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", "NO", "Off"])
+    def test_falsy_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("X_FLAG", raw)
+        assert env_flag("X_FLAG", default=True) is False
+
+    @pytest.mark.parametrize("raw", ["maybe", "2", "yess"])
+    def test_garbage_rejected(self, monkeypatch, raw):
+        monkeypatch.setenv("X_FLAG", raw)
+        with pytest.raises(EnvKnobError, match="X_FLAG"):
+            env_flag("X_FLAG")
+
+
+class TestEngineKnobs:
+    """The historical failure modes stay fixed (see repro.exec.env)."""
+
+    def test_workers_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_workers_default_positive(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_workers() >= 1
+
+    def test_workers_zero_rejected_not_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(EnvKnobError, match="REPRO_WORKERS"):
+            default_workers()
+
+    @pytest.mark.parametrize("bad", ["-2", "many", "3.5"])
+    def test_workers_nonsense_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_WORKERS", bad)
+        with pytest.raises(EnvKnobError):
+            default_workers()
+
+    def test_serial_unset_is_parallel(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERIAL", raising=False)
+        assert serial_forced() is False
+
+    def test_serial_one_forces_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERIAL", "1")
+        assert serial_forced() is True
+
+    def test_serial_zero_means_parallel(self, monkeypatch):
+        # regression: any non-empty string used to count as truthy
+        monkeypatch.setenv("REPRO_SERIAL", "0")
+        assert serial_forced() is False
+
+    def test_serial_nonsense_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERIAL", "sometimes")
+        with pytest.raises(EnvKnobError, match="REPRO_SERIAL"):
+            serial_forced()

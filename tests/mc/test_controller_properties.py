@@ -80,10 +80,16 @@ def test_accounting_identity(requests):
 @settings(max_examples=20, deadline=None)
 @given(request_streams)
 def test_prac_never_faster_than_baseline_in_total(requests):
-    """PRAC only adds latency; the last completion cannot come earlier."""
+    """PRAC only adds latency; the last completion cannot come earlier.
+
+    Up to one tBURST of slack: the PRAC timing shifts can legally flip
+    the commit order of two banks' service passes, chaining the tail
+    request's column access behind a different burst in each run.
+    """
     requests = sorted(requests)
     _, base_requests, _ = drive(requests, use_prac=False)
     _, prac_requests, _ = drive(requests, use_prac=True)
     base_end = max(r.completion_ps for r in base_requests)
     prac_end = max(r.completion_ps for r in prac_requests)
-    assert prac_end >= base_end - 1  # integer-ps rounding slack
+    slack = ddr5_base().tBURST
+    assert prac_end >= base_end - slack

@@ -1,0 +1,135 @@
+"""Job model and the crash-safe JSONL journal."""
+
+import json
+
+import pytest
+
+from repro.serve.jobs import (CANCELLED, DONE, QUEUED, TERMINAL, Job,
+                              Journal, job_from_record, make_job,
+                              next_job_id)
+from repro.sim.runner import DesignPoint
+
+FAST = dict(instructions=6_000, rows_per_bank=512, refresh_scale=1 / 256)
+
+
+def points(n=2, seed=0):
+    return [DesignPoint(workload="add", design="baseline", seed=seed + i,
+                        **FAST) for i in range(n)]
+
+
+class TestJob:
+    def test_make_job_defaults(self):
+        job = make_job(7, points())
+        assert job.id == "job-7"
+        assert job.state == QUEUED
+        assert job.submitted_s > 0
+
+    def test_public_has_no_results(self):
+        job = make_job(1, points())
+        job.results = ["should-not-leak"]
+        doc = job.public()
+        assert doc["id"] == "job-1"
+        assert doc["points"] == 2
+        assert "results" not in doc
+        json.dumps(doc)  # must be wire-serialisable
+
+    def test_submit_record_round_trip(self):
+        job = make_job(3, points(), priority=5, timeout_s=1.5)
+        back = job_from_record(job.submit_record())
+        assert back.id == job.id
+        assert back.points == job.points
+        assert back.priority == 5
+        assert back.timeout_s == 1.5
+        assert back.state == QUEUED
+
+    def test_terminal_states(self):
+        assert TERMINAL == {"done", "failed", "cancelled"}
+
+
+class TestNextJobId:
+    def test_empty(self):
+        assert next_job_id([]) == 1
+
+    def test_continues_after_highest(self):
+        assert next_job_id(["job-2", "job-9", "job-4"]) == 10
+
+    def test_ignores_unparseable_ids(self):
+        assert next_job_id(["job-x", "weird", "job-3"]) == 4
+
+
+class TestJournal:
+    def test_load_missing_file(self, tmp_path):
+        assert Journal.load(tmp_path / "nope.jsonl") == []
+
+    def test_submit_then_terminal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = Journal(path)
+        a, b = make_job(1, points()), make_job(2, points(seed=10))
+        journal.record_submit(a)
+        journal.record_submit(b)
+        journal.record_state(a.id, DONE)
+        journal.close()
+        pending = Journal.load(path)
+        assert [job.id for job in pending] == ["job-2"]
+        assert pending[0].points == b.points
+
+    def test_only_terminal_states_journaled(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        with pytest.raises(ValueError):
+            journal.record_state("job-1", "running")
+        journal.close()
+
+    def test_torn_trailing_line_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = Journal(path)
+        job = make_job(1, points())
+        journal.record_submit(job)
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "submit", "id": "job-2", "poi')
+        pending = Journal.load(path)
+        assert [j.id for j in pending] == ["job-1"]
+
+    def test_unknown_op_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"op": "frobnicate", "id": "job-1"}\n')
+        assert Journal.load(path) == []
+
+    def test_cancelled_is_terminal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = Journal(path)
+        job = make_job(1, points())
+        journal.record_submit(job)
+        journal.record_state(job.id, CANCELLED, "client request")
+        journal.close()
+        assert Journal.load(path) == []
+
+    def test_compact_keeps_only_pending(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = Journal(path)
+        jobs = [make_job(i, points(seed=i * 10)) for i in (1, 2, 3)]
+        for job in jobs:
+            journal.record_submit(job)
+        journal.record_state("job-2", DONE)
+        journal.close()
+
+        pending = Journal.load(path)
+        Journal.compact(path, pending)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert [json.loads(line)["id"] for line in lines] == \
+            ["job-1", "job-3"]
+        # compacted journal replays identically
+        assert [j.id for j in Journal.load(path)] == ["job-1", "job-3"]
+
+    def test_append_after_compact(self, tmp_path):
+        # the normal startup sequence: load, compact, reopen, append
+        path = tmp_path / "journal.jsonl"
+        journal = Journal(path)
+        journal.record_submit(make_job(1, points()))
+        journal.close()
+        Journal.compact(path, Journal.load(path))
+        journal = Journal(path)
+        journal.record_submit(make_job(2, points(seed=5)))
+        journal.close()
+        assert [j.id for j in Journal.load(path)] == ["job-1", "job-2"]

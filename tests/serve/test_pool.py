@@ -1,0 +1,242 @@
+"""PointRunner: cache short-circuit, dedup, crash retries, shielding.
+
+These tests inject a thread-pool executor and closure simulate
+functions, so nothing here forks a process or runs a real simulation.
+"""
+
+import asyncio
+import threading
+from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
+
+import pytest
+
+from repro.exec.cache import point_key
+from repro.obs.registry import StatsRegistry
+from repro.serve.pool import PointFailed, PointRunner
+from repro.sim.runner import DesignPoint
+
+FAST = dict(instructions=6_000, rows_per_bank=512, refresh_scale=1 / 256)
+
+
+def point(seed=0):
+    return DesignPoint(workload="add", design="baseline", seed=seed,
+                       **FAST)
+
+
+class StubCache:
+    """In-memory stand-in for ResultCache (get/put/register_stats)."""
+
+    def __init__(self, preloaded=None):
+        self.store = dict(preloaded or {})
+        self.puts = []
+
+    def get(self, p):
+        return self.store.get(point_key(p))
+
+    def put(self, p, result):
+        self.store[point_key(p)] = result
+        self.puts.append(p)
+
+    def register_stats(self, registry, prefix="exec.cache"):
+        registry.register(prefix, lambda: {"entries": len(self.store)})
+
+
+def make_runner(simulate_fn, cache=None, workers=2, **kwargs):
+    registry = StatsRegistry()
+    runner = PointRunner(
+        workers=workers, cache=cache, registry=registry,
+        simulate_fn=simulate_fn,
+        executor_factory=lambda n: ThreadPoolExecutor(max_workers=n),
+        **kwargs)
+    return runner, registry
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCacheShortCircuit:
+    def test_hit_skips_simulation(self):
+        p = point()
+        cache = StubCache({point_key(p): {"cached": True}})
+        calls = []
+        runner, registry = make_runner(
+            lambda q: calls.append(q) or ({"fresh": True}, 0.001),
+            cache=cache)
+
+        async def go():
+            return await runner.resolve(p)
+
+        assert run(go()) == {"cached": True}
+        assert calls == []
+        stats = registry.snapshot()
+        assert stats["serve.cache_hits"] == 1
+        assert stats["serve.points_simulated"] == 0
+
+    def test_miss_simulates_and_writes_back(self):
+        p = point()
+        cache = StubCache()
+        runner, registry = make_runner(
+            lambda q: ({"seed": q.seed}, 0.001), cache=cache)
+
+        async def go():
+            return await runner.resolve(p)
+
+        assert run(go()) == {"seed": 0}
+        assert cache.store[point_key(p)] == {"seed": 0}
+        stats = registry.snapshot()
+        assert stats["serve.cache_misses"] == 1
+        assert stats["serve.points_simulated"] == 1
+        assert stats["exec.cache.entries"] == 1
+
+
+class TestInflightDedup:
+    def test_concurrent_resolves_share_one_execution(self):
+        release = threading.Event()
+        calls = []
+
+        def sim(q):
+            calls.append(q)
+            release.wait(5)
+            return {"seed": q.seed}, 0.001
+
+        runner, registry = make_runner(sim, cache=StubCache())
+        p = point()
+
+        async def go():
+            first = asyncio.ensure_future(runner.resolve(p))
+            await asyncio.sleep(0.02)  # first registers its execution
+            second = asyncio.ensure_future(runner.resolve(p))
+            await asyncio.sleep(0.02)
+            release.set()
+            return await asyncio.gather(first, second)
+
+        results = run(go())
+        assert results[0] == results[1] == {"seed": 0}
+        assert len(calls) == 1
+        stats = registry.snapshot()
+        assert stats["serve.dedup_hits"] == 1
+        assert stats["serve.points_simulated"] == 1
+
+    def test_distinct_points_do_not_dedup(self):
+        runner, registry = make_runner(
+            lambda q: ({"seed": q.seed}, 0.001), cache=StubCache())
+
+        async def go():
+            return await asyncio.gather(runner.resolve(point(0)),
+                                        runner.resolve(point(1)))
+
+        assert run(go()) == [{"seed": 0}, {"seed": 1}]
+        assert registry.snapshot()["serve.dedup_hits"] == 0
+
+    def test_cancelled_waiter_does_not_kill_shared_execution(self):
+        release = threading.Event()
+        calls = []
+
+        def sim(q):
+            calls.append(q)
+            release.wait(5)
+            return {"seed": q.seed}, 0.001
+
+        runner, registry = make_runner(sim, cache=StubCache())
+        p = point()
+
+        async def go():
+            first = asyncio.ensure_future(runner.resolve(p))
+            await asyncio.sleep(0.02)
+            second = asyncio.ensure_future(runner.resolve(p))
+            await asyncio.sleep(0.02)
+            first.cancel()
+            await asyncio.sleep(0.02)
+            release.set()
+            return await second
+
+        assert run(go()) == {"seed": 0}
+        assert len(calls) == 1
+
+
+class TestWorkerCrashes:
+    def test_broken_executor_retries_then_succeeds(self):
+        attempts = []
+
+        def sim(q):
+            attempts.append(q)
+            if len(attempts) <= 2:
+                raise BrokenExecutor("worker died")
+            return {"ok": True}, 0.001
+
+        factories = []
+
+        def factory(n):
+            factories.append(n)
+            return ThreadPoolExecutor(max_workers=n)
+
+        registry = StatsRegistry()
+        runner = PointRunner(workers=2, registry=registry,
+                             simulate_fn=sim, executor_factory=factory,
+                             max_retries=2, retry_backoff_s=0.01)
+
+        async def go():
+            return await runner.resolve(point())
+
+        assert run(go()) == {"ok": True}
+        assert len(attempts) == 3
+        assert len(factories) == 3  # initial pool + one per rebuild
+        stats = registry.snapshot()
+        assert stats["serve.worker_restarts"] == 2
+        assert stats["serve.point_retries"] == 2
+        assert stats["serve.points_simulated"] == 1
+
+    def test_retries_exhausted_raises_point_failed(self):
+        def sim(q):
+            raise BrokenExecutor("worker died")
+
+        registry = StatsRegistry()
+        runner = PointRunner(
+            workers=1, registry=registry, simulate_fn=sim,
+            executor_factory=lambda n: ThreadPoolExecutor(max_workers=n),
+            max_retries=1, retry_backoff_s=0.01)
+
+        async def go():
+            return await runner.resolve(point())
+
+        with pytest.raises(PointFailed, match="worker crashed"):
+            run(go())
+        stats = registry.snapshot()
+        assert stats["serve.points_failed"] == 1
+        assert stats["serve.worker_restarts"] == 2
+
+    def test_deterministic_error_fails_without_retry(self):
+        attempts = []
+
+        def sim(q):
+            attempts.append(q)
+            raise ValueError("unknown workload")
+
+        runner, registry = make_runner(sim, retry_backoff_s=0.01)
+
+        async def go():
+            return await runner.resolve(point())
+
+        with pytest.raises(PointFailed, match="ValueError"):
+            run(go())
+        assert len(attempts) == 1  # re-running would fail the same way
+        stats = registry.snapshot()
+        assert stats["serve.point_retries"] == 0
+        assert stats["serve.points_failed"] == 1
+
+
+class TestConfig:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PointRunner(workers=0)
+
+    def test_shutdown_is_idempotent(self):
+        runner, _ = make_runner(lambda q: ({}, 0.001))
+
+        async def go():
+            await runner.resolve(point())
+            runner.shutdown()
+            runner.shutdown()
+
+        run(go())
