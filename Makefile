@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke obs-smoke serve-smoke check coverage-check ci clean-cache
+.PHONY: test smoke obs-smoke serve-smoke check bench-engine coverage-check ci clean-cache
 
 # Tier-1 suite (the correctness gate).
 test:
@@ -28,6 +28,12 @@ serve-smoke:
 check:
 	$(PYTHON) -m repro.check.selfcheck --fuzz-cases 12
 
+# Engine A/B smoke: the fast engine must be no slower than the
+# reference and bit-identical on short runs. Drop --smoke for the full
+# Table 4 mix A/B (docs/performance.md quotes those numbers).
+bench-engine:
+	$(PYTHON) benchmarks/bench_engine.py --smoke
+
 # Coverage for the verification layer itself; skips cleanly when
 # pytest-cov is not installed (it is optional tooling, not a dep).
 coverage-check:
@@ -39,7 +45,7 @@ coverage-check:
 	fi
 
 # What CI runs.
-ci: test smoke obs-smoke serve-smoke check
+ci: test smoke obs-smoke serve-smoke check bench-engine
 
 clean-cache:
 	rm -rf benchmarks/results/.cache .repro-cache

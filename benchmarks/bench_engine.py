@@ -1,0 +1,138 @@
+"""A/B the fast engine against the reference event loop.
+
+Runs the Table 4 workload mix through both engines at identical design
+points, checks bit-identity of every result fingerprint, and records
+per-workload wall times and throughput ratios in
+``benchmarks/results/BENCH_engine.json``.
+
+Two profiles:
+
+* **full** (default): the paper's mix at default instruction counts —
+  the numbers quoted in docs/performance.md come from this profile.
+* **--smoke**: two short workloads, used by ``make bench-engine`` in
+  CI. Asserts the fast engine is no slower than the reference and
+  produces identical results; exits non-zero otherwise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py          # full A/B
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke  # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import sys
+import time
+
+from repro.sim.runner import DesignPoint, run_point
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+OUTPUT = RESULTS_DIR / "BENCH_engine.json"
+SMOKE_OUTPUT = RESULTS_DIR / "BENCH_engine_smoke.json"
+
+#: Table 4 mix: the six rate-mix blends plus the latency-bound and
+#: streaming SPEC anchors.
+FULL_WORKLOADS = ("mix1", "mix2", "mix3", "mix4", "mix5", "mix6",
+                  "mcf", "lbm")
+SMOKE_WORKLOADS = ("mix1", "mcf")
+
+
+def fingerprint(result):
+    return (
+        dict(result.stats),
+        [dataclasses.asdict(s) for s in result.core_stats],
+        [dataclasses.asdict(s) for s in result.mc_stats],
+        result.elapsed_ps,
+    )
+
+
+def time_engine(point: DesignPoint, engine: str) -> tuple[float, tuple]:
+    start = time.perf_counter()
+    result = run_point(point, engine=engine)
+    return time.perf_counter() - start, fingerprint(result)
+
+
+def bench(workloads, instructions=None, design="mopac-c"):
+    rows = []
+    for workload in workloads:
+        kwargs = {} if instructions is None else {
+            "instructions": instructions}
+        point = DesignPoint(workload=workload, design=design, **kwargs)
+        ref_s, ref_fp = time_engine(point, "reference")
+        fast_s, fast_fp = time_engine(point, "fast")
+        rows.append({
+            "workload": workload,
+            "design": design,
+            "instructions": point.instructions,
+            "reference_s": round(ref_s, 4),
+            "fast_s": round(fast_s, 4),
+            "speedup": round(ref_s / fast_s, 3) if fast_s else None,
+            "identical": ref_fp == fast_fp,
+        })
+        print(f"{workload:12s} reference {ref_s:7.2f}s   "
+              f"fast {fast_s:7.2f}s   x{rows[-1]['speedup']:.2f}   "
+              f"{'identical' if rows[-1]['identical'] else 'DIVERGED'}")
+    total_ref = sum(row["reference_s"] for row in rows)
+    total_fast = sum(row["fast_s"] for row in rows)
+    summary = {
+        "design": design,
+        "workloads": list(workloads),
+        "total_reference_s": round(total_ref, 4),
+        "total_fast_s": round(total_fast, 4),
+        "total_speedup": round(total_ref / total_fast, 3),
+        "all_identical": all(row["identical"] for row in rows),
+        "rows": rows,
+    }
+    print(f"{'TOTAL':12s} reference {total_ref:7.2f}s   "
+          f"fast {total_fast:7.2f}s   x{summary['total_speedup']:.2f}")
+    return summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="short CI gate: identical results and "
+                             "fast >= reference throughput")
+    parser.add_argument("--instructions", type=int, default=None,
+                        help="override per-core instruction budget")
+    parser.add_argument("--output", type=pathlib.Path, default=None,
+                        help=f"JSON report path (default {OUTPUT})")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        instructions = args.instructions or 40_000
+        summary = bench(SMOKE_WORKLOADS, instructions=instructions)
+        summary["profile"] = "smoke"
+        if not summary["all_identical"]:
+            print("FAIL: engines diverged", file=sys.stderr)
+            return 1
+        if summary["total_speedup"] < 1.0:
+            # timing smoke, so allow one retry before declaring the
+            # fast path a slowdown (a noisy neighbour can steal a run)
+            summary = bench(SMOKE_WORKLOADS, instructions=instructions)
+            summary["profile"] = "smoke"
+            if not summary["all_identical"]:
+                print("FAIL: engines diverged", file=sys.stderr)
+                return 1
+            if summary["total_speedup"] < 1.0:
+                print("FAIL: fast engine slower than reference",
+                      file=sys.stderr)
+                return 1
+    else:
+        summary = bench(FULL_WORKLOADS, instructions=args.instructions)
+        summary["profile"] = "full"
+
+    # the smoke gate records beside, not over, the full-profile table
+    output = args.output or (SMOKE_OUTPUT if args.smoke else OUTPUT)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,11 @@
 3. **differential** — MoPAC-C / MoPAC-D / QPRAC / exact-PRAC on one
    seeded adversarial stream; security and counter-conservation
    invariants must hold;
-4. **fuzz smoke** — a bounded run of the property-based MC fuzzer.
+4. **fuzz smoke** — a bounded run of the property-based MC fuzzer;
+5. **engine** — both campaign points re-run under the fast engine
+   (:mod:`repro.sim.fastpath`): stats fingerprints and full command
+   traces must be bit-identical to the reference event loop, and the
+   fast trace must satisfy the conformance oracle on its own.
 
 Exit status 0 when every step passes, 1 otherwise — wired into
 ``make check`` (and thereby ``make ci``).
@@ -22,10 +26,12 @@ Exit status 0 when every step passes, 1 otherwise — wired into
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import random
 import sys
 
-from ..sim.runner import DesignPoint
+from ..obs.tracer import EventTracer
+from ..sim.runner import DesignPoint, run_point
 from .differential import run_differential
 from .driver import oracle_config_for, trace_point, verify_point
 from .fuzz import run_fuzz
@@ -98,6 +104,34 @@ def run_selfcheck(fuzz_cases: int = 12, fuzz_seed: int = 0xC4EC,
     fuzz = run_fuzz(cases=fuzz_cases, master_seed=fuzz_seed)
     _check("fuzz", fuzz.ok, fuzz.describe().splitlines()[0],
            failures, quiet)
+
+    # 5. the fast engine is bit-identical machinery, not new physics
+    for point in (ABO_POINT, MIX_POINT):
+        label = f"{point.workload}.{point.design}"
+        fingerprints, traces = {}, {}
+        for engine in ("reference", "fast"):
+            tracer = EventTracer(capacity=2_000_000)
+            result = run_point(point, tracer=tracer, engine=engine)
+            fingerprints[engine] = (
+                dict(result.stats),
+                [dataclasses.asdict(s) for s in result.core_stats],
+                [dataclasses.asdict(s) for s in result.mc_stats],
+                result.elapsed_ps)
+            traces[engine] = tracer.events()
+        same_stats = fingerprints["fast"] == fingerprints["reference"]
+        same_trace = traces["fast"] == traces["reference"]
+        _check(f"engine/identity/{label}", same_stats and same_trace,
+               f"stats {'match' if same_stats else 'DIVERGE'}, "
+               f"{len(traces['fast'])} traced events "
+               f"{'match' if same_trace else 'DIVERGE'}",
+               failures, quiet)
+        violations = ConformanceOracle(
+            oracle_config_for(point)).verify(traces["fast"])
+        _check(f"engine/oracle/{label}", not violations,
+               ("zero violations" if not violations
+                else f"{len(violations)} violation(s), first: "
+                     f"{violations[0].rule}"),
+               failures, quiet)
 
     if failures:
         print(f"selfcheck: {len(failures)} FAILURE(S)", file=sys.stderr)

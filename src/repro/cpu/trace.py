@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceItem:
     """One memory access: preceded by ``gap`` non-memory instructions."""
 

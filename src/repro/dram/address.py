@@ -23,60 +23,107 @@ from .commands import BankAddress, LineAddress
 
 
 class AddressMapper:
-    """Base interface: map a linear line index to a DRAM location."""
+    """Base interface: map a linear line index to a DRAM location.
+
+    Geometry divisors are cached at construction: ``map_line`` runs once
+    per simulated LLC miss, and :class:`~repro.config.DRAMConfig` is a
+    frozen dataclass, so re-deriving them per call buys nothing.
+    """
 
     def __init__(self, config: DRAMConfig):
         self.config = config
+        self._total_lines = (config.total_banks * config.rows_per_bank
+                             * config.lines_per_row)
+        self._line_bytes = config.line_bytes
 
     def map_line(self, line_index: int) -> LineAddress:
         raise NotImplementedError
 
+    def map_line_raw(self, line_index: int) -> tuple[int, int, int]:
+        """``(subchannel, bank, row)`` of a line, without address objects.
+
+        The fast engine maps every LLC miss through this instead of
+        :meth:`map_line`: it never needs the column, and skipping the
+        frozen-dataclass construction (plus validation) roughly halves
+        the mapping cost. Subclasses get this derived fallback; the
+        bundled mappers override it with the direct arithmetic.
+        """
+        address = self.map_line(line_index).bank_address
+        return address.subchannel, address.bank, address.row
+
     def total_lines(self) -> int:
-        cfg = self.config
-        return cfg.total_banks * cfg.rows_per_bank * cfg.lines_per_row
+        return self._total_lines
 
     def map_address(self, byte_address: int) -> LineAddress:
         """Map a byte address (wraps around the capacity)."""
-        line = (byte_address // self.config.line_bytes) % self.total_lines()
+        line = (byte_address // self._line_bytes) % self._total_lines
         return self.map_line(line)
 
 
 class MOPMapper(AddressMapper):
     """Minimalist Open Page mapping with ``config.mop_lines`` lines/row."""
 
+    def __init__(self, config: DRAMConfig):
+        super().__init__(config)
+        self._mop = config.mop_lines
+        self._banks = config.banks_per_subchannel
+        self._subchannels = config.subchannels
+        self._rows = config.rows_per_bank
+        self._groups_per_row = config.lines_per_row // config.mop_lines
+
     def map_line(self, line_index: int) -> LineAddress:
-        cfg = self.config
-        line_index %= self.total_lines()
-        mop = cfg.mop_lines
-        groups_per_row = cfg.lines_per_row // mop
+        mop = self._mop
+        line_index %= self._total_lines
 
         offset = line_index % mop
         rest = line_index // mop
-        bank = rest % cfg.banks_per_subchannel
-        rest //= cfg.banks_per_subchannel
-        subchannel = rest % cfg.subchannels
-        rest //= cfg.subchannels
-        row = rest % cfg.rows_per_bank
-        group = (rest // cfg.rows_per_bank) % groups_per_row
+        bank = rest % self._banks
+        rest //= self._banks
+        subchannel = rest % self._subchannels
+        rest //= self._subchannels
+        row = rest % self._rows
+        group = (rest // self._rows) % self._groups_per_row
 
         column = group * mop + offset
         return LineAddress(BankAddress(subchannel, bank, row), column)
+
+    def map_line_raw(self, line_index: int) -> tuple[int, int, int]:
+        rest = (line_index % self._total_lines) // self._mop
+        bank = rest % self._banks
+        rest //= self._banks
+        subchannel = rest % self._subchannels
+        row = (rest // self._subchannels) % self._rows
+        return subchannel, bank, row
 
 
 class OpenPageMapper(AddressMapper):
     """Row-contiguous mapping: an entire row's lines are consecutive."""
 
-    def map_line(self, line_index: int) -> LineAddress:
-        cfg = self.config
-        line_index %= self.total_lines()
+    def __init__(self, config: DRAMConfig):
+        super().__init__(config)
+        self._lines_per_row = config.lines_per_row
+        self._banks = config.banks_per_subchannel
+        self._subchannels = config.subchannels
+        self._rows = config.rows_per_bank
 
-        column = line_index % cfg.lines_per_row
-        rest = line_index // cfg.lines_per_row
-        bank = rest % cfg.banks_per_subchannel
-        rest //= cfg.banks_per_subchannel
-        subchannel = rest % cfg.subchannels
-        row = (rest // cfg.subchannels) % cfg.rows_per_bank
+    def map_line(self, line_index: int) -> LineAddress:
+        line_index %= self._total_lines
+
+        column = line_index % self._lines_per_row
+        rest = line_index // self._lines_per_row
+        bank = rest % self._banks
+        rest //= self._banks
+        subchannel = rest % self._subchannels
+        row = (rest // self._subchannels) % self._rows
         return LineAddress(BankAddress(subchannel, bank, row), column)
+
+    def map_line_raw(self, line_index: int) -> tuple[int, int, int]:
+        rest = (line_index % self._total_lines) // self._lines_per_row
+        bank = rest % self._banks
+        rest //= self._banks
+        subchannel = rest % self._subchannels
+        row = (rest // self._subchannels) % self._rows
+        return subchannel, bank, row
 
 
 def make_mapper(config: DRAMConfig, kind: str = "mop") -> AddressMapper:

@@ -30,7 +30,7 @@ class Command(enum.Enum):
         return self in (Command.RD, Command.WR)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BankAddress:
     """Physical location of a row: (sub-channel, bank, row)."""
 
@@ -43,7 +43,7 @@ class BankAddress:
             raise ValueError("address components must be non-negative")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LineAddress:
     """A cache-line address after mapping: bank address plus column index."""
 

@@ -61,9 +61,23 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 
 def effective_salt(salt: str = CACHE_SALT) -> str:
-    """The configured salt plus the optional user salt from the env."""
+    """The configured salt plus the user salt and engine from the env.
+
+    The simulation engine (``REPRO_ENGINE``) is folded in only when it
+    differs from the reference: the engines are proven bit-identical
+    (determinism matrix + ``make bench-engine``), but a regression in
+    one must not be able to poison the other's entries — and existing
+    reference-engine caches keep their keys.
+    """
+    from .env import engine_choice
+
     extra = os.environ.get("REPRO_CACHE_SALT")
-    return f"{salt}+{extra}" if extra else salt
+    if extra:
+        salt = f"{salt}+{extra}"
+    engine = engine_choice()
+    if engine != "reference":
+        salt = f"{salt}@{engine}"
+    return salt
 
 
 def default_cache_dir() -> pathlib.Path | None:
@@ -187,17 +201,24 @@ class ResultCache:
         Entries that vanish or cannot be statted mid-scan (a concurrent
         writer or GC) are skipped, never raised.
         """
-        scanned: list[tuple[float, int, pathlib.Path]] = []
+        scanned: list[tuple[int, float, int, pathlib.Path]] = []
         if not self.directory.is_dir():
-            return scanned
+            return []
         for path in self.directory.glob("*/*.json"):
             try:
                 stat = path.stat()
             except OSError:
                 continue
-            scanned.append((stat.st_mtime, stat.st_size, path))
-        scanned.sort(key=lambda item: (item[0], str(item[2])))
-        return scanned
+            # Sort on st_mtime_ns, not the float st_mtime: on coarse
+            # filesystems same-second writes are exact float ties, and
+            # even ns-distinct stamps can collide after the float
+            # rounding — the path tie-break must then decide, and the
+            # ns integer never loses ordering the float still had.
+            scanned.append((stat.st_mtime_ns, stat.st_mtime,
+                            stat.st_size, path))
+        scanned.sort(key=lambda item: (item[0], str(item[3])))
+        return [(mtime, size, path)
+                for _, mtime, size, path in scanned]
 
     def size_bytes(self) -> int:
         """Total bytes held by cache entries."""

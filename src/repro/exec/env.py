@@ -24,6 +24,9 @@ import os
 _TRUE = frozenset({"1", "true", "yes", "on"})
 _FALSE = frozenset({"0", "false", "no", "off"})
 
+#: Simulation engines selectable via ``REPRO_ENGINE``.
+ENGINES = ("reference", "fast")
+
 
 class EnvKnobError(ValueError):
     """An environment knob holds a value that cannot be parsed."""
@@ -70,3 +73,29 @@ def env_flag(name: str, default: bool = False) -> bool:
         return False
     raise EnvKnobError(name, raw, "a boolean (1/0, true/false, "
                                   "yes/no, on/off)")
+
+
+def env_choice(name: str, choices: tuple[str, ...],
+               default: str) -> str:
+    """Enumerated knob ``name``; ``default`` when unset/empty.
+
+    The value is case-insensitive; anything outside ``choices`` raises
+    :class:`EnvKnobError` naming the variable and the valid values.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    value = raw.strip().lower()
+    if value not in choices:
+        raise EnvKnobError(name, raw, "one of " + "/".join(choices))
+    return value
+
+
+def engine_choice(default: str = "reference") -> str:
+    """The simulation engine selected by ``REPRO_ENGINE``.
+
+    ``reference`` is the original event loop; ``fast`` is the
+    bit-identical fast engine (:mod:`repro.sim.fastpath`). See
+    ``docs/performance.md``.
+    """
+    return env_choice("REPRO_ENGINE", ENGINES, default)

@@ -176,10 +176,10 @@ class MemoryController:
                 // len(self.banks)
             self._refsb_count = 0
             self._ref_horizon = self.next_ref
-            self.schedule(self.next_ref, self._refsb_event)
+            self._schedule_refsb(self.next_ref)
         else:
             self._ref_horizon = self.next_ref
-            self.schedule(self.next_ref, self._ref_event)
+            self._schedule_ref(self.next_ref)
 
     def enqueue(self, request: MemRequest, now: int) -> None:
         self.stats.requests += 1
@@ -194,13 +194,39 @@ class MemoryController:
         return sum(len(q) for q in self.queues)
 
     # ------------------------------------------------------------------
+    # Event-scheduling indirection
+    # ------------------------------------------------------------------
+    # Every event the controller puts on the system heap goes through one
+    # of these helpers. The reference implementation allocates a closure
+    # per event; the fast engine (:mod:`repro.sim.fastpath`) overrides
+    # the helpers to push preallocated tuple opcodes instead, while the
+    # maintenance logic above them stays single-sourced.
+    def _schedule_service(self, when: int, bank_index: int) -> None:
+        self.schedule(when, lambda now, b=bank_index: self._service(b, now))
+
+    def _schedule_ref(self, when: int) -> None:
+        self.schedule(when, self._ref_event)
+
+    def _schedule_refsb(self, when: int) -> None:
+        self.schedule(when, self._refsb_event)
+
+    def _schedule_rfm(self, when: int) -> None:
+        self.schedule(when, self._rfm_event)
+
+    def _schedule_timeout(self, when: int, bank_index: int,
+                          access_stamp: int) -> None:
+        self.schedule(when,
+                      lambda t, b=bank_index, s=access_stamp:
+                      self._timeout_close(b, s, t))
+
+    # ------------------------------------------------------------------
     # Per-bank service
     # ------------------------------------------------------------------
     def _kick(self, bank_index: int, when: int) -> None:
         if self._bank_scheduled[bank_index]:
             return
         self._bank_scheduled[bank_index] = True
-        self.schedule(when, lambda now, b=bank_index: self._service(b, now))
+        self._schedule_service(when, bank_index)
 
     def _service(self, bank_index: int, now: int) -> None:
         self._bank_scheduled[bank_index] = False
@@ -383,16 +409,13 @@ class MemoryController:
         timeout = self.page_policy.timeout_ps()
         if timeout is not None:
             access_stamp = self._bank_last_access[bank_index]
-            self.schedule(now + timeout,
-                          lambda t, b=bank_index, s=access_stamp:
-                          self._timeout_close(b, s, t))
+            self._schedule_timeout(now + timeout, bank_index, access_stamp)
 
     def _defer_close(self, bank_index: int, now: int) -> None:
         """Re-attempt a policy-driven close after the commit horizon."""
         access_stamp = self._bank_last_access[bank_index]
-        self.schedule(self._commit_horizon(bank_index),
-                      lambda t, b=bank_index, s=access_stamp:
-                      self._timeout_close(b, s, t))
+        self._schedule_timeout(self._commit_horizon(bank_index),
+                               bank_index, access_stamp)
 
     def _timeout_close(self, bank_index: int, access_stamp: int,
                        now: int) -> None:
@@ -456,7 +479,7 @@ class MemoryController:
         retry = self._refresh_collides_with_alert(now, self.banks)
         if retry is not None:
             self._ref_horizon = retry
-            self.schedule(retry, self._ref_event)
+            self._schedule_ref(retry)
             return
         self.stats.refreshes += 1
         if self.tracer is not None:
@@ -475,7 +498,7 @@ class MemoryController:
         self._check_alert(now)
         self.next_ref += self.policy.timing.tREFI
         self._ref_horizon = self.next_ref
-        self.schedule(self.next_ref, self._ref_event)
+        self._schedule_ref(self.next_ref)
         for index in range(len(self.banks)):
             if self.queues[index]:
                 self._kick(index, ref_end)
@@ -486,7 +509,7 @@ class MemoryController:
             now, [self.banks[self._next_ref_bank]])
         if retry is not None:
             self._ref_horizon = retry
-            self.schedule(retry, self._refsb_event)
+            self._schedule_refsb(retry)
             return
         self.stats.refreshes += 1
         index = self._next_ref_bank
@@ -514,7 +537,7 @@ class MemoryController:
         # in which case the next REFsb runs immediately (at ``now``, not
         # at the stale anchor — events cannot execute in the past)
         self._ref_horizon = max(self.next_ref, now)
-        self.schedule(self._ref_horizon, self._refsb_event)
+        self._schedule_refsb(self._ref_horizon)
         if self.queues[index]:
             self._kick(index, start + self.policy.timing.tRFCsb)
 
@@ -528,7 +551,7 @@ class MemoryController:
                                ",".join(sorted(causes)) if causes else "")
         deadline = now + self.policy.timing.tALERT_NORMAL
         self._alert_deadline = deadline
-        self.schedule(deadline, self._rfm_event)
+        self._schedule_rfm(deadline)
 
     def _rfm_event(self, now: int) -> None:
         level = getattr(self.policy, "abo_level", 1)

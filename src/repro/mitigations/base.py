@@ -85,12 +85,18 @@ class MitigationPolicy:
         self.tracer = None
         #: sub-channel index for trace attribution (set by the harness)
         self.tracer_subchannel = -1
+        # Decisions are frozen and depend only on the (fixed) timing
+        # sets, so the two flavours are built once instead of allocating
+        # a fresh EpisodeDecision on every ACT of the hot path.
+        self._plain_decision = EpisodeDecision(self.timing, self.timing,
+                                               False)
+        self._cu_decision = EpisodeDecision(self.timing, self.timing, True)
 
     # -- activation path -------------------------------------------------
     def on_activate(self, bank: int, row: int, now: int) -> EpisodeDecision:
         """Called when the MC issues an ACT. Returns the episode timings."""
         self.stats.activations += 1
-        return EpisodeDecision(self.timing, self.timing, False)
+        return self._plain_decision
 
     def on_precharge(self, bank: int, row: int, now: int,
                      counter_update: bool) -> None:

@@ -50,7 +50,7 @@ class MINTPolicy(MitigationPolicy):
         if selected is not None:
             # A new selection replaces an unserviced one (single register).
             self.pending[bank] = selected
-        return EpisodeDecision(self.timing, self.timing, False)
+        return self._plain_decision
 
     def on_refresh(self, now: int, bank: int | None = None) -> None:
         if bank is not None:

@@ -41,14 +41,18 @@ class MoPACCPolicy(PRACMoatPolicy):
         self.p = self.params.p
         self.increment = round(1 / self.p)
         self.rng = rng or random.Random(0x40AC)
+        # The per-ACT coin flip picks between exactly two decisions, so
+        # both flavours are prebuilt (EpisodeDecision is frozen).
+        normal, cu = self.timings.normal, self.timings.counter_update
+        self._plain_decision = EpisodeDecision(normal, normal, False)
+        self._cu_decision = EpisodeDecision(cu, cu, True)
 
     def on_activate(self, bank: int, row: int, now: int) -> EpisodeDecision:
         self.stats.activations += 1
         self._acts_since_rfm += 1
-        update = self.rng.random() < self.p
-        timing = self.timings.for_update(update)
-        return EpisodeDecision(act_timing=timing, pre_timing=timing,
-                               counter_update=update)
+        if self.rng.random() < self.p:
+            return self._cu_decision
+        return self._plain_decision
 
     def timing_pair(self):
         return self.timings.normal, self.timings.counter_update

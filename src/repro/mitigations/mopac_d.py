@@ -196,7 +196,7 @@ class MoPACDPolicy(MitigationPolicy):
         self._acts_since_rfm += 1
         for chip in self.chips:
             self._chip_activate(chip, bank, row)
-        return EpisodeDecision(self.timing, self.timing, False)
+        return self._plain_decision
 
     def _chip_activate(self, chip: _ChipState, bank: int, row: int) -> None:
         srq = chip.srqs[bank]

@@ -51,7 +51,7 @@ class PrIDEPolicy(MitigationPolicy):
                 queue.append(row)
             else:
                 self.dropped_samples += 1
-        return EpisodeDecision(self.timing, self.timing, False)
+        return self._plain_decision
 
     def on_refresh(self, now: int, bank: int | None = None) -> None:
         if bank is not None:

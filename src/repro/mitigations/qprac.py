@@ -62,7 +62,7 @@ class QPRACPolicy(MitigationPolicy):
     def on_activate(self, bank: int, row: int, now: int) -> EpisodeDecision:
         self.stats.activations += 1
         self._acts_since_rfm += 1
-        return EpisodeDecision(self.timing, self.timing, True)
+        return self._cu_decision
 
     def on_precharge(self, bank: int, row: int, now: int,
                      counter_update: bool) -> None:

@@ -47,7 +47,7 @@ class TRRPolicy(MitigationPolicy):
                 table[key] -= 1
                 if table[key] <= 0:
                     del table[key]
-        return EpisodeDecision(self.timing, self.timing, False)
+        return self._plain_decision
 
     def on_refresh(self, now: int, bank: int | None = None) -> None:
         if bank is not None:

@@ -11,9 +11,17 @@ Usage::
 
 Phases accumulate: re-entering a name adds to its total, so a loop that
 alternates ``cache_io`` and ``simulate`` phases ends with two totals.
-Phases may nest; times are *inclusive* (an outer phase contains its
-inner phases' time), which keeps the implementation a single
-``perf_counter`` pair per entry and the numbers easy to reason about.
+Phases may nest; per-phase times are *inclusive* (an outer phase
+contains its inner phases' time), which keeps each entry a single
+``perf_counter`` pair and the snapshot numbers easy to reason about.
+
+Nesting used to make :attr:`total` lie: summing inclusive times counts
+every nested second once per enclosing phase, so the sweep engine's
+``cache_io`` (nested inside ``simulate``) inflated the reported total.
+The profiler now also tracks *exclusive* time — inclusive minus the
+time spent in directly nested phases — and ``total`` sums that, so it
+is the actual wall time covered, with every second attributed to
+exactly one phase.
 
 The snapshot is a plain ``{name: seconds}`` dict in first-entered
 order — it serialises into the result cache as-is. Wall times are of
@@ -34,37 +42,63 @@ class PhaseProfiler:
 
     def __init__(self) -> None:
         self._seconds: dict[str, float] = {}
+        self._exclusive: dict[str, float] = {}
         self._entries: dict[str, int] = {}
+        #: per-active-frame accumulator of time spent in nested phases
+        self._stack: list[float] = []
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         start = time.perf_counter()
+        self._stack.append(0.0)
         try:
             yield
         finally:
             elapsed = time.perf_counter() - start
-            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
-            self._entries[name] = self._entries.get(name, 0) + 1
+            nested = self._stack.pop()
+            self._record(name, elapsed, elapsed - nested)
 
     def add(self, name: str, seconds: float) -> None:
-        """Fold an externally-measured duration into a phase."""
-        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        """Fold an externally-measured duration into a phase.
+
+        External durations (e.g. wall time measured inside a parallel
+        worker) did not elapse on *this* profiler's clock, so they are
+        never charged against an enclosing ``phase`` block — they count
+        fully as their own phase's exclusive time.
+        """
+        self._record(name, seconds, seconds, nested=False)
+
+    def _record(self, name: str, inclusive: float, exclusive: float,
+                nested: bool = True) -> None:
+        self._seconds[name] = self._seconds.get(name, 0.0) + inclusive
+        self._exclusive[name] = self._exclusive.get(name, 0.0) + exclusive
         self._entries[name] = self._entries.get(name, 0) + 1
+        if nested and self._stack:
+            self._stack[-1] += inclusive
 
     # -- queries -----------------------------------------------------------
     def seconds(self, name: str) -> float:
         return self._seconds.get(name, 0.0)
+
+    def exclusive_seconds(self, name: str) -> float:
+        """Time in ``name`` minus time in phases nested within it."""
+        return self._exclusive.get(name, 0.0)
 
     def entries(self, name: str) -> int:
         return self._entries.get(name, 0)
 
     @property
     def total(self) -> float:
-        return sum(self._seconds.values())
+        """Wall time covered by phases, each second counted once."""
+        return sum(self._exclusive.values())
 
     def snapshot(self) -> dict[str, float]:
-        """``{phase: seconds}`` in first-entered order."""
+        """``{phase: inclusive seconds}`` in first-entered order."""
         return dict(self._seconds)
+
+    def exclusive_snapshot(self) -> dict[str, float]:
+        """``{phase: exclusive seconds}`` in first-entered order."""
+        return dict(self._exclusive)
 
     def summary(self) -> str:
         """One line: ``tracegen 0.01s | sim 1.20s (total 1.21s)``."""

@@ -162,7 +162,18 @@ class Journal:
 
     @staticmethod
     def compact(path: str | pathlib.Path, jobs: list[Job]) -> None:
-        """Atomically rewrite the journal to just ``jobs``' submissions."""
+        """Atomically rewrite the journal to just ``jobs``' submissions.
+
+        Durability ordering matters: the temp file's *data* is fsynced
+        before ``os.replace`` makes it visible, and the containing
+        *directory* is fsynced after, so the rename itself survives a
+        crash. Without the directory fsync a power cut right after
+        compaction could resurrect the pre-compaction journal — safe
+        (it holds a superset of records) but it silently undoes the
+        compaction the caller was told succeeded. Only once both
+        fsyncs land may the temp name be considered gone; the cleanup
+        unlink runs solely on the failure path, before re-raising.
+        """
         path = pathlib.Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -179,6 +190,27 @@ class Journal:
             except OSError:
                 pass
             raise
+        _fsync_dir(path.parent)
+
+
+def _fsync_dir(directory: pathlib.Path) -> None:
+    """Flush a directory's metadata (rename durability); best-effort.
+
+    Some filesystems (and all of Windows) reject opening a directory
+    for fsync — the rename is still atomic there, just not provably
+    durable, so failure degrades to the old behaviour rather than
+    aborting a compaction that already succeeded.
+    """
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def next_job_id(existing: list[str]) -> int:

@@ -1,0 +1,936 @@
+"""Fast simulation engine: same physics, same numbers, fewer cycles.
+
+:class:`FastSystem` is a drop-in replacement for
+:class:`~repro.sim.system.System` selected via ``REPRO_ENGINE=fast``
+(see :func:`repro.exec.env.engine_choice`). It produces **bit-identical**
+results, stats snapshots, and event traces — the determinism matrix,
+the conformance oracle, and ``make bench-engine`` all assert this — by
+replaying exactly the reference engine's event sequence while removing
+its constant factors:
+
+* **Opcode events instead of closures.** The reference engine allocates
+  a lambda per scheduled event; the fast heap holds
+  ``(time, seq, opcode, target, arg)`` tuples dispatched by an integer
+  switch. Sequence numbers are allocated at the same program points in
+  both engines, so time ties break identically and the pop order — and
+  therefore every downstream number — is unchanged. Legacy
+  ``(time, seq, callback)`` entries still dispatch (the LLC path and
+  external test code use them); seq uniqueness means mixed tuple widths
+  never get compared element-by-element past index 1.
+* **Index-based bank state.** Per-bank timing lives in
+  :class:`~repro.sim.soa.TimingSoA` parallel arrays; the per-command
+  path reads list slots instead of chasing ``Bank`` dataclass fields
+  and method calls, and REF/RFM sweeps batch over all banks (numpy when
+  available, pure-Python fallback). ``Bank`` objects are kept for their
+  per-bank stats counters only — the fast controller does not maintain
+  their timing fields.
+* **Inlined hot path.** ``_fast_service`` merges ``_select`` /
+  ``_commit_defer`` / ``_issue`` / the bank command bodies /
+  ``_after_column`` into one function with no intermediate allocation;
+  the legality guards of :class:`~repro.dram.bank.Bank` are elided
+  (``repro.check``'s oracle and fuzzer re-verify legality from traces).
+* **O(1) idle handling and termination.** Core doneness is monotone
+  (traces only advance, outstanding sets only drain), so the loop keeps
+  an active-core count updated at the only events that can change it
+  instead of re-evaluating ``all(core.done)`` — which re-peeks every
+  trace — before every pop. Fast-forwarded idle gaps are accounted to
+  the ``sim.fastforward_ps`` stat identically in both engines.
+
+Per-core RNG makes trace prefetch timing immaterial: each
+:class:`~repro.workloads.synthetic.TraceGenerator` owns a private
+``random.Random``, so *when* an item is pulled cannot change *what* is
+pulled. See ``docs/performance.md`` for the measured speedup.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+
+from ..cpu.trace import TraceItem
+from ..mc.controller import FRFCFS_WINDOW, MemoryController
+from ..mc.pagepolicy import OpenPagePolicy, PagePolicy
+from ..mc.request import MemRequest, _request_ids
+from ..obs.registry import Histogram
+from ..workloads.synthetic import TraceGenerator
+from .soa import TimingSoA
+from .system import FASTFORWARD_MIN_GAP_PS, System
+
+#: Accesses pulled per ``TraceGenerator.next_block`` refill. Per-core RNG
+#: means pulling ahead cannot change the stream; the only waste is up to
+#: one block of draws past the instruction budget.
+TRACE_BLOCK = 256
+
+# Event opcodes, ordered roughly by frequency for the dispatch switch.
+OP_SERVICE = 0   # (controller, bank_index)
+OP_COMPLETE = 1  # (core, request_id)
+OP_DRIVE = 2     # (core, 0)
+OP_TIMEOUT = 3   # (controller, (bank_index, access_stamp))
+OP_REF = 4       # (controller, 0)
+OP_REFSB = 5     # (controller, 0)
+OP_RFM = 6       # (controller, 0)
+
+
+class FastMemoryController(MemoryController):
+    """Index-based rewrite of the FR-FCFS hot path.
+
+    Every stat increment, tracer record, policy hook, and scheduled
+    event mirrors :class:`~repro.mc.controller.MemoryController`
+    line-for-line; only the bookkeeping machinery differs.
+    """
+
+    #: bound by :class:`FastSystem` right after construction:
+    #: ``push(when, opcode, target, arg)`` appends one heap event.
+    push = None
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.soa = TimingSoA(len(self.banks))
+        #: OpenPagePolicy's _after_column is a pure no-op (keep_open is
+        #: always True, no timeout); skipping it saves a queue scan per
+        #: serviced request. Only the exact library classes qualify — a
+        #: subclass may override the hooks.
+        self._page_noop = self.page_policy.__class__ in (
+            OpenPagePolicy, PagePolicy)
+        self._all_bank = self.refresh_mode == "all-bank"
+        # The bus/ACT-spacing constants come from the policy's fixed
+        # timing set; scalar copies spare the attribute chain per service.
+        timing = self.policy.timing
+        self._tCAS = timing.tCAS
+        self._tBURST = timing.tBURST
+        self._tRRD = timing.tRRD
+        self._tFAW = timing.tFAW
+        # Bound by FastSystem right after construction so the service
+        # loop can push completion events without a callback round-trip.
+        self._sys_heap = None
+        self._sys_seq = None
+        self._owners = None
+        self._cores = None
+        self._llc_ps = 0
+        self._ff = None
+        # id(TimingSet) -> (timing, tRCD, tRAS, tCAS+tBURST, tBURST,
+        # tBURST+tWR). Policies hand out a couple of timing singletons;
+        # keeping the object in the tuple pins its id. The inline
+        # histogram update below likewise assumes the exact library
+        # Histogram (a subclass or stand-in falls back to observe()).
+        self._tscal: dict = {}
+        self._hist_fast = type(self.latency_hist) is Histogram
+
+    # ------------------------------------------------------------------
+    # Event-scheduling overrides: opcode tuples instead of closures
+    # ------------------------------------------------------------------
+    def _schedule_service(self, when: int, bank_index: int) -> None:
+        self.push(when, OP_SERVICE, self, bank_index)
+
+    def _schedule_ref(self, when: int) -> None:
+        self.push(when, OP_REF, self, 0)
+
+    def _schedule_refsb(self, when: int) -> None:
+        self.push(when, OP_REFSB, self, 0)
+
+    def _schedule_rfm(self, when: int) -> None:
+        self.push(when, OP_RFM, self, 0)
+
+    def _schedule_timeout(self, when: int, bank_index: int,
+                          access_stamp: int) -> None:
+        self.push(when, OP_TIMEOUT, self, (bank_index, access_stamp))
+
+    # ------------------------------------------------------------------
+    # Request entry
+    # ------------------------------------------------------------------
+    def enqueue(self, request: MemRequest, now: int) -> None:
+        address = request.address.bank_address
+        # Plain attribute: the service loop compares rows once per queued
+        # request per pass; the property chain (request.row ->
+        # address.row -> bank_address.row) is the single hottest lookup.
+        request.rowi = address.row
+        stats = self.stats
+        stats.requests += 1
+        if request.is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+        bank_index = address.bank
+        self.queues[bank_index].append(request)
+        if not self._bank_scheduled[bank_index]:
+            self._bank_scheduled[bank_index] = True
+            arrival = request.arrival_ps
+            self.push(now if now >= arrival else arrival,
+                      OP_SERVICE, self, bank_index)
+
+    # ------------------------------------------------------------------
+    # Hot path: _service + _select + _commit_defer + _issue, merged
+    # ------------------------------------------------------------------
+    def _fast_service(self, bank_index: int, now: int) -> int:
+        """Service ``bank_index`` at ``now``; returns the advanced clock.
+
+        When the post-column re-arm would be the very next event the
+        loop pops (no pending heap entry fires at or before it), the
+        next service runs *inline* instead of round-tripping through the
+        heap — the returned time tells the event loop how far the clock
+        moved so its idle accounting stays identical to the reference.
+        """
+        scheduled = self._bank_scheduled
+        scheduled[bank_index] = False
+        queue = self.queues[bank_index]
+        heappush = heapq.heappush
+        heap = self._sys_heap
+        seq = self._sys_seq
+        soa = self.soa
+        while True:
+            if not queue:
+                return now
+            blocked = soa.blocked_until[bank_index]
+            if blocked > now:
+                scheduled[bank_index] = True
+                heappush(heap, (blocked, next(seq), OP_SERVICE, self,
+                                bank_index))
+                return now
+
+            # FR-FCFS: oldest row hit within the window, else oldest.
+            open_rows = soa.open_row
+            open_row = open_rows[bank_index]
+            request = queue[0]
+            req_pos = 0
+            if open_row >= 0 and request.rowi != open_row:
+                pos = 1
+                for other in queue:
+                    if pos > FRFCFS_WINDOW:
+                        break
+                    if other.rowi == open_row:
+                        request = other
+                        req_pos = pos - 1
+                        break
+                    pos += 1
+
+            # Commit-freshness check (mirrors _commit_defer): compute the
+            # latest command date this service would commit, without mutating
+            # anything, and defer past the horizon / outside the grace.
+            arrival = request.arrival_ps
+            eff_now = now if now >= arrival else arrival
+            if self._all_bank:
+                horizon = self._ref_horizon
+                deadline = self._alert_deadline
+                if deadline is not None and deadline < horizon:
+                    horizon = deadline
+            else:
+                horizon = self._commit_horizon(bank_index)
+            bus_floor = self.bus_free - self._tCAS
+            hit = open_row >= 0 and request.rowi == open_row
+            t_pre = t_act = 0
+            if hit:
+                t_col = eff_now
+                ready_col = soa.ready_col[bank_index]
+                earliest = ready_col if ready_col >= blocked else blocked
+                if earliest > t_col:
+                    t_col = earliest
+                if bus_floor > t_col:
+                    t_col = bus_floor
+                latest = t_col
+            else:
+                if open_row >= 0:  # conflict: the close chains into the ACT
+                    pre_timing = self.episodes[bank_index].pre_timing
+                    ready_pre = soa.ready_pre[bank_index]
+                    earliest = ready_pre if ready_pre >= blocked else blocked
+                    t_pre = eff_now if eff_now >= earliest else earliest
+                    ready_act = t_pre + pre_timing.tRP
+                    bound = soa.last_act[bank_index] + pre_timing.tRC
+                    if bound > ready_act:
+                        ready_act = bound
+                    if blocked > ready_act:
+                        ready_act = blocked
+                else:
+                    ready_act = soa.ready_act[bank_index]
+                    if blocked > ready_act:
+                        ready_act = blocked
+                t_act = eff_now if eff_now >= ready_act else ready_act
+                if self.next_act_ok > t_act:
+                    t_act = self.next_act_ok
+                recent = self._recent_acts
+                if len(recent) == 4:
+                    bound = recent[0] + self._tFAW
+                    if bound > t_act:
+                        t_act = bound
+                latest = t_act + self._trcd_bound
+                if bus_floor > latest:
+                    latest = bus_floor
+            if latest - now > self._fresh_slack:
+                scheduled[bank_index] = True
+                heappush(heap, (latest - self._fresh_slack, next(seq),
+                                OP_SERVICE, self, bank_index))
+                return now
+            if latest >= horizon:
+                scheduled[bank_index] = True
+                heappush(heap, (horizon, next(seq), OP_SERVICE, self,
+                                bank_index))
+                return now
+
+            # Issue (mirrors _issue): PRE / ACT / column as needed.
+            stats = self.stats
+            row = request.rowi
+            bank_stats = self.banks[bank_index].stats
+            tracer = self.tracer
+            if hit:
+                stats.row_hits += 1
+                episode_timing = self.episodes[bank_index].act_timing
+                scal = self._tscal.get(id(episode_timing))
+                if scal is None:
+                    scal = self._new_scal(episode_timing)
+            else:
+                if open_row >= 0:
+                    stats.row_conflicts += 1
+                    bank_stats.row_conflicts += 1
+                    self._close(bank_index, self.banks[bank_index], t_pre)
+                    act_cause = "conflict"
+                else:
+                    stats.row_misses += 1
+                    act_cause = "miss"
+                decision = self.policy.on_activate(bank_index, row, t_act)
+                self.episodes[bank_index] = decision
+                episode_timing = decision.act_timing
+                scal = self._tscal.get(id(episode_timing))
+                if scal is None:
+                    scal = self._new_scal(episode_timing)
+                open_rows[bank_index] = row
+                soa.last_act[bank_index] = t_act
+                ready_col = t_act + scal[1]
+                soa.ready_col[bank_index] = ready_col
+                soa.ready_pre[bank_index] = t_act + scal[2]
+                bank_stats.activations += 1
+                self.next_act_ok = t_act + self._tRRD
+                self._recent_acts.append(t_act)
+                stats.activations += 1
+                if self.act_hook is not None:
+                    self.act_hook(t_act, bank_index, row)
+                if tracer is not None:
+                    tracer.record(t_act, "ACT", self.subchannel,
+                                  bank_index, row, act_cause,
+                                  cu=decision.counter_update)
+                self._check_alert(t_act)
+                # blocked_until <= t_act <= ready_col, so the column's
+                # earliest time is ready_col.
+                t_col = eff_now
+                if ready_col > t_col:
+                    t_col = ready_col
+                if bus_floor > t_col:
+                    t_col = bus_floor
+
+            # Column command (bank.read/write inlined; episode timing
+            # governs the bank, the policy timing governs the bus).
+            bank_stats.row_hits += 1
+            is_write = request.is_write
+            if is_write:
+                bank_stats.writes += 1
+                bound = t_col + scal[5]
+            else:
+                bank_stats.reads += 1
+                bound = t_col + scal[4]
+            ready_pres = soa.ready_pre
+            if bound > ready_pres[bank_index]:
+                ready_pres[bank_index] = bound
+            done = t_col + scal[3]
+            if tracer is not None:
+                tracer.record(t_col, "WR" if is_write else "RD",
+                              self.subchannel, bank_index, row)
+            self.bus_free = t_col + self._tCAS + self._tBURST
+            self._bank_last_access[bank_index] = t_col
+
+            # Dequeue by position (remove() re-compares dataclass fields).
+            if req_pos == 0:
+                queue.popleft()
+            else:
+                del queue[req_pos]
+            request.completion_ps = done
+            stats.serviced += 1
+            latency = done - arrival
+            stats.total_latency_ps += latency
+            if not is_write:
+                stats.read_serviced += 1
+                stats.read_latency_ps += latency
+            hist = self.latency_hist
+            if self._hist_fast:
+                hist.counts[bisect_left(hist.bounds, latency)] += 1
+                hist.count += 1
+                hist.total += latency
+            else:
+                hist.observe(latency)
+            # on_complete (FastSystem._on_complete), inlined: schedule the
+            # core-side completion directly.
+            request_id = request.request_id
+            owner = self._owners.pop(request_id, None)
+            if owner is not None:
+                heappush(heap, (done + self._llc_ps, next(seq), OP_COMPLETE,
+                                self._cores[owner], request_id))
+            if not self._page_noop:
+                self._after_column(bank_index, self.banks[bank_index], t_col)
+            if queue and not scheduled[bank_index]:
+                t_next = t_col + self._tBURST
+                if not heap or heap[0][0] > t_next:
+                    # Every pending event fires strictly after t_next, so
+                    # in the reference run the re-arm pushed here would
+                    # be the very next pop: run it inline. Eliding the
+                    # push skips one seq draw, which preserves relative
+                    # order — all live seqs are smaller, and nothing can
+                    # allocate between the push and its pop. A tie
+                    # (heap[0][0] == t_next) must go through the heap:
+                    # the pending event has the smaller seq and pops
+                    # first in the reference.
+                    gap = t_next - now
+                    if gap >= FASTFORWARD_MIN_GAP_PS:
+                        self._ff[0] += gap
+                    now = t_next
+                    continue
+                scheduled[bank_index] = True
+                heappush(heap, (t_next, next(seq), OP_SERVICE,
+                                self, bank_index))
+            return now
+
+    def _new_scal(self, timing) -> tuple:
+        """Memoise the episode-timing scalars the column path re-reads."""
+        scal = (timing, timing.tRCD, timing.tRAS,
+                timing.tCAS + timing.tBURST, timing.tBURST,
+                timing.tBURST + timing.tWR)
+        self._tscal[id(timing)] = scal
+        return scal
+
+    # ------------------------------------------------------------------
+    # Row closure (SoA rewrite of _close / _after_column / _timeout_close)
+    # ------------------------------------------------------------------
+    def _close(self, bank_index: int, bank, when: int) -> None:
+        decision = self.episodes[bank_index]
+        soa = self.soa
+        row = soa.open_row[bank_index]
+        open_since = soa.last_act[bank_index]
+        pre_timing = decision.pre_timing
+        soa.open_row[bank_index] = -1
+        ready_act = when + pre_timing.tRP
+        bound = open_since + pre_timing.tRC
+        if bound > ready_act:
+            ready_act = bound
+        soa.ready_act[bank_index] = ready_act
+        bank.stats.precharges += 1
+        counter_update = decision.counter_update
+        if counter_update:
+            bank.stats.counter_update_precharges += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                when, "PRE", self.subchannel, bank_index, row,
+                "counter_update" if counter_update else "",
+                cu=counter_update)
+        self.policy.on_precharge(bank_index, row, when, counter_update)
+        self.policy.note_row_open(bank_index, row, when - open_since)
+        self.episodes[bank_index] = None
+        self._check_alert(when)
+
+    def _after_column(self, bank_index: int, bank, now: int) -> None:
+        soa = self.soa
+        open_row = soa.open_row[bank_index]
+        if open_row < 0:
+            return
+        queued_hits = 0
+        for request in self.queues[bank_index]:
+            if request.rowi == open_row:
+                queued_hits += 1
+        if not self.page_policy.keep_open(queued_hits):
+            ready_pre = soa.ready_pre[bank_index]
+            blocked = soa.blocked_until[bank_index]
+            when = ready_pre if ready_pre >= blocked else blocked
+            if when < now:
+                when = now
+            if when >= self._commit_horizon(bank_index):
+                self._defer_close(bank_index, now)
+                return
+            self._close(bank_index, bank, when)
+            return
+        timeout = self.page_policy.timeout_ps()
+        if timeout is not None:
+            self.push(now + timeout, OP_TIMEOUT, self,
+                      (bank_index, self._bank_last_access[bank_index]))
+
+    def _timeout_close(self, bank_index: int, access_stamp: int,
+                       now: int) -> None:
+        soa = self.soa
+        if soa.open_row[bank_index] < 0:
+            return
+        if self._bank_last_access[bank_index] != access_stamp:
+            return  # the row was touched again; a fresh timer is armed
+        ready_pre = soa.ready_pre[bank_index]
+        blocked = soa.blocked_until[bank_index]
+        when = ready_pre if ready_pre >= blocked else blocked
+        if when < now:
+            when = now
+        if when >= self._commit_horizon(bank_index):
+            self._defer_close(bank_index, now)
+            return
+        self._close(bank_index, self.banks[bank_index], when)
+
+    # ------------------------------------------------------------------
+    # Maintenance (SoA rewrite; batched sweeps via TimingSoA)
+    # ------------------------------------------------------------------
+    def _collides_with_alert(self, now: int,
+                             bank_index: int | None) -> int | None:
+        """SoA version of _refresh_collides_with_alert.
+
+        ``bank_index`` is None for an all-bank refresh (batched scan over
+        every bank) or the single bank a REFsb would close.
+        """
+        if self._alert_deadline is None:
+            return None
+        soa = self.soa
+        if bank_index is None:
+            close_by = soa.close_bound(now)
+        else:
+            close_by = now
+            if soa.open_row[bank_index] >= 0:
+                ready_pre = soa.ready_pre[bank_index]
+                blocked = soa.blocked_until[bank_index]
+                earliest = ready_pre if ready_pre >= blocked else blocked
+                if earliest > close_by:
+                    close_by = earliest
+        if close_by < self._alert_deadline:
+            return None
+        level = getattr(self.policy, "abo_level", 1)
+        return self._alert_deadline + level * self.policy.timing.tALERT_RFM
+
+    def _ref_event(self, now: int) -> None:
+        retry = self._collides_with_alert(now, None)
+        if retry is not None:
+            self._ref_horizon = retry
+            self.push(retry, OP_REF, self, 0)
+            return
+        self.stats.refreshes += 1
+        if self.tracer is not None:
+            self.tracer.record(now, "REF", self.subchannel, -1, -1,
+                               "all-bank")
+        soa = self.soa
+        open_row = soa.open_row
+        ready_pre = soa.ready_pre
+        blocked = soa.blocked_until
+        banks = self.banks
+        close_by = now
+        for index in range(soa.n):
+            if open_row[index] >= 0:
+                rp, bu = ready_pre[index], blocked[index]
+                when = rp if rp >= bu else bu
+                if when < now:
+                    when = now
+                self._close(index, banks[index], when)
+                if when > close_by:
+                    close_by = when
+        ref_end = close_by + self.policy.timing.tRFC
+        soa.block_all(ref_end)
+        self.policy.on_refresh(now)
+        self._check_alert(now)
+        self.next_ref += self.policy.timing.tREFI
+        self._ref_horizon = self.next_ref
+        self.push(self.next_ref, OP_REF, self, 0)
+        queues = self.queues
+        for index in range(soa.n):
+            if queues[index]:
+                self._kick(index, ref_end)
+
+    def _refsb_event(self, now: int) -> None:
+        index = self._next_ref_bank
+        retry = self._collides_with_alert(now, index)
+        if retry is not None:
+            self._ref_horizon = retry
+            self.push(retry, OP_REFSB, self, 0)
+            return
+        self.stats.refreshes += 1
+        self._next_ref_bank = (index + 1) % len(self.banks)
+        if self.tracer is not None:
+            self.tracer.record(now, "REF", self.subchannel, index, -1,
+                               "same-bank")
+        soa = self.soa
+        start = now
+        if soa.open_row[index] >= 0:
+            ready_pre = soa.ready_pre[index]
+            blocked = soa.blocked_until[index]
+            when = ready_pre if ready_pre >= blocked else blocked
+            if when < now:
+                when = now
+            self._close(index, self.banks[index], when)
+            if when > start:
+                start = when
+        block_end = start + self.policy.timing.tRFCsb
+        if soa.blocked_until[index] < block_end:
+            soa.blocked_until[index] = block_end
+        self.policy.on_refresh(now, bank=index)
+        self._check_alert(now)
+        self._refsb_count += 1
+        self.next_ref = ((self._refsb_count + 1) * self.policy.timing.tREFI
+                         // len(self.banks))
+        self._ref_horizon = max(self.next_ref, now)
+        self.push(self._ref_horizon, OP_REFSB, self, 0)
+        if self.queues[index]:
+            self._kick(index, block_end)
+
+    def _rfm_event(self, now: int) -> None:
+        level = getattr(self.policy, "abo_level", 1)
+        end = now + level * self.policy.timing.tALERT_RFM
+        self.soa.block_all(end)
+        for _ in range(level):
+            if self.tracer is not None:
+                self.tracer.record(now, "RFM", self.subchannel, -1, -1,
+                                   "abo")
+            self.policy.on_rfm(end)
+        self.stats.alerts += 1
+        self.stats.rfm_commands += level
+        self._alert_in_flight = False
+        self._alert_deadline = None
+        self._check_alert(end)
+        queues = self.queues
+        for index in range(len(queues)):
+            if queues[index]:
+                self._kick(index, end)
+
+
+class FastSystem(System):
+    """System with the opcode event loop and the fast controller."""
+
+    controller_cls = FastMemoryController
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: one-slot fast-forward accumulator shared with the controllers:
+        #: inlined service chains advance the clock outside the event
+        #: loop and must account idle gaps to the same counter.
+        self._ff = [0]
+        for controller in self.controllers:
+            controller.push = self._push
+            controller._sys_heap = self._heap
+            controller._sys_seq = self._seq
+            controller._owners = self._request_owner
+            controller._cores = self.cores
+            controller._llc_ps = self.config.llc_hit_ps
+            controller._ff = self._ff
+        self._llc_ps = self.config.llc_hit_ps
+        self._line_bytes = self.config.dram.line_bytes
+        self._total_lines = self.mapper.total_lines()
+        #: line-index -> LineAddress memo: frozen-dataclass construction
+        #: (plus __post_init__ validation) dominates the mapping cost and
+        #: the working set is bounded by the workload footprint.
+        self._line_memo: dict = {}
+        # The fast engine stores the pending access in core._next_item as
+        # a raw (gap, address, is_write) tuple. Synthetic traces refill
+        # in blocks (next_block); anything else is pulled item-by-item
+        # and unpacked. The exact-type check matters: a subclass could
+        # override the draw helpers that next_block manually inlines.
+        for core in self.cores:
+            core._fp_gen = (core.trace
+                            if type(core.trace) is TraceGenerator else None)
+            core._fp_block = ()
+            core._fp_pos = 0
+
+    # ------------------------------------------------------------------
+    def _push(self, when: int, op: int, target, arg) -> None:
+        heapq.heappush(self._heap,
+                       (int(when), next(self._seq), op, target, arg))
+
+    def _on_complete(self, request: MemRequest) -> None:
+        core_index = self._request_owner.pop(request.request_id, None)
+        if core_index is None:
+            return  # untracked writeback
+        heapq.heappush(self._heap,
+                       (request.completion_ps + self._llc_ps,
+                        next(self._seq), OP_COMPLETE,
+                        self.cores[core_index], request.request_id))
+
+    # ------------------------------------------------------------------
+    # Core driving (next_action / take_request inlined)
+    # ------------------------------------------------------------------
+    def _drive_core(self, core, now: int) -> bool:
+        """Advance ``core`` as far as ``now`` allows.
+
+        Returns True when the core is *done* on exit (trace exhausted or
+        budget spent, with nothing outstanding) — the same predicate as
+        :meth:`_core_done`, derived from state this loop already has in
+        hand, so the event loop needn't re-peek after every drive.
+        """
+        heappush = heapq.heappush
+        heap = self._heap
+        seq = self._seq
+        limit = core.instruction_limit
+        rob = core.rob
+        pspi = core.pspi
+        gen = core._fp_gen
+        while True:
+            item = core._next_item
+            if item is None:
+                if gen is not None:
+                    pos = core._fp_pos
+                    block = core._fp_block
+                    if pos >= len(block):
+                        block = core._fp_block = gen.next_block(TRACE_BLOCK)
+                        pos = 0
+                    item = core._next_item = block[pos]
+                    core._fp_pos = pos + 1
+                elif core._exhausted:
+                    return not core.outstanding
+                else:
+                    try:
+                        nxt = next(core.trace)
+                    except StopIteration:
+                        core._exhausted = True
+                        return not core.outstanding
+                    item = core._next_item = (nxt.gap, nxt.address,
+                                              nxt.is_write)
+            gap = item[0]
+            advance = gap + 1
+            inst_index = core.inst_index
+            if limit - inst_index < advance:
+                # finish: budget cannot cover the next access
+                return not core.outstanding
+            order = core._order
+            if order:
+                oldest_id, oldest_index = order[0]
+                if inst_index + advance - oldest_index >= rob:
+                    core._waiting_on = oldest_id
+                    self._waiters[oldest_id] = core.core_id
+                    return False
+            issue_f = core.dispatch_ps + gap * pspi
+            if issue_f < core._resume_floor:
+                issue_f = core._resume_floor
+            issue = int(issue_f)
+            if issue > now:
+                heappush(heap, (issue, next(seq), OP_DRIVE, core, 0))
+                return False
+            # take_request, inlined
+            core._next_item = None
+            core.inst_index = inst_index = inst_index + advance
+            core.dispatch_ps = float(issue)
+            core.stats.instructions = inst_index
+            core.stats.requests += 1
+            self._fast_dispatch(core, item, issue)
+
+    def _fast_dispatch(self, core, item, issue: int) -> None:
+        if self.llc is not None:
+            # LLC configs are not on the fast path; rebuild the TraceItem
+            # and reuse the reference dispatch (its closure events run
+            # through the generic arm).
+            System._dispatch(self, core,
+                             TraceItem(item[0], item[1], item[2]), issue)
+            return
+        arrival = issue + self._llc_ps
+        line_index = (item[1] // self._line_bytes) % self._total_lines
+        entry = self._line_memo.get(line_index)
+        if entry is None:
+            sub, bank, row = self.mapper.map_line_raw(line_index)
+            entry = self._line_memo[line_index] = (
+                self.controllers[sub], bank, row)
+        mc, bank_index, rowi = entry
+        # MemRequest built without the dataclass __init__ round-trip;
+        # the field set must stay in lockstep with mc.request.MemRequest.
+        # ``address`` carries the raw line index: requests born on the
+        # fast path are consumed only by _fast_service, which reads the
+        # precomputed ``rowi`` (the reference controller never sees them).
+        request = MemRequest.__new__(MemRequest)
+        request.core = core_id = core.core_id
+        request.address = line_index
+        request.arrival_ps = arrival
+        request.is_write = is_write = item[2]
+        request.request_id = request_id = next(_request_ids)
+        request.completion_ps = None
+        request.rowi = rowi
+        if not is_write:
+            inst_index = core.inst_index
+            core.outstanding[request_id] = inst_index
+            core._order.append((request_id, inst_index))
+            self._request_owner[request_id] = core_id
+        # controller.enqueue, inlined (now == arrival at this call site,
+        # so the service kick lands exactly at arrival).
+        stats = mc.stats
+        stats.requests += 1
+        if is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+        mc.queues[bank_index].append(request)
+        if not mc._bank_scheduled[bank_index]:
+            mc._bank_scheduled[bank_index] = True
+            heapq.heappush(self._heap,
+                           (arrival, next(self._seq), OP_SERVICE, mc,
+                            bank_index))
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def _core_done(self, core) -> bool:
+        """Same predicate as Core.done, with the peek inlined.
+
+        Evaluated lazily (only after events that can flip it) instead of
+        for every core before every pop; doneness is monotone, so the
+        loop's active count stays exact.
+        """
+        if core.outstanding:
+            return False
+        item = core._next_item
+        if item is None:
+            gen = core._fp_gen
+            if gen is not None:
+                pos = core._fp_pos
+                block = core._fp_block
+                if pos >= len(block):
+                    block = core._fp_block = gen.next_block(TRACE_BLOCK)
+                    pos = 0
+                item = core._next_item = block[pos]
+                core._fp_pos = pos + 1
+            elif core._exhausted:
+                return True
+            else:
+                try:
+                    nxt = next(core.trace)
+                except StopIteration:
+                    core._exhausted = True
+                    return True
+                item = core._next_item = (nxt.gap, nxt.address,
+                                          nxt.is_write)
+        budget_left = core.instruction_limit - core.inst_index
+        return budget_left <= 0 or item[0] + 1 > budget_left
+
+    def _run_loop(self) -> None:
+        heap = self._heap
+        heappop = heapq.heappop
+        cores = self.cores
+        core_done = self._core_done
+        active = 0
+        for core in cores:
+            core._fp_done = core_done(core)
+            if not core._fp_done:
+                active += 1
+        now = self._now
+        ff = self._ff
+        ff[0] = self._fastforward_ps
+        min_gap = FASTFORWARD_MIN_GAP_PS
+        while heap and active:
+            entry = heappop(heap)
+            time_ps = entry[0]
+            if time_ps - now >= min_gap:
+                ff[0] += time_ps - now
+            now = time_ps
+            op = entry[2]
+            if op.__class__ is int:
+                if op == OP_SERVICE:
+                    # An inlined service chain advances the clock; the
+                    # return value keeps the loop's idle accounting in
+                    # lockstep with the reference's per-pop bookkeeping.
+                    now = entry[3]._fast_service(entry[4], time_ps)
+                elif op == OP_COMPLETE:
+                    core = entry[3]
+                    request_id = entry[4]
+                    # _core_completion + Core.on_completion, inlined
+                    outstanding = core.outstanding
+                    outstanding.pop(request_id, None)
+                    order = core._order
+                    while order and order[0][0] not in outstanding:
+                        order.popleft()
+                    if time_ps > core._last_completion:
+                        core._last_completion = float(time_ps)
+                    if request_id == core._waiting_on:
+                        if time_ps > core._resume_floor:
+                            core._resume_floor = float(time_ps)
+                        core._waiting_on = None
+                        waiters = self._waiters
+                        if waiters.get(request_id) == core.core_id:
+                            del waiters[request_id]
+                        if self._drive_core(core, time_ps) \
+                                and not core._fp_done:
+                            core._fp_done = True
+                            active -= 1
+                    else:
+                        # Completion for a core that was NOT stalled on
+                        # it. The reference re-drives unconditionally,
+                        # but for a non-waiting core the drive can only
+                        # act when the next access is issueable at this
+                        # exact instant (the completion tied with the
+                        # core's own pending wake and popped first);
+                        # otherwise it merely pushes a *duplicate* wake
+                        # at the unchanged future issue time — and that
+                        # duplicate re-arms itself on every pop without
+                        # ever taking a request, because the earlier-seq
+                        # real wake drains everything issueable first.
+                        # Replaying the drive's entry checks here and
+                        # eliding the no-op case removes most drive
+                        # events while every simulated timestamp, stat,
+                        # and trace record stays bit-identical.
+                        item = core._next_item
+                        if item is None:
+                            gen = core._fp_gen
+                            if gen is not None:
+                                pos = core._fp_pos
+                                block = core._fp_block
+                                if pos >= len(block):
+                                    block = core._fp_block = \
+                                        gen.next_block(TRACE_BLOCK)
+                                    pos = 0
+                                item = core._next_item = block[pos]
+                                core._fp_pos = pos + 1
+                            elif not core._exhausted:
+                                try:
+                                    nxt = next(core.trace)
+                                except StopIteration:
+                                    core._exhausted = True
+                                else:
+                                    item = core._next_item = (
+                                        nxt.gap, nxt.address,
+                                        nxt.is_write)
+                        if item is None:  # trace exhausted
+                            if not outstanding and not core._fp_done:
+                                core._fp_done = True
+                                active -= 1
+                        else:
+                            gap = item[0]
+                            advance = gap + 1
+                            inst_index = core.inst_index
+                            if (core.instruction_limit - inst_index
+                                    < advance):  # budget spent
+                                if not outstanding \
+                                        and not core._fp_done:
+                                    core._fp_done = True
+                                    active -= 1
+                            else:
+                                rob_block = False
+                                if order:
+                                    oldest = order[0][1]
+                                    rob_block = (inst_index + advance
+                                                 - oldest >= core.rob)
+                                issue_f = (core.dispatch_ps
+                                           + gap * core.pspi)
+                                if issue_f < core._resume_floor:
+                                    issue_f = core._resume_floor
+                                if rob_block or int(issue_f) <= time_ps:
+                                    if self._drive_core(core, time_ps) \
+                                            and not core._fp_done:
+                                        core._fp_done = True
+                                        active -= 1
+                                # else: the pending wake already covers
+                                # this issue time; skip the duplicate.
+                elif op == OP_DRIVE:
+                    core = entry[3]
+                    if self._drive_core(core, time_ps) \
+                            and not core._fp_done:
+                        core._fp_done = True
+                        active -= 1
+                elif op == OP_TIMEOUT:
+                    bank_index, stamp = entry[4]
+                    entry[3]._timeout_close(bank_index, stamp, time_ps)
+                elif op == OP_REF:
+                    entry[3]._ref_event(time_ps)
+                elif op == OP_REFSB:
+                    entry[3]._refsb_event(time_ps)
+                else:
+                    entry[3]._rfm_event(time_ps)
+            else:
+                # Legacy closure event (LLC path, external schedulers):
+                # it may do anything, so refresh every core's done flag.
+                op(time_ps)
+                active = 0
+                for core in cores:
+                    if core._fp_done:
+                        continue
+                    if core_done(core):
+                        core._fp_done = True
+                    else:
+                        active += 1
+        self._now = now
+        self._fastforward_ps = ff[0]

@@ -1,0 +1,111 @@
+"""Struct-of-arrays bank timing state for the fast engine.
+
+The reference engine keeps per-bank timing in :class:`~repro.dram.bank.Bank`
+dataclass fields and asks one bank at a time. The fast engine
+(:mod:`repro.sim.fastpath`) keeps the same six quantities as parallel
+per-bank arrays so the hot loop reads them by index and the maintenance
+events (REF / RFM) update or scan *every* bank in one batched operation.
+
+Scalar state lives in plain preallocated Python lists on purpose: numpy
+scalar indexing (``arr[i]`` + the int round-trip) is measurably slower
+than list indexing in CPython, so pushing the per-command path through
+numpy would be a pessimisation. numpy earns its keep only on the batched
+sweeps — the post-REF/RFM mass block and the refresh close-bound scan —
+where one C-level ``maximum``/masked ``max`` replaces a Python loop over
+all banks. When numpy is missing (or the geometry is too small for the
+buffer round-trip to pay off) the pure-Python fallback runs instead;
+both paths are exact integer arithmetic and bit-identical.
+"""
+
+from __future__ import annotations
+
+#: Minimum bank count for the numpy batched path; below this the
+#: list<->buffer round-trip costs more than the loop it replaces.
+NUMPY_MIN_BANKS = 16
+
+try:  # optional dependency: the fallback keeps results identical
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via force_python
+    _np = None
+
+
+class TimingSoA:
+    """Per-bank timing state as parallel arrays (times in ps).
+
+    ``open_row`` uses ``-1`` for a closed bank (rows are non-negative).
+    All times are Python ints; the numpy buffers are scratch space only,
+    and every value crossing back out of them is converted via
+    ``tolist()``/``int()`` so downstream stats stay JSON-serialisable.
+    """
+
+    def __init__(self, banks: int, force_python: bool = False):
+        self.n = banks
+        self.open_row = [-1] * banks
+        self.ready_act = [0] * banks
+        self.ready_col = [0] * banks
+        self.ready_pre = [0] * banks
+        self.last_act = [-(10 ** 18)] * banks
+        self.blocked_until = [0] * banks
+        self._np = None
+        if _np is not None and banks >= NUMPY_MIN_BANKS \
+                and not force_python:
+            self._np = _np
+            self._buf_a = _np.zeros(banks, dtype=_np.int64)
+            self._buf_b = _np.zeros(banks, dtype=_np.int64)
+
+    @property
+    def batched(self) -> bool:
+        """True when the numpy sweeps are active."""
+        return self._np is not None
+
+    # ------------------------------------------------------------------
+    # Batched maintenance sweeps
+    # ------------------------------------------------------------------
+    def block_all(self, until: int) -> None:
+        """``blocked_until[i] = max(blocked_until[i], until)`` for all banks.
+
+        This is the REF/RFM mass block (every bank stalls until the
+        maintenance operation completes).
+        """
+        np = self._np
+        if np is not None:
+            buf = self._buf_a
+            buf[:] = self.blocked_until
+            np.maximum(buf, until, out=buf)
+            self.blocked_until[:] = buf.tolist()
+            return
+        blocked = self.blocked_until
+        for i in range(self.n):
+            if blocked[i] < until:
+                blocked[i] = until
+
+    def close_bound(self, now: int) -> int:
+        """Latest earliest-precharge over all *open* banks, floored at now.
+
+        The refresh/ALERT collision check needs the last instant a
+        refresh's forced closes could be dated; that is the max of
+        ``max(ready_pre, blocked_until)`` over open banks.
+        """
+        np = self._np
+        if np is not None:
+            a, b = self._buf_a, self._buf_b
+            a[:] = self.ready_pre
+            b[:] = self.blocked_until
+            np.maximum(a, b, out=a)
+            b[:] = self.open_row
+            mask = b >= 0
+            if mask.any():
+                bound = int(a[mask].max())
+                return bound if bound >= now else now
+            return now
+        bound = now
+        open_row = self.open_row
+        ready_pre = self.ready_pre
+        blocked = self.blocked_until
+        for i in range(self.n):
+            if open_row[i] >= 0:
+                rp, bu = ready_pre[i], blocked[i]
+                ep = rp if rp >= bu else bu
+                if ep > bound:
+                    bound = ep
+        return bound

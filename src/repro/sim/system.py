@@ -37,6 +37,14 @@ from ..obs.tracer import EventTracer
 
 PolicyFactory = Callable[[int], MitigationPolicy]
 
+#: Event-time jumps at least this large (ps) count as fast-forwarded
+#: idle time in the ``sim.fastforward_ps`` stat. The event loop always
+#: jumps straight to the next event — there is no tick — so the stat
+#: measures *simulated* idle time crossed in one hop, not wall time; it
+#: is identical across engines because both pop the same event sequence
+#: (see docs/performance.md).
+FASTFORWARD_MIN_GAP_PS = 100_000
+
 
 @dataclass
 class SystemResult:
@@ -159,8 +167,8 @@ class _RowActivityMonitor:
 
     def notify(self, time_ps: int, subchannel: int, bank: int,
                row: int) -> None:
-        while time_ps >= self.window_end:
-            self._roll_window()
+        if time_ps >= self.window_end:
+            self._advance_to(time_ps)
         self.counts[(subchannel, bank, row)] = \
             self.counts.get((subchannel, bank, row), 0) + 1
         self.stats.total_acts += 1
@@ -172,13 +180,32 @@ class _RowActivityMonitor:
         # per-window ACT-64+/ACT-200+ means (Table 4). A run shorter
         # than one (scaled) tREFW has no completed window at all; report
         # it as a single truncated window rather than an empty census.
-        while elapsed_ps >= self.window_end:
-            self._roll_window()
+        if elapsed_ps >= self.window_end:
+            self._advance_to(elapsed_ps)
         if not self.stats.windows and elapsed_ps > 0:
             self._roll_window()
         self.counts.clear()
         self.stats.total_refis = max(elapsed_ps // self.trefi, 1)
         return self.stats
+
+    def _advance_to(self, time_ps: int) -> None:
+        """Complete every window whose end is at or before ``time_ps``.
+
+        An event at exactly ``window_end`` belongs to the *next* window
+        (windows are half-open ``[start, start + tREFW)``), so the first
+        roll flushes the live census; any further windows crossed by a
+        large time jump are empty by construction and are skipped in
+        O(1) instead of re-scanning the (already empty) counts per
+        window. The closed-form skip lands ``window_end`` strictly
+        beyond ``time_ps``, which keeps exact-boundary jumps (an ACT at
+        ``k * tREFW``) in the same window as the one-roll-per-iteration
+        loop it replaces.
+        """
+        self._roll_window()
+        if time_ps >= self.window_end:
+            skipped = (time_ps - self.window_end) // self.trefw + 1
+            self.stats.windows += skipped
+            self.window_end += skipped * self.trefw
 
     def _roll_window(self) -> None:
         self.stats.windows += 1
@@ -193,6 +220,12 @@ class _RowActivityMonitor:
 
 class System:
     """One simulation instance."""
+
+    #: Controller class to instantiate per sub-channel. The fast engine
+    #: (:mod:`repro.sim.fastpath`) subclasses :class:`System` and points
+    #: this at its specialised controller; everything else about system
+    #: construction is shared.
+    controller_cls = MemoryController
 
     def __init__(self, config: SystemConfig,
                  policy_factory: PolicyFactory,
@@ -215,10 +248,10 @@ class System:
         self.policies = [policy_factory(i)
                          for i in range(config.dram.subchannels)]
         self.controllers = [
-            MemoryController(i, config.dram, self.policies[i],
-                             self._schedule, self._on_complete,
-                             make_page_policy(page_policy),
-                             refresh_mode=refresh_mode)
+            self.controller_cls(i, config.dram, self.policies[i],
+                                self._schedule, self._on_complete,
+                                make_page_policy(page_policy),
+                                refresh_mode=refresh_mode)
             for i in range(config.dram.subchannels)
         ]
         if windows is not None and len(windows) != len(traces):
@@ -265,6 +298,7 @@ class System:
                     lambda t, bank, row, _sub=mc.subchannel:
                     self._monitor.notify(t, _sub, bank, row))
         self._now = 0
+        self._fastforward_ps = 0
 
     def _mitigation_aggregates(self) -> dict[str, int]:
         """Cross-sub-channel totals under the bare ``mitigation.`` prefix."""
@@ -347,19 +381,41 @@ class System:
 
     # ------------------------------------------------------------------
     def run(self) -> SystemResult:
+        self._startup()
+        self._run_loop()
+        return self._finalize()
+
+    def _startup(self) -> None:
         for mc in self.controllers:
             mc.start()
         for core in self.cores:
             self._drive_core(core, 0)
+
+    def _run_loop(self) -> None:
+        """Reference event loop: pop, advance time, dispatch.
+
+        Subclasses (the fast engine) override only this method; startup
+        and finalisation stay shared so both engines build identical
+        state and identical results from it.
+        """
+        heappop = heapq.heappop
         while self._heap and not all(core.done for core in self.cores):
-            time_ps, _, callback = heapq.heappop(self._heap)
+            time_ps, _, callback = heappop(self._heap)
+            gap = time_ps - self._now
+            if gap >= FASTFORWARD_MIN_GAP_PS:
+                self._fastforward_ps += gap
             self._now = time_ps
             callback(time_ps)
+
+    def _finalize(self) -> SystemResult:
         core_stats = [core.finalize() for core in self.cores]
         elapsed = max((s.finish_ps for s in core_stats), default=0)
         activity = (self._monitor.finalize(elapsed)
                     if self._monitor is not None else None)
-        sim_stats: dict[str, float] = {"elapsed_ps": elapsed}
+        sim_stats: dict[str, float] = {
+            "elapsed_ps": elapsed,
+            "fastforward_ps": self._fastforward_ps,
+        }
         if activity is not None:
             sim_stats["row_activity"] = {
                 "windows": activity.windows,

@@ -22,6 +22,7 @@ rate-mode copies do not alias to the same rows.
 from __future__ import annotations
 
 import random
+from math import log as _math_log
 from typing import Iterator
 
 from ..config import DRAMConfig
@@ -63,6 +64,22 @@ class TraceGenerator:
         self._run_left = 0
         self._hot_lines = self._build_hot_set(core_id)
         self._hot_index = 0
+        # Spec/config lookups cached once: ``mean_gap`` is a computed
+        # property and the others are attribute chains, all re-read per
+        # generated item on the simulator's hottest path. The cached
+        # values feed the *same* expressions, so the stream is
+        # bit-identical to reading them live (specs are frozen).
+        self._mean_gap = spec.mean_gap
+        self._gap_shape = spec.gap_shape
+        self._gap_scale = (-(self._mean_gap / spec.gap_shape)
+                           if spec.gap_shape else 0.0)
+        self._gap_const = round(self._mean_gap)
+        self._write_fraction = spec.write_fraction
+        self._hot_fraction = spec.hot_fraction
+        self._stream_weight = spec.stream_weight
+        self._run_lines = spec.run_lines
+        self._line_bytes = config.line_bytes
+        self._mop_lines = config.mop_lines
 
     def _build_hot_set(self, core_id: int) -> list[int]:
         """Pick the spec's hot rows as concrete (bank, row) locations.
@@ -85,43 +102,107 @@ class TraceGenerator:
 
     # ------------------------------------------------------------------
     def __iter__(self) -> Iterator[TraceItem]:
-        while True:
-            yield self.next_item()
+        # The generator *is* its own iterator: all draw state lives on
+        # self, so a wrapping generator frame would add a call per item
+        # without isolating anything.
+        return self
+
+    def __next__(self) -> TraceItem:
+        return self.next_item()
 
     def next_item(self) -> TraceItem:
         gap = self._draw_gap()
-        address = self._draw_line() * self.config.line_bytes
-        is_write = self.rng.random() < self.spec.write_fraction
+        address = self._draw_line() * self._line_bytes
+        is_write = self.rng.random() < self._write_fraction
         return TraceItem(gap, address, is_write)
+
+    def next_block(self, n: int) -> list[tuple[int, int, bool]]:
+        """Draw ``n`` accesses at once as raw ``(gap, address, is_write)``.
+
+        Exactly the same RNG-call sequence and arithmetic as ``n``
+        consecutive :meth:`next_item` calls, with the per-item iterator
+        dispatch and :class:`TraceItem` construction elided — the fast
+        engine consumes blocks so trace generation stops being a
+        per-event cost. The draw logic is a manual inline of
+        :meth:`_draw_gap` / :meth:`_draw_line`; any change there must be
+        mirrored here (the engine-equivalence tests compare the streams).
+        """
+        rng = self.rng
+        uniform = rng.random
+        randrange = rng.randrange
+        log = _math_log
+        mean = self._mean_gap
+        k = self._gap_shape
+        scale = self._gap_scale
+        gap_const = self._gap_const
+        write_fraction = self._write_fraction
+        hot = self._hot_fraction
+        stream_weight = self._stream_weight
+        run_lines = self._run_lines
+        line_bytes = self._line_bytes
+        footprint = self.footprint
+        base_line = self.base_line
+        out = []
+        append = out.append
+        for _ in range(n):
+            if mean <= 0:
+                gap = 0
+            elif k == 0:
+                gap = gap_const
+            else:
+                total = 0.0
+                for _ in range(k):
+                    v = 1.0 - uniform()
+                    total += scale * log(v if v > 1e-12 else 1e-12)
+                gap = int(total)
+            if hot and uniform() < hot:
+                line = self._next_hot_line()
+            elif self._run_left > 0:
+                self._run_left -= 1
+                self._cursor = cursor = (self._cursor + 1) % footprint
+                line = base_line + cursor
+            elif uniform() < stream_weight:
+                self._run_left = run_lines - 1
+                self._cursor = cursor = (self._cursor + 1) % footprint
+                line = base_line + cursor
+            else:
+                self._cursor = cursor = randrange(footprint)
+                line = base_line + cursor
+            append((gap, line * line_bytes, uniform() < write_fraction))
+        return out
 
     # ------------------------------------------------------------------
     def _draw_gap(self) -> int:
-        mean = self.spec.mean_gap
+        mean = self._mean_gap
         if mean <= 0:
             return 0
-        k = self.spec.gap_shape
+        k = self._gap_shape
         if k == 0:
             # Deterministic gaps: streaming kernels miss like clockwork,
             # which is what lets them saturate bandwidth (and what makes
             # them insensitive to PRAC latency, Figure 2).
-            return round(mean)
+            return self._gap_const
         # Erlang-k keeps the MPKI mean while tuning burstiness: k = 1 is
         # geometric (pointer chasing), larger k smooths the stream.
         total = 0.0
+        scale = self._gap_scale
+        uniform = self.rng.random
+        log = _math_log
         for _ in range(k):
-            total += -(mean / k) * _log1m(self.rng.random())
+            v = 1.0 - uniform()
+            total += scale * log(v if v > 1e-12 else 1e-12)
         return int(total)
 
     def _draw_line(self) -> int:
-        spec = self.spec
-        if spec.hot_fraction and self.rng.random() < spec.hot_fraction:
+        hot = self._hot_fraction
+        if hot and self.rng.random() < hot:
             return self._next_hot_line()
         if self._run_left > 0:
             self._run_left -= 1
             self._cursor = (self._cursor + 1) % self.footprint
             return self.base_line + self._cursor
-        if self.rng.random() < spec.stream_weight:
-            self._run_left = spec.run_lines - 1
+        if self.rng.random() < self._stream_weight:
+            self._run_left = self._run_lines - 1
             self._cursor = (self._cursor + 1) % self.footprint
             return self.base_line + self._cursor
         self._cursor = self.rng.randrange(self.footprint)
@@ -134,12 +215,11 @@ class TraceGenerator:
         line = self._hot_lines[self._hot_index]
         self._hot_index = (self._hot_index + 1) % len(self._hot_lines)
         # Touch a random column so hot rows still see some locality.
-        return line + self.rng.randrange(self.config.mop_lines)
+        return line + self.rng.randrange(self._mop_lines)
 
 
 def _log1m(u: float) -> float:
-    import math
-    return math.log(max(1.0 - u, 1e-12))
+    return _math_log(max(1.0 - u, 1e-12))
 
 
 def generate_trace(spec: WorkloadSpec, config: DRAMConfig,

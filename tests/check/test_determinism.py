@@ -1,16 +1,24 @@
 """Determinism matrix: one seed, one answer — regardless of machinery.
 
 The same design point must produce bit-identical ``SystemResult.stats``
-(and core/MC stats) whether it runs serially or through the parallel
-sweep engine, and whether or not an :class:`EventTracer` is attached.
+(and core/MC stats) across every combination of machinery:
+
+* **engine**: the reference event loop vs the fast engine
+  (``REPRO_ENGINE=fast``, :mod:`repro.sim.fastpath`);
+* **transport**: serial inline execution vs the parallel sweep engine;
+* **observability**: with and without an :class:`EventTracer` attached.
+
 Tracing is observability, not physics; parallelism is transport, not
-physics. Any divergence here means hidden global state or an
-order-dependent code path.
+physics; the fast engine is machinery, not physics. Any divergence here
+means hidden global state, an order-dependent code path, or a fast-path
+shortcut that changed the simulated event sequence.
 """
 
 import dataclasses
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.exec.engine import SweepEngine
 from repro.obs.tracer import EventTracer
@@ -24,6 +32,8 @@ POINTS = [
     DesignPoint(workload="hammer", design="qprac", trh=500, **FAST),
 ]
 
+ENGINES = ("reference", "fast")
+
 
 def fingerprint(result):
     return (
@@ -34,22 +44,43 @@ def fingerprint(result):
     )
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("point", POINTS,
                          ids=lambda p: f"{p.workload}.{p.design}")
 class TestTracerTransparency:
-    def test_tracer_on_equals_tracer_off(self, point):
-        bare = run_point(point)
+    def test_tracer_on_equals_tracer_off(self, point, engine):
+        bare = run_point(point, engine=engine)
         tracer = EventTracer(capacity=2_000_000)
-        traced = run_point(point, tracer=tracer)
+        traced = run_point(point, tracer=tracer, engine=engine)
         assert len(tracer) > 0  # the traced run really did record
         assert fingerprint(traced) == fingerprint(bare)
 
-    def test_rerun_is_bit_identical(self, point):
-        assert fingerprint(run_point(point)) == fingerprint(run_point(point))
+    def test_rerun_is_bit_identical(self, point, engine):
+        assert fingerprint(run_point(point, engine=engine)) \
+            == fingerprint(run_point(point, engine=engine))
+
+
+@pytest.mark.parametrize("point", POINTS,
+                         ids=lambda p: f"{p.workload}.{p.design}")
+class TestEngineEquivalence:
+    def test_fast_matches_reference(self, point):
+        fast = run_point(point, engine="fast")
+        reference = run_point(point, engine="reference")
+        assert fingerprint(fast) == fingerprint(reference)
+
+    def test_traced_events_match(self, point):
+        traces = {}
+        for engine in ENGINES:
+            tracer = EventTracer(capacity=2_000_000)
+            run_point(point, tracer=tracer, engine=engine)
+            traces[engine] = tracer.events()
+        assert traces["fast"] == traces["reference"]
 
 
 class TestSerialParallelEquivalence:
-    def test_sweep_paths_agree(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_sweep_paths_agree(self, engine, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", engine)
         serial = SweepEngine(workers=1, parallel=False, cache=None,
                              use_memo=False)
         parallel = SweepEngine(workers=2, parallel=True, cache=None,
@@ -58,3 +89,23 @@ class TestSerialParallelEquivalence:
         parallel_results = parallel.run(POINTS)
         for point, a, b in zip(POINTS, serial_results, parallel_results):
             assert fingerprint(a) == fingerprint(b), point
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    workload=st.sampled_from(("add", "mcf", "hammer", "mix2")),
+    design=st.sampled_from(("baseline", "prac", "qprac", "mopac-c",
+                            "mopac-d", "mopac-d-nup")),
+    instructions=st.integers(min_value=2_000, max_value=8_000),
+    page_policy=st.sampled_from(("open", "close", "ton100")),
+    refresh_mode=st.sampled_from(("all-bank", "same-bank")),
+)
+def test_engines_agree_on_random_points(workload, design, instructions,
+                                        page_policy, refresh_mode):
+    """Property: the engines agree on arbitrary short design points."""
+    point = DesignPoint(workload=workload, design=design, trh=500,
+                        instructions=instructions, rows_per_bank=512,
+                        refresh_scale=1 / 256, page_policy=page_policy,
+                        refresh_mode=refresh_mode)
+    assert fingerprint(run_point(point, engine="fast")) \
+        == fingerprint(run_point(point, engine="reference"))

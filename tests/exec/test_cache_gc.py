@@ -42,6 +42,22 @@ class TestEntriesAndSize:
         names = [path.stem for _, _, path in cache.entries()]
         assert names == ["aa11", "bb22"]
 
+    def test_ns_stamps_order_before_path_tiebreak(self, tmp_path):
+        # two writes one nanosecond apart collide after the float
+        # st_mtime rounding (1e9 s + 1 ns is not representable as a
+        # float); sorting on st_mtime_ns must still see them distinct,
+        # so the later write sorts later even though its path sorts
+        # earlier
+        cache = ResultCache(tmp_path)
+        base_ns = 1_000_000_000_000_000_000
+        older = make_entry(tmp_path, "bb22", 10, mtime=0)
+        newer = make_entry(tmp_path, "aa11", 10, mtime=0)
+        os.utime(older, ns=(base_ns + 1, base_ns + 1))
+        os.utime(newer, ns=(base_ns + 2, base_ns + 2))
+        assert (older.stat().st_mtime == newer.stat().st_mtime)  # float tie
+        names = [path.stem for _, _, path in cache.entries()]
+        assert names == ["bb22", "aa11"]
+
     def test_size_bytes(self, tmp_path):
         cache = ResultCache(tmp_path)
         make_entry(tmp_path, "aa11", 10, mtime=100)
@@ -64,6 +80,20 @@ class TestPrune:
         assert (removed, freed) == (2, 200)
         assert not old.exists() and not mid.exists()
         assert new.exists()
+
+    def test_equal_mtime_eviction_is_deterministic(self, tmp_path):
+        # four entries with identical stamps, budget keeps two: the
+        # lexicographically-smallest paths go first, independent of
+        # directory scan order
+        cache = ResultCache(tmp_path)
+        entries = {name: make_entry(tmp_path, name, 50, mtime=100)
+                   for name in ("dd44", "bb22", "aa11", "cc33")}
+        removed, freed = cache.prune(max_bytes=100)
+        assert (removed, freed) == (2, 100)
+        assert not entries["aa11"].exists()
+        assert not entries["bb22"].exists()
+        assert entries["cc33"].exists()
+        assert entries["dd44"].exists()
 
     def test_noop_when_under_budget(self, tmp_path):
         cache = ResultCache(tmp_path)

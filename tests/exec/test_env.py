@@ -3,7 +3,8 @@
 import pytest
 
 from repro.exec.engine import default_workers, serial_forced
-from repro.exec.env import EnvKnobError, env_flag, env_int
+from repro.exec.env import (EnvKnobError, engine_choice, env_choice,
+                            env_flag, env_int)
 
 
 class TestEnvInt:
@@ -68,6 +69,39 @@ class TestEnvFlag:
         monkeypatch.setenv("X_FLAG", raw)
         with pytest.raises(EnvKnobError, match="X_FLAG"):
             env_flag("X_FLAG")
+
+
+class TestEnvChoice:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("X_CHOICE", raising=False)
+        assert env_choice("X_CHOICE", ("a", "b"), "a") == "a"
+
+    def test_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv("X_CHOICE", " B ")
+        assert env_choice("X_CHOICE", ("a", "b"), "a") == "b"
+
+    def test_outside_choices_rejected(self, monkeypatch):
+        monkeypatch.setenv("X_CHOICE", "c")
+        with pytest.raises(EnvKnobError, match="one of a/b"):
+            env_choice("X_CHOICE", ("a", "b"), "a")
+
+
+class TestEngineChoice:
+    def test_default_is_reference(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert engine_choice() == "reference"
+
+    def test_fast_selected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "fast")
+        assert engine_choice() == "fast"
+
+    @pytest.mark.parametrize("bad", ["quick", "turbo", "fastt", "2"])
+    def test_unknown_engine_rejected_not_ignored(self, monkeypatch, bad):
+        # a typo'd engine must fail loudly, not silently fall back to
+        # the reference loop and eat the expected speedup
+        monkeypatch.setenv("REPRO_ENGINE", bad)
+        with pytest.raises(EnvKnobError, match="REPRO_ENGINE"):
+            engine_choice()
 
 
 class TestEngineKnobs:

@@ -1,5 +1,7 @@
 """Phase profiler: accumulation, nesting, snapshots, summaries."""
 
+import time
+
 from repro.obs.profiler import PhaseProfiler
 
 
@@ -55,3 +57,51 @@ class TestPhases:
         profiler = PhaseProfiler()
         assert profiler.seconds("nope") == 0.0
         assert profiler.entries("nope") == 0
+
+
+class TestNesting:
+    """Nested phases must not double-count wall time in ``total``."""
+
+    def test_nested_block_counts_once_in_total(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("simulate"):
+            with profiler.phase("cache_io"):
+                time.sleep(0.01)
+        # inclusive: simulate contains cache_io
+        assert (profiler.seconds("simulate")
+                >= profiler.seconds("cache_io") >= 0.01)
+        # exclusive: the nested seconds belong to cache_io alone
+        assert (abs(profiler.exclusive_seconds("simulate")
+                    - (profiler.seconds("simulate")
+                       - profiler.seconds("cache_io"))) < 1e-9)
+        # total covers the wall once — the old inclusive sum reported
+        # simulate + cache_io here, double-counting the sleep
+        assert abs(profiler.total - profiler.seconds("simulate")) < 1e-9
+
+    def test_doubly_nested_attribution(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("outer"):
+            with profiler.phase("middle"):
+                with profiler.phase("inner"):
+                    time.sleep(0.005)
+        assert (abs(profiler.exclusive_seconds("middle")
+                    - (profiler.seconds("middle")
+                       - profiler.seconds("inner"))) < 1e-9)
+        assert abs(profiler.total - profiler.seconds("outer")) < 1e-9
+
+    def test_sequential_phases_sum_as_before(self):
+        profiler = PhaseProfiler()
+        profiler.add("a", 1.0)
+        profiler.add("b", 2.0)
+        assert profiler.total == 3.0
+        assert profiler.exclusive_snapshot() == {"a": 1.0, "b": 2.0}
+
+    def test_external_add_is_not_charged_to_enclosing_phase(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("sweep"):
+            profiler.add("worker_wall", 2.0)  # measured elsewhere
+        # sweep's own exclusive time stays non-negative (the 2 external
+        # seconds never elapsed on this profiler's clock)
+        assert profiler.exclusive_seconds("sweep") >= 0.0
+        assert profiler.exclusive_seconds("worker_wall") == 2.0
+        assert profiler.total >= 2.0

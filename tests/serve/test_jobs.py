@@ -122,6 +122,71 @@ class TestJournal:
         # compacted journal replays identically
         assert [j.id for j in Journal.load(path)] == ["job-1", "job-3"]
 
+    def test_compact_crash_before_replace_preserves_journal(
+            self, tmp_path, monkeypatch):
+        # fault injection: die between the temp-file fsync and the
+        # rename — the live journal must be untouched and the temp
+        # file cleaned up
+        import repro.serve.jobs as jobs_mod
+        path = tmp_path / "journal.jsonl"
+        journal = Journal(path)
+        journal.record_submit(make_job(1, points()))
+        journal.close()
+        before = path.read_bytes()
+
+        def explode(*args, **kwargs):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(jobs_mod.os, "replace", explode)
+        with pytest.raises(OSError):
+            Journal.compact(path, Journal.load(path))
+        assert path.read_bytes() == before
+        assert [j.id for j in Journal.load(path)] == ["job-1"]
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_compact_fsyncs_data_then_renames_then_fsyncs_dir(
+            self, tmp_path, monkeypatch):
+        # durability ordering: file fsync -> os.replace -> dir fsync;
+        # a dir fsync before the rename would not cover it, and a
+        # missing one leaves the rename volatile
+        import repro.serve.jobs as jobs_mod
+        path = tmp_path / "journal.jsonl"
+        journal = Journal(path)
+        journal.record_submit(make_job(1, points()))
+        journal.close()
+
+        calls = []
+        real_fsync, real_replace = jobs_mod.os.fsync, jobs_mod.os.replace
+        monkeypatch.setattr(
+            jobs_mod.os, "fsync",
+            lambda fd: (calls.append("fsync"), real_fsync(fd))[1])
+        monkeypatch.setattr(
+            jobs_mod.os, "replace",
+            lambda a, b: (calls.append("replace"), real_replace(a, b))[1])
+        Journal.compact(path, Journal.load(path))
+        assert calls == ["fsync", "replace", "fsync"]
+
+    def test_compact_survives_unfsyncable_directory(
+            self, tmp_path, monkeypatch):
+        # platforms that refuse to open a directory for fsync degrade
+        # gracefully: compaction still succeeds
+        import repro.serve.jobs as jobs_mod
+        path = tmp_path / "journal.jsonl"
+        journal = Journal(path)
+        journal.record_submit(make_job(1, points()))
+        journal.close()
+
+        real_open = jobs_mod.os.open
+
+        def no_dir_open(target, flags, *args):
+            if str(target) == str(tmp_path):
+                raise OSError("directories not openable here")
+            return real_open(target, flags, *args)
+
+        monkeypatch.setattr(jobs_mod.os, "open", no_dir_open)
+        Journal.compact(path, Journal.load(path))
+        assert [j.id for j in Journal.load(path)] == ["job-1"]
+
     def test_append_after_compact(self, tmp_path):
         # the normal startup sequence: load, compact, reopen, append
         path = tmp_path / "journal.jsonl"

@@ -1,0 +1,143 @@
+"""Fast engine internals: SoA timing state, fallbacks, engine selection.
+
+End-to-end bit-identity across the whole design grid lives in
+``tests/check/test_determinism.py``; these tests cover the pieces on
+their own — the numpy/pure-Python SoA paths, the generic-iterator and
+LLC fallbacks, and the ``REPRO_ENGINE`` plumbing.
+"""
+
+import pytest
+
+from repro.config import DRAMConfig, SystemConfig
+from repro.cpu.trace import TraceItem
+from repro.dram.timing import ddr5_base
+from repro.mitigations.prac import BaselinePolicy
+from repro.sim.fastpath import FastSystem
+from repro.sim.runner import resolve_engine
+from repro.sim.soa import NUMPY_MIN_BANKS, TimingSoA, _np
+from repro.sim.system import System
+
+
+def small_config(cores=2):
+    dram = DRAMConfig(subchannels=2, banks_per_subchannel=4,
+                      rows_per_bank=256,
+                      timing=ddr5_base().scaled_refresh(1 / 256))
+    return SystemConfig(dram=dram, cores=cores)
+
+
+def fixed_trace(n, stride=1, gap=20, start=0):
+    return iter([TraceItem(gap, (start + i * stride) * 64)
+                 for i in range(n)])
+
+
+def run_engine(system_cls, **kw):
+    config = small_config()
+    traces = [fixed_trace(200, start=i * 10_000)
+              for i in range(config.cores)]
+    system = system_cls(config,
+                        lambda i: BaselinePolicy(config.dram.timing),
+                        traces, 5_000, **kw)
+    return system.run()
+
+
+def seeded_soa(banks, force_python):
+    soa = TimingSoA(banks, force_python=force_python)
+    for i in range(banks):
+        soa.open_row[i] = i % 3 - 1       # mix of closed and open
+        soa.ready_pre[i] = 100 * i
+        soa.blocked_until[i] = 70 * (banks - i)
+    return soa
+
+
+class TestTimingSoA:
+    def test_numpy_activation_threshold(self):
+        small = TimingSoA(NUMPY_MIN_BANKS - 1)
+        large = TimingSoA(NUMPY_MIN_BANKS)
+        assert not small.batched
+        assert large.batched == (_np is not None)
+
+    def test_force_python_disables_numpy(self):
+        assert not TimingSoA(64, force_python=True).batched
+
+    @pytest.mark.skipif(_np is None, reason="numpy not installed")
+    @pytest.mark.parametrize("banks", [NUMPY_MIN_BANKS, 37, 64])
+    def test_block_all_paths_identical(self, banks):
+        fast = seeded_soa(banks, force_python=False)
+        slow = seeded_soa(banks, force_python=True)
+        assert fast.batched and not slow.batched
+        for until in (0, 35 * banks, 10 ** 9):
+            fast.block_all(until)
+            slow.block_all(until)
+            assert fast.blocked_until == slow.blocked_until
+        # values must come back as Python ints (JSON-serialisable)
+        assert all(type(v) is int for v in fast.blocked_until)
+
+    @pytest.mark.skipif(_np is None, reason="numpy not installed")
+    @pytest.mark.parametrize("banks", [NUMPY_MIN_BANKS, 37, 64])
+    def test_close_bound_paths_identical(self, banks):
+        fast = seeded_soa(banks, force_python=False)
+        slow = seeded_soa(banks, force_python=True)
+        for now in (0, 50 * banks, 10 ** 9):
+            assert fast.close_bound(now) == slow.close_bound(now)
+            assert type(fast.close_bound(now)) is int
+
+    @pytest.mark.skipif(_np is None, reason="numpy not installed")
+    def test_close_bound_all_closed_floors_at_now(self):
+        soa = TimingSoA(32)
+        soa.open_row[:] = [-1] * 32
+        soa.ready_pre[:] = [999] * 32
+        assert soa.close_bound(123) == 123
+
+
+class TestFallbackPaths:
+    def test_generic_iterator_traces_match_reference(self):
+        # hand-rolled TraceItem iterators miss the block-trace fast
+        # path entirely; the per-item fallback must still be identical
+        fast = run_engine(FastSystem)
+        reference = run_engine(System)
+        assert fast.elapsed_ps == reference.elapsed_ps
+        assert [s.finish_ps for s in fast.core_stats] == \
+            [s.finish_ps for s in reference.core_stats]
+        assert fast.total_requests == reference.total_requests
+
+    def test_llc_runs_match_reference(self):
+        # LLC configs route through the reference dispatch closure —
+        # the fast engine must fall back, not mis-simulate
+        fast = run_engine(FastSystem, use_llc=True)
+        reference = run_engine(System, use_llc=True)
+        assert fast.elapsed_ps == reference.elapsed_ps
+        assert [s.finish_ps for s in fast.core_stats] == \
+            [s.finish_ps for s in reference.core_stats]
+
+    def test_llc_filters_traffic_on_fast_engine(self):
+        def reuse_traces(config):
+            # every core hammers a handful of lines: near-total reuse
+            return [fixed_trace(200, stride=0, start=i)
+                    for i in range(config.cores)]
+
+        config = small_config()
+        with_llc = FastSystem(
+            config, lambda i: BaselinePolicy(config.dram.timing),
+            reuse_traces(config), 5_000, use_llc=True).run()
+        without = FastSystem(
+            config, lambda i: BaselinePolicy(config.dram.timing),
+            reuse_traces(config), 5_000).run()
+        assert with_llc.total_requests < without.total_requests
+
+
+class TestEngineSelection:
+    def test_reference_resolves_to_system(self):
+        assert resolve_engine("reference") is System
+
+    def test_fast_resolves_to_fastsystem(self):
+        assert resolve_engine("fast") is FastSystem
+
+    def test_env_knob_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "fast")
+        assert resolve_engine() is FastSystem
+        monkeypatch.setenv("REPRO_ENGINE", "reference")
+        assert resolve_engine() is System
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="turbo"):
+            resolve_engine("turbo")

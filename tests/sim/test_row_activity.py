@@ -77,6 +77,57 @@ class TestWindowAccounting:
         assert stats.windows == 0
         assert stats.act64 == 0.0
 
+    def test_act_at_exact_boundary_belongs_to_next_window(self):
+        # windows are half-open [start, start + tREFW): an ACT at
+        # exactly k * tREFW opens window k+1, it does not close window k
+        m = monitor()
+        for _ in range(63):
+            m.notify(10, 0, 0, 7)
+        m.notify(1000, 0, 0, 7)  # 64th ACT, but in the next window
+        stats = m.finalize(2000)
+        assert stats.windows == 2
+        assert stats.act64_total == 0
+
+    def test_hot_row_split_across_boundary_not_counted(self):
+        m = monitor()
+        for _ in range(32):
+            m.notify(10, 0, 0, 7)
+        for _ in range(32):
+            m.notify(1010, 0, 0, 7)  # same row, next window
+        stats = m.finalize(2000)
+        assert stats.total_acts == 64
+        assert stats.act64_total == 0
+
+    def test_acts_straddling_boundary_count_in_their_windows(self):
+        m = monitor()
+        for _ in range(64):
+            m.notify(999, 0, 0, 7)   # last tick of window 1
+        for _ in range(64):
+            m.notify(1000, 0, 0, 7)  # first tick of window 2
+        stats = m.finalize(2000)
+        assert stats.windows == 2
+        assert stats.act64_total == 2
+
+    def test_large_jump_skips_empty_windows_exactly(self):
+        # the closed-form skip in _advance_to must count every empty
+        # window a big idle gap crosses — no more, no fewer
+        m = monitor()
+        for _ in range(64):
+            m.notify(10, 0, 0, 7)
+        m.notify(987_654, 0, 0, 9)   # jump over 986 idle windows
+        stats = m.finalize(1_000_000)
+        assert stats.windows == 1000
+        assert stats.act64_total == 1
+        assert stats.total_acts == 65
+
+    def test_jump_to_exact_multiple_boundary(self):
+        m = monitor()
+        m.notify(0, 0, 0, 7)
+        m.notify(5000, 0, 0, 7)      # exactly 5 * tREFW
+        stats = m.finalize(6000)
+        assert stats.windows == 6
+        assert stats.total_acts == 2
+
     def test_per_window_means_use_completed_windows(self):
         m = monitor(banks=2)
         for _ in range(64):

@@ -106,3 +106,34 @@ class TestIteration:
                           rows_per_bank=8)
         gen = TraceGenerator(SPEC_WORKLOADS["mcf"], tiny)
         assert gen.footprint <= 8 * tiny.lines_per_row
+
+
+class TestBlockDraws:
+    """``next_block`` manually inlines the per-item draw helpers, so it
+    must be proven equal to ``next_item`` for every catalog workload —
+    a drift between the two silently breaks fast-engine bit-identity.
+    """
+
+    @pytest.mark.parametrize("name", sorted(SPEC_WORKLOADS))
+    def test_block_equals_itemwise_stream(self, config, name):
+        spec = SPEC_WORKLOADS[name]
+        itemwise = TraceGenerator(spec, config, core_id=1, seed=0xB10C)
+        blocked = TraceGenerator(spec, config, core_id=1, seed=0xB10C)
+        expected = [itemwise.next_item() for _ in range(700)]
+        got = []
+        # uneven block sizes cross every internal-state boundary
+        for n in (1, 2, 255, 256, 186):
+            got.extend(blocked.next_block(n))
+        assert [(g, a, w) for g, a, w in got] == \
+            [(i.gap, i.address, i.is_write) for i in expected]
+
+    def test_block_then_items_continue_the_same_stream(self, config):
+        spec = SPEC_WORKLOADS["mcf"]
+        reference = TraceGenerator(spec, config, seed=7)
+        mixed = TraceGenerator(spec, config, seed=7)
+        expected = [reference.next_item() for _ in range(300)]
+        got = list(mixed.next_block(100))
+        got += [(i.gap, i.address, i.is_write)
+                for i in (mixed.next_item() for _ in range(100))]
+        got += list(mixed.next_block(100))
+        assert got == [(i.gap, i.address, i.is_write) for i in expected]
