@@ -15,7 +15,12 @@ satisfy, whatever its internals:
   mitigation, refresh groups cleared in lockstep), and the policy's
   ``counter_updates`` stat equals its ``activations`` stat;
 * **workload identity** — all designs observed the same activation
-  stream (equal ledger totals).
+  stream (equal ledger totals);
+* **drift** — the policies' own
+  :class:`~repro.mitigations.security.SecurityTelemetry` (sampled
+  counter vs shadow true count) reports *identically zero* drift for
+  the exact designs, and drift bounded by ``drift_bound`` (default:
+  the Rowhammer threshold) for the probabilistic MoPAC designs.
 
 Target streams are derived from a master seed through
 :func:`repro.rng.derive_seed`, so any divergence replays exactly.
@@ -98,6 +103,10 @@ class DesignOutcome:
     total_activations: int
     counter_mismatches: list = field(default_factory=list)
     stats_conserved: bool = True
+    #: largest |estimate - truth| the policy's own telemetry observed
+    drift_max: int = 0
+    #: sum of per-update drifts (0 for exact designs)
+    drift_total: int = 0
 
 
 @dataclass
@@ -120,7 +129,8 @@ class DifferentialReport:
                  + ("OK" if self.ok else f"{len(self.failures)} failure(s)")]
         for o in self.outcomes:
             lines.append(f"  {o.design}: max_count={o.max_count} "
-                         f"acts={o.total_activations}"
+                         f"acts={o.total_activations} "
+                         f"drift_max={o.drift_max}"
                          + ("" if not o.counter_mismatches else
                             f" counter_mismatches="
                             f"{len(o.counter_mismatches)}"))
@@ -174,9 +184,17 @@ def run_differential(trh: int = 500, activations: int = 60_000,
                      banks: int = 4, rows: int = 512,
                      refresh_groups: int = 64,
                      seed: int = 0xD1FF,
-                     designs: tuple[str, ...] = DESIGNS
+                     designs: tuple[str, ...] = DESIGNS,
+                     drift_bound: int | None = None
                      ) -> DifferentialReport:
-    """Run every design on one seeded stream; check the invariants."""
+    """Run every design on one seeded stream; check the invariants.
+
+    ``drift_bound`` caps the probabilistic designs' sampled-counter
+    drift (``None``: the Rowhammer threshold — an estimate that falls
+    behind the truth by ``trh`` has lost the security argument).
+    """
+    if drift_bound is None:
+        drift_bound = trh
     report = DifferentialReport(trh=trh, activations=activations, seed=seed)
     targets = make_targets(seed, banks, rows, activations)
     totals: dict[str, int] = {}
@@ -213,6 +231,18 @@ def run_differential(trh: int = 500, activations: int = 60_000,
                 report.failures.append(
                     f"{design}: counter_updates {stats.counter_updates} "
                     f"!= activations {stats.activations}")
+        if policy.security is not None:
+            outcome.drift_max = policy.security.drift_max
+            outcome.drift_total = policy.security.drift_total
+            if design in EXACT_DESIGNS and outcome.drift_total:
+                report.failures.append(
+                    f"{design}: exact design drifted from ground truth "
+                    f"(drift_max={outcome.drift_max}, "
+                    f"drift_total={outcome.drift_total})")
+            elif outcome.drift_max > drift_bound:
+                report.failures.append(
+                    f"{design}: sampled-counter drift {outcome.drift_max} "
+                    f"exceeds bound {drift_bound}")
         totals[design] = result.ledger.total_activations
         report.outcomes.append(outcome)
     if len(set(totals.values())) > 1:

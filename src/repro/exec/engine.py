@@ -41,6 +41,7 @@ from typing import Any, Callable, Sequence
 
 from ..obs.log import get_logger
 from ..obs.profiler import PhaseProfiler
+from ..obs.spans import current_span, current_tracer, span
 from ..sim import runner
 from .cache import ResultCache, default_cache_dir
 from .env import env_flag, env_int
@@ -212,7 +213,9 @@ class SweepEngine:
         misses: list[tuple[int, runner.DesignPoint]] = []
         with self.profiler.phase("lookup"):
             for index, point in enumerate(unique):
-                result, source = self._lookup(point)
+                with span("exec.cache_lookup", workload=point.workload,
+                          design=point.design):
+                    result, source = self._lookup(point)
                 if result is not None:
                     resolved[index] = result
                     self._emit(PointOutcome(index, point, result,
@@ -228,7 +231,10 @@ class SweepEngine:
                     self.metrics.sim_wall_s += wall
                     self.metrics.slowest_point_s = max(
                         self.metrics.slowest_point_s, wall)
-                    with self.profiler.phase("cache_io"):
+                    with self.profiler.phase("cache_io"), \
+                            span("exec.cache_write",
+                                 workload=point.workload,
+                                 design=point.design):
                         self._store(point, result)
                     self._emit(PointOutcome(index, point, result,
                                             "simulated", wall))
@@ -276,7 +282,9 @@ class SweepEngine:
         """Yield ``(index, point, result, wall_s)`` for every miss."""
         if not self._run_parallel(misses):
             for index, point in misses:
-                result, wall = _simulate_point(point)
+                with span("exec.simulate", workload=point.workload,
+                          design=point.design):
+                    result, wall = _simulate_point(point)
                 yield index, point, result, wall
             return
         workers = min(self.workers, len(misses))
@@ -289,7 +297,26 @@ class SweepEngine:
                 for future in done:
                     index, point = futures[future]
                     result, wall = future.result()
+                    self._record_remote_span(point, wall)
                     yield index, point, result, wall
+
+    @staticmethod
+    def _record_remote_span(point, wall_s: float) -> None:
+        """Retroactive ``exec.simulate`` span for a pool-executed point.
+
+        The worker process has no access to the parent's tracer, so the
+        span is reconstructed at collection time from the measured wall
+        time; its end edge is the moment the future was collected.
+        """
+        tracer = current_tracer()
+        if tracer is None:
+            return
+        parent = current_span()
+        end_ns = time.perf_counter_ns()
+        tracer.record("exec.simulate", end_ns - int(wall_s * 1e9), end_ns,
+                      parent_id=parent.span_id if parent else None,
+                      workload=point.workload, design=point.design,
+                      remote=True)
 
 
 # ----------------------------------------------------------------------

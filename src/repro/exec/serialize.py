@@ -27,7 +27,9 @@ from ..sim.system import RowActivityStats, SystemResult
 
 #: Layout version of the serialized result document.
 #: v2 added the observability fields (``stats`` snapshot, ``phases``).
-SCHEMA_VERSION = 2
+#: v3 added the ``mitigation.*.security.*`` telemetry family to the
+#: stats snapshot (drift histograms, PRE rates, max disturbance).
+SCHEMA_VERSION = 3
 
 
 class SchemaMismatch(ValueError):

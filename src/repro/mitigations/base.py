@@ -85,6 +85,10 @@ class MitigationPolicy:
         self.tracer = None
         #: sub-channel index for trace attribution (set by the harness)
         self.tracer_subchannel = -1
+        #: shadow true-activation accounting for the counting designs
+        #: (:class:`~repro.mitigations.security.SecurityTelemetry`);
+        #: None for policies with no counters to compare against
+        self.security = None
         # Decisions are frozen and depend only on the (fixed) timing
         # sets, so the two flavours are built once instead of allocating
         # a fresh EpisodeDecision on every ACT of the hot path.
@@ -147,8 +151,17 @@ class MitigationPolicy:
         return events
 
     def register_stats(self, registry, prefix: str) -> None:
-        """Expose the policy's counters under ``prefix`` (registry hookup)."""
+        """Expose the policy's counters under ``prefix`` (registry hookup).
+
+        Counting policies additionally publish the
+        ``<prefix>.security.*`` family (drift vs ground truth, PRE
+        rates, per-bank max disturbance, RFM cadence — see
+        :mod:`repro.mitigations.security`).
+        """
         registry.register(prefix, self.stats.as_dict)
+        if self.security is not None:
+            registry.register(f"{prefix}.security",
+                              lambda: self.security.as_dict(self.stats))
 
     # -- helpers for subclasses ---------------------------------------------
     def _record_mitigation(self, bank: int, row: int, now: int) -> None:
@@ -156,6 +169,11 @@ class MitigationPolicy:
         if self.tracer is not None:
             self.tracer.record(now, "MITIGATE", self.tracer_subchannel,
                                bank, row)
+        if self.security is not None:
+            # mirror the victim refresh into the shadow truth: the
+            # aggressor's victims are fresh, and each victim row was
+            # itself activated once by the refresh (footnote 5)
+            self.security.on_mitigation(bank, row)
         self.pending_mitigations.append(MitigationEvent(bank, row, now))
 
 

@@ -50,6 +50,7 @@ class MoPACCPolicy(PRACMoatPolicy):
     def on_activate(self, bank: int, row: int, now: int) -> EpisodeDecision:
         self.stats.activations += 1
         self._acts_since_rfm += 1
+        self.security.on_activate(bank, row)
         if self.rng.random() < self.p:
             return self._cu_decision
         return self._plain_decision
@@ -63,5 +64,6 @@ class MoPACCPolicy(PRACMoatPolicy):
             return
         self.stats.counter_updates += 1
         value = self.state.update(bank, row, self.increment)
+        self.security.on_counter_update(bank, row, value)
         if value >= self.ath:
             self._request_alert()

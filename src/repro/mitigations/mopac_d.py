@@ -41,6 +41,7 @@ from ..security.markov import mopac_d_nup_params
 from ..security.rowpress import ROWPRESS_TON_CAP_NS
 from .base import EpisodeDecision, MitigationPolicy
 from .prac_state import PRACCounters, RefreshSchedule
+from .security import SecurityTelemetry
 
 #: SRQ entries drained per ABO (each row update takes 70 ns of the 350 ns).
 SRQ_DRAIN_PER_ABO = 5
@@ -184,6 +185,7 @@ class MoPACDPolicy(MitigationPolicy):
             for _ in range(chips)
         ]
         self.banks = banks
+        self.security = SecurityTelemetry(banks, rows)
         self.rowpress_aware = rowpress_aware
         self._alert_causes: set[str] = set()
         self._acts_since_rfm = 1
@@ -194,6 +196,7 @@ class MoPACDPolicy(MitigationPolicy):
     def on_activate(self, bank: int, row: int, now: int) -> EpisodeDecision:
         self.stats.activations += 1
         self._acts_since_rfm += 1
+        self.security.on_activate(bank, row)
         for chip in self.chips:
             self._chip_activate(chip, bank, row)
         return self._plain_decision
@@ -256,6 +259,10 @@ class MoPACDPolicy(MitigationPolicy):
             for index in banks:
                 start, stop = chip.refresh_schedules[index].advance()
                 chip.prac.refresh_rows(index, start, stop)
+                if chip is self.chips[0]:
+                    # all chips advance identical schedules; the shadow
+                    # truth clears once per physical REF
+                    self.security.on_refresh_range(index, start, stop)
                 if self.drain_on_ref:
                     self._drain(chip, index, self.drain_on_ref, now,
                                 on_ref=True)
@@ -275,6 +282,8 @@ class MoPACDPolicy(MitigationPolicy):
         episode find the cause set empty).
         """
         self.stats.alerts += 1
+        if self._acts_since_rfm > 0:  # first RFM of this ALERT episode
+            self.security.on_rfm(self.stats.activations)
         if self._alert_causes:
             if "srq_full" in self._alert_causes:
                 self.stats.alerts_srq_full += 1
@@ -316,6 +325,7 @@ class MoPACDPolicy(MitigationPolicy):
             del srq[entry.row]
             increment = 1 + entry.sctr * self.inv_p
             value = chip.prac.update(bank, entry.row, increment)
+            self.security.on_counter_update(bank, entry.row, value)
             self.stats.counter_updates += 1
             if self.tracer is not None:
                 self.tracer.record(now, "DRAIN", self.tracer_subchannel,

@@ -13,6 +13,7 @@ from ..dram.timing import TimingSet, ddr5_base, ddr5_prac
 from ..security.moat_model import moat_ath, moat_eth
 from .base import EpisodeDecision, MitigationPolicy
 from .prac_state import PRACCounters, RefreshSchedule
+from .security import SecurityTelemetry
 
 
 class PRACMoatPolicy(MitigationPolicy):
@@ -32,6 +33,7 @@ class PRACMoatPolicy(MitigationPolicy):
         self.state = PRACCounters(banks, rows)
         self.refresh_schedules = [RefreshSchedule(rows, refresh_groups)
                                   for _ in range(banks)]
+        self.security = SecurityTelemetry(banks, rows)
         self._alert = False
         self._acts_since_rfm = 1  # ABO requires activations between ALERTs
 
@@ -39,6 +41,7 @@ class PRACMoatPolicy(MitigationPolicy):
     def on_activate(self, bank: int, row: int, now: int) -> EpisodeDecision:
         self.stats.activations += 1
         self._acts_since_rfm += 1
+        self.security.on_activate(bank, row)
         return self._cu_decision
 
     def on_precharge(self, bank: int, row: int, now: int,
@@ -47,6 +50,7 @@ class PRACMoatPolicy(MitigationPolicy):
             return
         self.stats.counter_updates += 1
         value = self.state.update(bank, row, 1)
+        self.security.on_counter_update(bank, row, value)
         if value >= self.ath:
             self._request_alert()
 
@@ -56,6 +60,7 @@ class PRACMoatPolicy(MitigationPolicy):
         for index in banks:
             start, stop = self.refresh_schedules[index].advance()
             self.state.refresh_rows(index, start, stop)
+            self.security.on_refresh_range(index, start, stop)
 
     def alert_requested(self) -> bool:
         return self._alert and self._acts_since_rfm > 0
@@ -64,6 +69,8 @@ class PRACMoatPolicy(MitigationPolicy):
         """All banks of the sub-channel mitigate their tracked row."""
         self.stats.alerts += 1
         self.stats.alerts_mitigation += 1
+        if self._acts_since_rfm > 0:  # first RFM of this ALERT episode
+            self.security.on_rfm(self.stats.activations)
         for bank in range(self.state.banks):
             tracker = self.state.tracker(bank)
             if tracker.valid and tracker.value >= self.eth:

@@ -25,6 +25,7 @@ from ..dram.timing import TimingSet, ddr5_prac
 from ..security.moat_model import moat_ath, moat_eth
 from .base import EpisodeDecision, MitigationPolicy
 from .prac_state import PRACCounters, RefreshSchedule
+from .security import SecurityTelemetry
 
 #: Default per-bank priority-queue capacity.
 DEFAULT_QUEUE_SIZE = 8
@@ -50,6 +51,7 @@ class QPRACPolicy(MitigationPolicy):
         self.state = PRACCounters(banks, rows)
         self.refresh_schedules = [RefreshSchedule(rows, refresh_groups)
                                   for _ in range(banks)]
+        self.security = SecurityTelemetry(banks, rows)
         self.queue_size = queue_size
         # per-bank max-heaps of (-value, row); membership via sets
         self._heaps: list[list[tuple[int, int]]] = [[] for _ in range(banks)]
@@ -62,6 +64,7 @@ class QPRACPolicy(MitigationPolicy):
     def on_activate(self, bank: int, row: int, now: int) -> EpisodeDecision:
         self.stats.activations += 1
         self._acts_since_rfm += 1
+        self.security.on_activate(bank, row)
         return self._cu_decision
 
     def on_precharge(self, bank: int, row: int, now: int,
@@ -70,6 +73,7 @@ class QPRACPolicy(MitigationPolicy):
             return
         self.stats.counter_updates += 1
         value = self.state.update(bank, row, 1)
+        self.security.on_counter_update(bank, row, value)
         if value >= self.eth:
             self._enqueue(bank, row, value)
         if value >= self.ath:
@@ -89,6 +93,7 @@ class QPRACPolicy(MitigationPolicy):
         for index in banks:
             start, stop = self.refresh_schedules[index].advance()
             self.state.refresh_rows(index, start, stop)
+            self.security.on_refresh_range(index, start, stop)
             if self._service_queue(index, now):
                 self.proactive_mitigations += 1
 
@@ -124,6 +129,8 @@ class QPRACPolicy(MitigationPolicy):
         """Backstop: mitigate every bank's hottest row under ABO."""
         self.stats.alerts += 1
         self.stats.alerts_mitigation += 1
+        if self._acts_since_rfm > 0:  # first RFM of this ALERT episode
+            self.security.on_rfm(self.stats.activations)
         for bank in range(self.state.banks):
             tracker = self.state.tracker(bank)
             if tracker.valid and tracker.value >= self.eth:

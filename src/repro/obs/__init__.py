@@ -20,10 +20,16 @@ from the live dataclasses the simulator already maintains, and nothing
 perturbs simulation behaviour or RNG streams.
 """
 
+from .exposition import parse_prometheus, to_prometheus
 from .log import configure as configure_logging
 from .log import get_logger
 from .profiler import PhaseProfiler
 from .registry import Counter, Gauge, Histogram, StatsRegistry
+from .spans import Span, SpanTracer, current_span, current_tracer
+from .spans import install as install_spans
+from .spans import span
+from .spans import uninstall as uninstall_spans
+from .timeseries import Series, SeriesBoard
 from .tracer import EventTracer, TraceEvent, merge_events
 
 __all__ = [
@@ -32,9 +38,20 @@ __all__ = [
     "Gauge",
     "Histogram",
     "PhaseProfiler",
+    "Series",
+    "SeriesBoard",
+    "Span",
+    "SpanTracer",
     "StatsRegistry",
     "TraceEvent",
     "configure_logging",
+    "current_span",
+    "current_tracer",
     "get_logger",
+    "install_spans",
     "merge_events",
+    "parse_prometheus",
+    "span",
+    "to_prometheus",
+    "uninstall_spans",
 ]

@@ -87,12 +87,26 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> Number:
-        """Upper bucket edge containing the ``p``-quantile (0 < p <= 1)."""
+        """Upper bucket edge containing the ``p``-quantile.
+
+        Pinned edge behaviour (tests/obs/test_registry.py):
+
+        * ``p`` outside ``[0, 1]`` raises :class:`ValueError`;
+        * an empty histogram returns 0 for any valid ``p``;
+        * ``p == 0`` returns the first *non-empty* bucket's edge (the
+          minimum observation's bucket), not ``bounds[0]``;
+        * ``p == 1`` returns the last non-empty bucket's edge;
+        * ranks landing in the overflow bucket clamp to ``bounds[-1]``.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"percentile p must be in [0, 1], got {p!r}")
         if not self.count:
             return 0
         rank = p * self.count
         cumulative = 0
         for index, bucket in enumerate(self.counts):
+            if not bucket:
+                continue  # empty buckets never satisfy a rank
             cumulative += bucket
             if cumulative >= rank:
                 return self.bounds[min(index, len(self.bounds) - 1)]

@@ -13,6 +13,15 @@ guaranteed):
    counts equal the memory controllers' counters exactly, and the
    exported Chrome trace document is well-formed JSON with one record
    per buffered event.
+4. **Spans** — installing a :class:`~repro.obs.spans.SpanTracer`
+   perturbs nothing either (same IPCs, same stats snapshot), the span
+   *structure* (ids, names, parent links) is deterministic across runs
+   and across the reference/fast engines, and the Chrome-trace export
+   round-trips.
+5. **Daemon metrics** (skipped with ``--no-serve``) — a short-lived
+   ``repro.serve`` daemon answers ``GET /metrics`` with parseable
+   Prometheus text and buffers a ``serve.job`` span tree for a
+   submitted job.
 
 Exit status 0 on success; 1 with a diagnostic otherwise. CI runs this
 via ``make obs-smoke``.
@@ -25,6 +34,8 @@ import json
 import tempfile
 
 from ..obs.log import configure, get_logger
+from ..obs.spans import SpanTracer, install as install_spans, \
+    uninstall as uninstall_spans
 from ..obs.tracer import EventTracer
 
 log = get_logger("repro.obs.selfcheck")
@@ -86,7 +97,110 @@ def run_selfcheck() -> int:
         return 1
     log.info("chrome trace export: %d events, %d dropped", written,
              tracer.dropped)
+
+    if check_spans(point, first) != 0:
+        return 1
+
     log.info("OK: observability self-check passed")
+    return 0
+
+
+def _span_structure(spans: SpanTracer) -> list[tuple[int, int | None, str]]:
+    return [(record.span_id, record.parent_id, record.name)
+            for record in spans.spans()]
+
+
+def check_spans(point, baseline) -> int:
+    """Step 4: span tracing is zero-perturbation and deterministic."""
+    from ..sim.runner import run_point
+
+    structures = {}
+    for engine in ("reference", "fast"):
+        spans = SpanTracer()
+        token = install_spans(spans)
+        try:
+            result = run_point(point, engine=engine)
+        finally:
+            uninstall_spans(token)
+        if result.ipcs != baseline.ipcs or result.stats != baseline.stats:
+            log.error("FAIL: installing the span tracer perturbed the "
+                      "%s-engine simulation", engine)
+            return 1
+        if not spans.spans("sim.run"):
+            log.error("FAIL: no sim.run span recorded (%s engine)",
+                      engine)
+            return 1
+        structures[engine] = _span_structure(spans)
+    if structures["reference"] != structures["fast"]:
+        log.error("FAIL: span structure differs between engines: "
+                  "%s vs %s", structures["reference"][:5],
+                  structures["fast"][:5])
+        return 1
+
+    # same engine twice: structure (not timestamps) must be identical
+    spans = SpanTracer()
+    token = install_spans(spans)
+    try:
+        run_point(point)
+    finally:
+        uninstall_spans(token)
+    if _span_structure(spans) != structures["reference"]:
+        log.error("FAIL: span structure not deterministic across runs")
+        return 1
+
+    with tempfile.NamedTemporaryFile("w+", suffix=".json") as handle:
+        written = spans.to_chrome_trace(handle)
+        handle.seek(0)
+        document = json.load(handle)
+    # one metadata record precedes the span events
+    if len(document["traceEvents"]) != written \
+            or written != len(spans.spans()) + 1:
+        log.error("FAIL: span Chrome-trace export lost records")
+        return 1
+    log.info("spans: zero perturbation, %d-span structure identical "
+             "across engines and runs", len(spans.spans()))
+    return 0
+
+
+def check_serve_metrics() -> int:
+    """Step 5: a live daemon serves Prometheus metrics and spans."""
+    import pathlib
+
+    from ..obs.exposition import parse_prometheus
+    from ..serve import smoke
+    from ..serve.client import ServeClient
+
+    with tempfile.TemporaryDirectory(prefix="repro-obs-serve-") as root:
+        state = pathlib.Path(root) / "state"
+        address = f"unix:{pathlib.Path(root) / 'serve.sock'}"
+        process = smoke.start_server(state, address, workers=2,
+                                     max_jobs=2, drain_s=2.0)
+        try:
+            client = ServeClient(address)
+            client.wait_ready()
+            job_id = client.submit(smoke.smoke_points()[:2])
+            client.wait(job_id, timeout_s=240.0)
+
+            content_type, text = client.metrics_text()
+            if "version=0.0.4" not in content_type:
+                log.error("FAIL: /metrics content type %r is not the "
+                          "Prometheus 0.0.4 exposition", content_type)
+                return 1
+            parsed = parse_prometheus(text)
+            if parsed.get("repro_serve_jobs_completed", 0) < 1:
+                log.error("FAIL: /metrics reports no completed jobs: %r",
+                          {k: v for k, v in parsed.items()
+                           if "jobs" in k})
+                return 1
+            spans = client.spans(name="serve.job")["spans"]
+            if not any(s["attrs"].get("job_id") == job_id
+                       for s in spans):
+                log.error("FAIL: no serve.job span for %s", job_id)
+                return 1
+        finally:
+            smoke.stop_server(process)
+    log.info("daemon metrics: /metrics parses (%d samples) and the "
+             "job span tree is buffered", len(parsed))
     return 0
 
 
@@ -95,9 +209,15 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro.obs.selfcheck", description=__doc__.splitlines()[0])
     parser.add_argument("--quiet", action="store_true",
                         help="only report failures")
+    parser.add_argument("--no-serve", action="store_true",
+                        help="skip the live-daemon /metrics scrape "
+                             "(steps 1-4 only)")
     args = parser.parse_args(argv)
     configure("warning" if args.quiet else None)
-    return run_selfcheck()
+    status = run_selfcheck()
+    if status == 0 and not args.no_serve:
+        status = check_serve_metrics()
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,95 @@
+"""Fixed-interval ring-buffer time series for daemon health signals.
+
+A :class:`Series` is a bounded ring of float samples taken at a fixed
+cadence; a :class:`SeriesBoard` owns a set of named series plus the
+callables that produce their instantaneous values, and appends one
+sample to every series per :meth:`SeriesBoard.sample` call. The serve
+daemon runs a sampler task that calls ``sample()`` every
+``interval_s`` and serves the rings from ``GET /metrics`` (see
+``docs/observability.md``); ``python -m repro.obs.top`` renders them.
+
+Like the rest of :mod:`repro.obs`, this is pull-based and passive: a
+board that is never sampled costs nothing, and sampling reads the same
+live counters/gauges the ``/stats`` snapshot uses — no simulation
+state is touched.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Callable
+
+#: Default ring length: 10 minutes of history at a 1 s cadence.
+DEFAULT_CAPACITY = 600
+
+
+class Series:
+    """One named metric's bounded sample ring."""
+
+    __slots__ = ("name", "capacity", "_ring", "samples")
+
+    def __init__(self, name: str, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._ring: collections.deque[float] = \
+            collections.deque(maxlen=capacity)
+        #: total samples ever appended (>= len() once the ring wraps)
+        self.samples = 0
+
+    def append(self, value: float) -> None:
+        self._ring.append(float(value))
+        self.samples += 1
+
+    def values(self) -> list[float]:
+        """Buffered samples, oldest first."""
+        return list(self._ring)
+
+    def latest(self) -> float | None:
+        return self._ring[-1] if self._ring else None
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class SeriesBoard:
+    """Named series sampled together at one fixed cadence."""
+
+    def __init__(self, interval_s: float = 1.0,
+                 capacity: int = DEFAULT_CAPACITY):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.interval_s = interval_s
+        self.capacity = capacity
+        self._series: dict[str, tuple[Series, Callable[[], float]]] = {}
+
+    def register(self, name: str, fn: Callable[[], float]) -> Series:
+        """Add a series fed by ``fn`` at every :meth:`sample`."""
+        if name in self._series:
+            raise ValueError(f"series {name!r} already registered")
+        series = Series(name, self.capacity)
+        self._series[name] = (series, fn)
+        return series
+
+    def sample(self) -> None:
+        """Append one sample to every registered series."""
+        for series, fn in self._series.values():
+            series.append(fn())
+
+    def series(self, name: str) -> Series:
+        return self._series[name][0]
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON document served from ``GET /metrics?format=json``."""
+        return {
+            "interval_s": self.interval_s,
+            "capacity": self.capacity,
+            "series": {name: {
+                "samples": entry[0].samples,
+                "values": entry[0].values(),
+            } for name, entry in sorted(self._series.items())},
+        }

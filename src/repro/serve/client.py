@@ -81,6 +81,14 @@ class ServeClient:
         Raises ``OSError``/``http.client.HTTPException`` subclasses on
         transport failures (server down, socket missing, mid-restart).
         """
+        status, _, raw = self.request_raw(method, path, body)
+        return status, json.loads(raw) if raw else {}
+
+    def request_raw(self, method: str, path: str,
+                    body: Any | None = None) -> tuple[int, str, bytes]:
+        """One round trip without decoding; returns
+        ``(status, content_type, raw_body)`` — for non-JSON endpoints
+        such as the Prometheus ``/metrics`` exposition."""
         if self.kind == "unix":
             conn: http.client.HTTPConnection = _UnixHTTPConnection(
                 self.target, self.timeout_s)
@@ -97,8 +105,8 @@ class ServeClient:
             conn.request(method, path, body=payload, headers=headers)
             response = conn.getresponse()
             raw = response.read()
-            document = json.loads(raw) if raw else {}
-            return response.status, document
+            content_type = response.getheader("Content-Type", "")
+            return response.status, content_type, raw
         finally:
             conn.close()
 
@@ -115,6 +123,22 @@ class ServeClient:
 
     def stats(self) -> dict[str, Any]:
         return self._call("GET", "/stats")
+
+    def metrics(self) -> dict[str, Any]:
+        """Stats snapshot plus sampled time-series (JSON format)."""
+        return self._call("GET", "/metrics?format=json")
+
+    def metrics_text(self) -> tuple[str, str]:
+        """Prometheus exposition; returns ``(content_type, text)``."""
+        status, content_type, raw = self.request_raw("GET", "/metrics")
+        if status >= 400:
+            raise ServeError(status, raw.decode("utf-8", "replace"))
+        return content_type, raw.decode("utf-8")
+
+    def spans(self, name: str | None = None) -> dict[str, Any]:
+        """Buffered lifecycle spans, optionally filtered by name."""
+        path = "/spans" if name is None else f"/spans?name={name}"
+        return self._call("GET", path)
 
     def submit(self, points: list[Any], priority: int = 0,
                timeout_s: float | None = None) -> str:

@@ -35,6 +35,7 @@ from ..exec.cache import ResultCache, point_key
 from ..exec.engine import _simulate_point, default_workers
 from ..obs.log import get_logger
 from ..obs.registry import StatsRegistry
+from ..obs.spans import span
 
 log = get_logger(__name__)
 
@@ -100,22 +101,29 @@ class PointRunner:
     # ------------------------------------------------------------------
     async def resolve(self, point: Any) -> Any:
         """Resolve one design point (cache -> in-flight -> simulate)."""
+        key = point_key(point)
+        with span("serve.point", key=key, workload=point.workload,
+                  design=point.design):
+            return await self._resolve(point, key)
+
+    async def _resolve(self, point: Any, key: str) -> Any:
         self._c_requested.inc()
         if self.cache is not None:
-            result = self.cache.get(point)
+            with span("serve.cache_lookup", key=key):
+                result = self.cache.get(point)
             if result is not None:
                 self._c_cache_hits.inc()
                 return result
             self._c_cache_misses.inc()
-        key = point_key(point)
         task = self._inflight.get(key)
         if task is not None:
             self._c_dedup.inc()
-        else:
-            task = asyncio.ensure_future(self._execute(point))
-            self._inflight[key] = task
-            task.add_done_callback(
-                lambda done, k=key: self._retire(k, done))
+            with span("serve.dedup_wait", key=key):
+                return await asyncio.shield(task)
+        task = asyncio.ensure_future(self._execute(point, key))
+        self._inflight[key] = task
+        task.add_done_callback(
+            lambda done, k=key: self._retire(k, done))
         # shield: cancelling THIS caller (job timeout/cancel) must not
         # kill an execution other jobs may be sharing
         return await asyncio.shield(task)
@@ -128,7 +136,7 @@ class PointRunner:
             # waiters still observe it through the shield
             pass
 
-    async def _execute(self, point: Any) -> Any:
+    async def _execute(self, point: Any, key: str) -> Any:
         loop = asyncio.get_running_loop()
         async with self._sem:
             attempt = 0
@@ -138,8 +146,9 @@ class PointRunner:
                     if self._executor is None:
                         self._executor = self._executor_factory(self.workers)
                     try:
-                        result, wall = await loop.run_in_executor(
-                            self._executor, self._simulate, point)
+                        with span("serve.simulate", key=key):
+                            result, wall = await loop.run_in_executor(
+                                self._executor, self._simulate, point)
                         break
                     except BrokenExecutor as error:
                         self._c_restarts.inc()
@@ -152,8 +161,8 @@ class PointRunner:
                         attempt += 1
                         self._c_retries.inc()
                         delay = self.retry_backoff_s * (2 ** (attempt - 1))
-                        log.warning("worker crashed on %s; retry %d/%d "
-                                    "in %.2fs", point, attempt,
+                        log.warning("worker crashed on %s key=%s; retry "
+                                    "%d/%d in %.2fs", point, key, attempt,
                                     self.max_retries, delay)
                         await asyncio.sleep(delay)
                     except Exception as error:
@@ -167,8 +176,21 @@ class PointRunner:
         self._c_simulated.inc()
         self._h_wall.observe(wall * 1000.0)
         if self.cache is not None:
-            self.cache.put(point, result)
+            with span("serve.cache_write", key=key):
+                self.cache.put(point, result)
         return result
+
+    def gauges(self) -> dict[str, float]:
+        """Live values for the daemon's time-series sampler."""
+        return {
+            "inflight_points": len(self._inflight),
+            "running_points": self._running,
+            "dedup_hits": self._c_dedup.value,
+            "cache_hits": self._c_cache_hits.value,
+            "cache_misses": self._c_cache_misses.value,
+            "points_simulated": self._c_simulated.value,
+            "points_requested": self._c_requested.value,
+        }
 
     def _rebuild_executor(self) -> None:
         executor, self._executor = self._executor, None

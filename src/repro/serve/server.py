@@ -36,16 +36,20 @@ import signal
 import time
 from typing import Any, Callable
 
-from ..exec.cache import CACHE_DIR_ENV, ResultCache
+from ..exec.cache import CACHE_DIR_ENV, ResultCache, point_key
 from ..exec.serialize import result_to_dict
+from ..obs.exposition import CONTENT_TYPE, to_prometheus
 from ..obs.log import get_logger
 from ..obs.registry import StatsRegistry
+from ..obs.spans import (Span, SpanTracer, install as install_spans, span,
+                         uninstall as uninstall_spans)
+from ..obs.timeseries import SeriesBoard
 from ..sim.runner import DesignPoint
 from .jobs import (CANCELLED, DONE, FAILED, QUEUED, RUNNING, Job, Journal,
                    make_job, next_job_id)
 from .pool import PointFailed, PointRunner
 from .protocol import (ProtocolError, Request, error_bytes, parse_address,
-                       read_request, response_bytes)
+                       read_request, response_bytes, text_bytes)
 
 log = get_logger(__name__)
 
@@ -55,6 +59,32 @@ JOB_LATENCY_MS_BOUNDS = (10, 50, 100, 500, 1_000, 5_000, 30_000, 300_000)
 
 def default_socket(state_dir: pathlib.Path) -> str:
     return f"unix:{state_dir / 'serve.sock'}"
+
+
+def _rate(fn: Callable[[], float], interval_s: float) -> Callable[[], float]:
+    """Turn a cumulative counter reader into a per-second rate sampler."""
+    last: list[float | None] = [None]
+
+    def sample() -> float:
+        value = fn()
+        previous, last[0] = last[0], value
+        if previous is None:
+            return 0.0
+        return (value - previous) / interval_s
+    return sample
+
+
+def _key_summary(job: Job, limit: int = 3) -> str:
+    """First few cache keys of a job's points, for log lines.
+
+    Keys are truncated to 12 hex characters — enough to grep the full
+    key out of ``/spans`` or the cache directory, short enough to keep
+    multi-point lifecycle lines readable.
+    """
+    keys = [point_key(point)[:12] for point in job.points[:limit]]
+    extra = len(job.points) - len(keys)
+    summary = ",".join(keys)
+    return f"{summary}+{extra}" if extra > 0 else summary
 
 
 class ServeServer:
@@ -69,7 +99,8 @@ class ServeServer:
                  cache: Any = "auto",
                  simulate_fn: Callable[[Any], tuple[Any, float]] | None = None,
                  executor_factory: Callable[[int], Any] | None = None,
-                 encoder: Callable[[Any], dict] = result_to_dict):
+                 encoder: Callable[[Any], dict] = result_to_dict,
+                 metrics_interval_s: float = 1.0):
         self.state_dir = pathlib.Path(state_dir)
         self.state_dir.mkdir(parents=True, exist_ok=True)
         self.address = address or default_socket(self.state_dir)
@@ -109,6 +140,18 @@ class ServeServer:
             "draining": int(self._draining),
         })
 
+        #: wall-clock span tracer covering the whole job lifecycle;
+        #: installed into the event loop's context by :meth:`run`
+        self.spans = SpanTracer()
+        self._job_spans: dict[str, Span] = {}
+        self._queued_ns: dict[str, int] = {}
+        if metrics_interval_s <= 0:
+            raise ValueError("metrics_interval_s must be positive")
+        self.metrics_interval_s = metrics_interval_s
+        self.board = SeriesBoard(interval_s=metrics_interval_s)
+        self._register_series()
+        self._sampler: asyncio.Task | None = None
+
         self._jobs: dict[str, Job] = {}
         self._heap: list[tuple[int, int, str]] = []
         self._seq = itertools.count()
@@ -123,6 +166,58 @@ class ServeServer:
         self.journal: Journal | None = None
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _register_series(self) -> None:
+        board = self.board
+        board.register("serve.queue_depth", self.queue_depth)
+        board.register("serve.jobs_running",
+                       lambda: sum(1 for j in self._jobs.values()
+                                   if j.state == RUNNING))
+        board.register("serve.jobs_completed",
+                       lambda: self._c_completed.value)
+        board.register("serve.jobs_per_s",
+                       _rate(lambda: self._c_completed.value,
+                             self.metrics_interval_s))
+        board.register("serve.job_latency_p50_ms",
+                       lambda: self._h_latency.percentile(0.5))
+        board.register("serve.job_latency_p99_ms",
+                       lambda: self._h_latency.percentile(0.99))
+        for name in ("inflight_points", "running_points", "dedup_hits",
+                     "cache_hits", "cache_misses", "points_simulated"):
+            board.register(f"serve.pool.{name}",
+                           lambda key=name: self.runner.gauges()[key])
+        board.register("serve.pool.cache_hit_rate", self._cache_hit_rate)
+        board.register("serve.pool.points_per_s",
+                       _rate(self._points_resolved,
+                             self.metrics_interval_s))
+
+    def _cache_hit_rate(self) -> float:
+        gauges = self.runner.gauges()
+        total = gauges["cache_hits"] + gauges["cache_misses"]
+        return gauges["cache_hits"] / total if total else 0.0
+
+    def _points_resolved(self) -> float:
+        gauges = self.runner.gauges()
+        return (gauges["points_simulated"] + gauges["cache_hits"]
+                + gauges["dedup_hits"])
+
+    async def _sample_loop(self) -> None:
+        while True:
+            self.board.sample()
+            await asyncio.sleep(self.metrics_interval_s)
+
+    def _begin_job_span(self, job: Job) -> Span:
+        """Root span of a job's lifecycle tree (lazy for resumed jobs)."""
+        root = self._job_spans.get(job.id)
+        if root is None:
+            root = self.spans.begin("serve.job", job_id=job.id,
+                                    points=len(job.points),
+                                    priority=job.priority)
+            self._job_spans[job.id] = root
+        return root
+
+    # ------------------------------------------------------------------
     # Queue
     # ------------------------------------------------------------------
     def queue_depth(self) -> int:
@@ -130,6 +225,7 @@ class ServeServer:
 
     def _enqueue(self, job: Job) -> None:
         self._jobs[job.id] = job
+        self._queued_ns.setdefault(job.id, time.perf_counter_ns())
         heapq.heappush(self._heap, (-job.priority, next(self._seq), job.id))
         self._queue_event.set()
 
@@ -146,6 +242,10 @@ class ServeServer:
     # ------------------------------------------------------------------
     async def run(self, on_ready: Callable[[], None] | None = None) -> int:
         """Serve until drained. Returns 0 on a clean shutdown."""
+        # install before any task is spawned: dispatcher and job tasks
+        # copy this context, so spans opened anywhere in the execution
+        # path (pool, cache) attach to the server's tracer
+        spans_token = install_spans(self.spans)
         pending = Journal.load(self.journal_path)
         self._counter = next_job_id([job.id for job in pending])
         Journal.compact(self.journal_path, pending)
@@ -166,6 +266,7 @@ class ServeServer:
                 self._handle, host=host, port=port)
         self._install_signal_handlers()
         dispatcher = asyncio.ensure_future(self._dispatch())
+        self._sampler = asyncio.ensure_future(self._sample_loop())
         log.info("serving on %s (workers=%d, max_jobs=%d, cache=%s)",
                  self.address, self.runner.workers, self.max_jobs,
                  self.cache.directory)
@@ -175,7 +276,9 @@ class ServeServer:
             await self._done.wait()
         finally:
             dispatcher.cancel()
+            self._sampler.cancel()
             self._remove_signal_handlers()
+            uninstall_spans(spans_token)
         log.info("shut down cleanly (%d job(s) left journaled)",
                  self.queue_depth())
         return 0
@@ -254,6 +357,12 @@ class ServeServer:
             # for a while, and the loop above must not see this job as
             # still queued (it would busy-spin on an empty heap)
             job.state = RUNNING
+            root = self._begin_job_span(job)
+            queued_ns = self._queued_ns.pop(job.id, None)
+            if queued_ns is not None:
+                self.spans.record("serve.queue", queued_ns,
+                                  time.perf_counter_ns(),
+                                  parent_id=root.span_id, job_id=job.id)
             task = asyncio.ensure_future(self._run_job(job))
             self._tasks[job.id] = task
             task.add_done_callback(
@@ -266,23 +375,28 @@ class ServeServer:
     async def _run_job(self, job: Job) -> None:
         job.state = RUNNING
         job.started_s = time.time()
-        log.info("%s: running %d point(s) (priority %d)", job.id,
-                 len(job.points), job.priority)
+        log.info("job_id=%s: running %d point(s) (priority %d) keys=%s",
+                 job.id, len(job.points), job.priority, _key_summary(job))
         try:
-            gathered = asyncio.gather(
-                *(self.runner.resolve(point) for point in job.points))
-            if job.timeout_s is not None:
-                results = await asyncio.wait_for(gathered, job.timeout_s)
-            else:
-                results = await gathered
+            # entered before gather creates the point tasks, so every
+            # serve.point span below lands inside this job's tree
+            with span("serve.execute", parent=self._begin_job_span(job),
+                      job_id=job.id):
+                gathered = asyncio.gather(
+                    *(self.runner.resolve(point) for point in job.points))
+                if job.timeout_s is not None:
+                    results = await asyncio.wait_for(gathered,
+                                                     job.timeout_s)
+                else:
+                    results = await gathered
         except asyncio.CancelledError:
             if self._draining:
                 # drain: leave the submission journaled (no terminal
                 # record) so the next server resumes it
                 job.state = QUEUED
                 job.started_s = None
-                log.info("%s: interrupted by drain; left journaled",
-                         job.id)
+                log.info("job_id=%s: interrupted by drain; left "
+                         "journaled keys=%s", job.id, _key_summary(job))
             else:
                 self._finish(job, CANCELLED)
         except asyncio.TimeoutError:
@@ -309,8 +423,13 @@ class ServeServer:
         counter = {DONE: self._c_completed, FAILED: self._c_failed,
                    CANCELLED: self._c_cancelled}[state]
         counter.inc()
-        log.info("%s: %s%s", job.id, state,
-                 f" ({error})" if error else "")
+        root = self._job_spans.pop(job.id, None)
+        if root is not None:
+            root.attrs["state"] = state
+            self.spans.end(root)
+        self._queued_ns.pop(job.id, None)
+        log.info("job_id=%s: %s%s keys=%s", job.id, state,
+                 f" ({error})" if error else "", _key_summary(job))
 
     # ------------------------------------------------------------------
     # API
@@ -347,6 +466,10 @@ class ServeServer:
             })
         if path == "/stats":
             return response_bytes(200, self.registry.snapshot())
+        if path == "/metrics":
+            return self._metrics(request)
+        if path == "/spans":
+            return self._spans(request)
         if path == "/status":
             return self._status(request)
         if path == "/result":
@@ -361,6 +484,26 @@ class ServeServer:
             self.request_drain()
             return response_bytes(202, {"draining": True})
         return error_bytes(404, f"unknown endpoint {path}")
+
+    def _metrics(self, request: Request) -> bytes:
+        """Live metrics: Prometheus text by default, ``?format=json``
+        additionally carries the sampled time-series rings."""
+        fmt = request.query.get("format", "prometheus")
+        snapshot = self.registry.snapshot()
+        if fmt == "json":
+            return response_bytes(200, {"stats": snapshot,
+                                        "series": self.board.as_dict()})
+        if fmt != "prometheus":
+            return error_bytes(400, f"unknown metrics format {fmt!r}")
+        return text_bytes(200, to_prometheus(snapshot), CONTENT_TYPE)
+
+    def _spans(self, request: Request) -> bytes:
+        name = request.query.get("name")
+        records = self.spans.spans(name)
+        return response_bytes(200, {
+            "dropped": self.spans.dropped,
+            "spans": [record.as_dict() for record in records],
+        })
 
     def _submit(self, body: Any) -> bytes:
         if self._draining:
@@ -387,13 +530,18 @@ class ServeServer:
         job = make_job(self._counter, points, priority=priority,
                        timeout_s=timeout_s)
         self._counter += 1
+        root = self._begin_job_span(job)
+        submit_ns = time.perf_counter_ns()
         # durable before the client learns the id: a crash after this
         # line re-runs the job, never loses it
         self.journal.record_submit(job)
         self._enqueue(job)
+        self.spans.record("serve.submit", submit_ns,
+                          time.perf_counter_ns(),
+                          parent_id=root.span_id, job_id=job.id)
         self._c_submitted.inc()
-        log.info("%s: accepted %d point(s) (priority %d)", job.id,
-                 len(points), priority)
+        log.info("job_id=%s: accepted %d point(s) (priority %d) keys=%s",
+                 job.id, len(points), priority, _key_summary(job))
         return response_bytes(200, job.public())
 
     def _status(self, request: Request) -> bytes:

@@ -40,6 +40,7 @@ from ..mitigations.mopac_d import MoPACDPolicy
 from ..mitigations.prac import BaselinePolicy, PRACMoatPolicy
 from ..obs.log import get_logger
 from ..obs.profiler import PhaseProfiler
+from ..obs.spans import span
 from ..obs.tracer import EventTracer
 from ..workloads.catalog import workload_cores
 from ..workloads.synthetic import TraceGenerator
@@ -241,13 +242,15 @@ def run_point(point: DesignPoint,
     system_cls = resolve_engine(engine)
     log.debug("run_point %s.%s.t%d", point.workload, point.design,
               point.trh)
-    with profiler.phase("tracegen"):
+    with profiler.phase("tracegen"), span("sim.tracegen",
+                                          workload=point.workload):
         config = build_config(point)
         specs = workload_cores(point.workload, config.cores)
         windows = [round(config.rob_entries * spec.mlp_boost)
                    for spec in specs]
         traces = build_traces(point, config)
-    with profiler.phase("warmup"):
+    with profiler.phase("warmup"), span("sim.warmup",
+                                        design=point.design):
         system = system_cls(
             config=config,
             policy_factory=make_policy_factory(point, config),
@@ -259,7 +262,8 @@ def run_point(point: DesignPoint,
             refresh_mode=point.refresh_mode,
             tracer=tracer,
         )
-    with profiler.phase("sim"):
+    with profiler.phase("sim"), span("sim.run", workload=point.workload,
+                                     design=point.design, trh=point.trh):
         result = system.run()
     result.phases = profiler.snapshot()
     return result

@@ -114,6 +114,40 @@ class TestAuditorHasTeeth:
         assert auditor.counts[0][8:].all()
 
 
+class TestDriftTelemetry:
+    """Exact designs must track truth perfectly; sampled designs may
+    drift but only within the configured bound."""
+
+    def test_exact_designs_have_zero_drift(self):
+        report = run_differential(**FAST, seed=0xD1FF)
+        for outcome in report.outcomes:
+            if outcome.design in ("prac", "qprac"):
+                assert outcome.drift_max == 0, outcome.design
+                assert outcome.drift_total == 0, outcome.design
+
+    def test_sampled_designs_drift_but_stay_bounded(self):
+        report = run_differential(**FAST, seed=0xD1FF)
+        sampled = [o for o in report.outcomes
+                   if o.design in ("mopac-c", "mopac-d")]
+        assert sampled
+        for outcome in sampled:
+            assert outcome.drift_total > 0, outcome.design
+            assert outcome.drift_max <= FAST["trh"], outcome.design
+        assert report.ok, report.describe()
+
+    def test_tiny_drift_bound_surfaces_as_failure(self):
+        report = run_differential(**FAST, seed=0xD1FF, drift_bound=0,
+                                  designs=("mopac-c",))
+        assert not report.ok
+        assert any("drift" in failure for failure in report.failures)
+
+    def test_drift_appears_in_describe(self):
+        report = run_differential(trh=500, activations=10_000, banks=2,
+                                  rows=128, refresh_groups=16, seed=3,
+                                  designs=("prac",))
+        assert "drift_max=0" in report.describe()
+
+
 class TestReportShape:
     def test_failure_is_reported_not_raised(self):
         # an undersized threshold makes MoPAC-C's sampling insufficient

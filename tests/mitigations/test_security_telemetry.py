@@ -1,0 +1,113 @@
+"""Mitigation security telemetry: drift, disturbance, cadence, rates."""
+
+import pytest
+
+from repro.mitigations.base import PolicyStats
+from repro.mitigations.prac import PRACMoatPolicy
+from repro.mitigations.prac_state import BLAST_RADIUS
+from repro.mitigations.security import SecurityTelemetry
+
+GEO = dict(banks=2, rows=64)
+
+
+class TestShadowTruth:
+    def test_activations_accumulate(self):
+        telemetry = SecurityTelemetry(**GEO)
+        for _ in range(5):
+            telemetry.on_activate(0, 10)
+        assert telemetry.true_count(0, 10) == 5
+        assert telemetry.true_count(1, 10) == 0
+
+    def test_refresh_range_clears_and_records_peak(self):
+        telemetry = SecurityTelemetry(**GEO)
+        for _ in range(7):
+            telemetry.on_activate(0, 3)
+        telemetry.on_refresh_range(0, 0, 8)
+        assert telemetry.true_count(0, 3) == 0
+        assert telemetry.max_disturbance(0) == 7
+
+    def test_mitigation_resets_aggressor_and_bumps_victims(self):
+        telemetry = SecurityTelemetry(**GEO)
+        for _ in range(9):
+            telemetry.on_activate(0, 10)
+        telemetry.on_mitigation(0, 10)
+        assert telemetry.true_count(0, 10) == 0
+        for offset in range(1, BLAST_RADIUS + 1):
+            assert telemetry.true_count(0, 10 - offset) == 1
+            assert telemetry.true_count(0, 10 + offset) == 1
+        assert telemetry.max_disturbance(0) == 9
+
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError):
+            SecurityTelemetry(banks=0, rows=8)
+        with pytest.raises(ValueError):
+            SecurityTelemetry(banks=1, rows=0)
+
+
+class TestDrift:
+    def test_exact_estimate_has_zero_drift(self):
+        telemetry = SecurityTelemetry(**GEO)
+        for n in range(1, 6):
+            telemetry.on_activate(0, 2)
+            telemetry.on_counter_update(0, 2, n)
+        assert telemetry.drift_max == 0
+        assert telemetry.drift_total == 0
+
+    def test_drift_measures_estimate_gap(self):
+        telemetry = SecurityTelemetry(**GEO)
+        for _ in range(8):
+            telemetry.on_activate(0, 2)
+        telemetry.on_counter_update(0, 2, 5)  # estimate lags by 3
+        telemetry.on_counter_update(0, 2, 10)  # overshoots by 2
+        assert telemetry.drift_max == 3
+        assert telemetry.drift_total == 5
+        assert telemetry.drift.count == 2
+
+
+class TestCadenceAndRates:
+    def test_rfm_cadence_gaps(self):
+        telemetry = SecurityTelemetry(**GEO)
+        telemetry.on_rfm(100)
+        telemetry.on_rfm(350)
+        assert telemetry.cadence.count == 2
+        # gaps: 100 (from zero) and 250
+        assert telemetry.cadence.total == 350
+
+    def test_as_dict_rates_and_gauges(self):
+        telemetry = SecurityTelemetry(**GEO)
+        for _ in range(4):
+            telemetry.on_activate(0, 1)
+        telemetry.on_counter_update(0, 1, 4)
+        stats = PolicyStats(activations=4, counter_updates=1,
+                            srq_insertions=2)
+        doc = telemetry.as_dict(stats)
+        assert doc["precu_rate"] == 0.25
+        assert doc["srq_insertion_rate"] == 0.5
+        assert doc["max_disturbance"] == 4
+        assert doc["bank"]["0"]["max_disturbance"] == 4
+        assert doc["bank"]["1"]["max_disturbance"] == 0
+
+
+class TestPolicyIntegration:
+    def test_prac_policy_publishes_security_stats(self):
+        policy = PRACMoatPolicy(500, banks=2, rows=64, refresh_groups=8)
+        for _ in range(6):
+            decision = policy.on_activate(0, 9, 0)
+            policy.on_precharge(0, 9, 0, decision.counter_update)
+        from repro.obs.registry import StatsRegistry
+        registry = StatsRegistry()
+        policy.register_stats(registry, "mitigation.0")
+        snap = registry.snapshot()
+        assert snap["mitigation.0.security.drift_max"] == 0
+        assert snap["mitigation.0.security.drift_total"] == 0
+        assert snap["mitigation.0.security.max_disturbance"] == 6
+        assert snap["mitigation.0.security.precu_rate"] == 1.0
+
+    def test_baseline_policy_has_no_security_family(self):
+        from repro.mitigations.prac import BaselinePolicy
+        from repro.obs.registry import StatsRegistry
+        policy = BaselinePolicy()
+        registry = StatsRegistry()
+        policy.register_stats(registry, "mitigation.0")
+        assert not any(".security." in key
+                       for key in registry.snapshot())

@@ -1,0 +1,61 @@
+"""Prometheus text exposition of stats snapshots."""
+
+import math
+
+import pytest
+
+from repro.obs.exposition import (CONTENT_TYPE, metric_name,
+                                  parse_prometheus, to_prometheus)
+
+
+class TestMetricName:
+    def test_dots_fold_to_underscores(self):
+        assert metric_name("serve.jobs_completed") == \
+            "repro_serve_jobs_completed"
+
+    def test_arbitrary_punctuation_folds(self):
+        assert metric_name("mc.0.bank-3/acts") == "repro_mc_0_bank_3_acts"
+
+    def test_custom_prefix(self):
+        assert metric_name("a.b", prefix="x_") == "x_a_b"
+
+
+class TestToPrometheus:
+    def test_types_and_values(self):
+        text = to_prometheus({"serve.queue_depth": 3,
+                              "serve.rate": 0.5})
+        lines = text.splitlines()
+        assert "# TYPE repro_serve_queue_depth gauge" in lines
+        assert "repro_serve_queue_depth 3" in lines
+        assert "repro_serve_rate 0.5" in lines
+        assert text.endswith("\n")
+
+    def test_keys_sorted(self):
+        text = to_prometheus({"z.last": 1, "a.first": 2})
+        samples = [line for line in text.splitlines()
+                   if not line.startswith("#")]
+        assert samples == ["repro_a_first 2", "repro_z_last 1"]
+
+    def test_special_floats(self):
+        text = to_prometheus({"x": math.nan, "y": math.inf})
+        assert "repro_x NaN" in text
+        assert "repro_y +Inf" in text
+
+    def test_content_type_is_prometheus_004(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestParsePrometheus:
+    def test_round_trip(self):
+        snapshot = {"serve.queue_depth": 3, "serve.rate": 0.25}
+        parsed = parse_prometheus(to_prometheus(snapshot))
+        assert parsed == {"repro_serve_queue_depth": 3.0,
+                          "repro_serve_rate": 0.25}
+
+    def test_comments_and_blanks_skipped(self):
+        parsed = parse_prometheus("# HELP x y\n\nm 1\n")
+        assert parsed == {"m": 1.0}
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("just-a-name\n")

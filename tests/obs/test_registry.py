@@ -58,6 +58,40 @@ class TestHistogram:
         assert hist.percentile(0.5) == 0
         assert hist.mean == 0.0
 
+    def test_empty_histogram_returns_zero_for_all_valid_p(self):
+        hist = Histogram([10, 20])
+        for p in (0.0, 0.25, 0.5, 1.0):
+            assert hist.percentile(p) == 0
+
+    def test_p_zero_returns_first_nonempty_bucket_edge(self):
+        hist = Histogram([10, 20, 30])
+        hist.observe(15)  # lands in the (10, 20] bucket
+        assert hist.percentile(0.0) == 20
+
+    def test_p_one_returns_last_nonempty_bucket_edge(self):
+        hist = Histogram([10, 20, 30])
+        hist.observe(5)
+        hist.observe(25)
+        assert hist.percentile(1.0) == 30
+
+    def test_p_one_clamps_overflow_to_top_bound(self):
+        hist = Histogram([10, 20])
+        hist.observe(9_999)  # overflow bucket
+        assert hist.percentile(1.0) == 20
+
+    def test_out_of_range_p_raises(self):
+        hist = Histogram([10])
+        hist.observe(1)
+        for p in (-0.01, 1.01, 2, -1):
+            with pytest.raises(ValueError, match="percentile"):
+                hist.percentile(p)
+
+    def test_boundary_p_values_accepted(self):
+        hist = Histogram([10])
+        hist.observe(1)
+        assert hist.percentile(0.0) == 10
+        assert hist.percentile(1.0) == 10
+
     def test_unsorted_bounds_rejected(self):
         with pytest.raises(ValueError):
             Histogram([20, 10])

@@ -1,0 +1,182 @@
+"""Span tracer: context propagation, determinism, export, zero cost."""
+
+import asyncio
+import io
+import json
+import itertools
+
+from repro.obs.spans import (SpanTracer, current_span, current_tracer,
+                             install, span, uninstall)
+from repro.obs.tracer import EventTracer
+
+
+class FakeClock:
+    """Deterministic nanosecond clock advancing by a fixed step."""
+
+    def __init__(self, step_ns=1_000):
+        self._ticks = itertools.count(0, step_ns)
+
+    def __call__(self):
+        return next(self._ticks)
+
+
+def make_tracer(**kwargs):
+    return SpanTracer(clock=FakeClock(), **kwargs)
+
+
+class TestSpanRecording:
+    def test_begin_end_duration(self):
+        tracer = make_tracer()
+        record = tracer.begin("work")
+        assert record.duration_ns == 0  # still open
+        tracer.end(record)
+        assert record.duration_ns == 1_000
+
+    def test_ids_are_sequential_from_one(self):
+        tracer = make_tracer()
+        ids = [tracer.begin(f"s{i}").span_id for i in range(3)]
+        assert ids == [1, 2, 3]
+
+    def test_ring_bounds_and_counts_drops(self):
+        tracer = make_tracer(capacity=2)
+        for i in range(5):
+            tracer.end(tracer.begin(f"s{i}"))
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        assert [s.name for s in tracer.spans()] == ["s3", "s4"]
+
+    def test_retroactive_record(self):
+        tracer = make_tracer()
+        record = tracer.record("queue", 100, 400, job_id="job-1")
+        assert record.duration_ns == 300
+        assert tracer.find(job_id="job-1") == [record]
+
+    def test_tree_reconstruction(self):
+        tracer = make_tracer()
+        root = tracer.begin("job")
+        child = tracer.begin("execute", parent_id=root.span_id)
+        tracer.begin("lookup", parent_id=child.span_id)
+        tree = tracer.tree(root)
+        assert tree["name"] == "job"
+        assert tree["children"][0]["name"] == "execute"
+        assert tree["children"][0]["children"][0]["name"] == "lookup"
+
+
+class TestContextPropagation:
+    def test_no_tracer_installed_is_noop(self):
+        assert current_tracer() is None
+        with span("anything", attr=1) as record:
+            assert record is None
+        assert current_span() is None
+
+    def test_nesting_builds_parent_links(self):
+        tracer = make_tracer()
+        token = install(tracer)
+        try:
+            with span("outer") as outer:
+                with span("inner") as inner:
+                    assert inner.parent_id == outer.span_id
+                    assert current_span() is inner
+                assert current_span() is outer
+        finally:
+            uninstall(token)
+        assert [s.name for s in tracer.spans()] == ["outer", "inner"]
+
+    def test_explicit_parent_override(self):
+        tracer = make_tracer()
+        token = install(tracer)
+        try:
+            root = tracer.begin("root")
+            with span("child", parent=root) as child:
+                assert child.parent_id == root.span_id
+            with span("orphan", parent=None) as orphan:
+                assert orphan.parent_id is None
+        finally:
+            uninstall(token)
+
+    def test_asyncio_tasks_inherit_active_span(self):
+        tracer = make_tracer()
+
+        async def leaf(name):
+            with span(name):
+                await asyncio.sleep(0)
+
+        async def main():
+            token = install(tracer)
+            try:
+                with span("job") as root:
+                    await asyncio.gather(leaf("a"), leaf("b"))
+                return root
+            finally:
+                uninstall(token)
+
+        root = asyncio.run(main())
+        parents = {s.name: s.parent_id for s in tracer.spans()}
+        assert parents["a"] == root.span_id
+        assert parents["b"] == root.span_id
+
+    def test_structure_is_deterministic_across_runs(self):
+        def run():
+            tracer = make_tracer()
+            token = install(tracer)
+            try:
+                with span("job"):
+                    with span("step", key="k"):
+                        pass
+                    with span("step", key="k2"):
+                        pass
+            finally:
+                uninstall(token)
+            return [(s.span_id, s.parent_id, s.name)
+                    for s in tracer.spans()]
+
+        assert run() == run()
+
+
+class TestExport:
+    def test_jsonl_round_trip(self):
+        tracer = make_tracer()
+        tracer.end(tracer.begin("a", job_id="j"))
+        buffer = io.StringIO()
+        assert tracer.to_jsonl(buffer) == 1
+        doc = json.loads(buffer.getvalue())
+        assert doc["name"] == "a"
+        assert doc["attrs"] == {"job_id": "j"}
+
+    def test_chrome_trace_tids_group_by_root(self):
+        tracer = make_tracer()
+        root = tracer.begin("job")
+        child = tracer.begin("execute", parent_id=root.span_id)
+        tracer.end(child)
+        tracer.end(root)
+        other = tracer.begin("job")
+        tracer.end(other)
+        buffer = io.StringIO()
+        tracer.to_chrome_trace(buffer)
+        doc = json.loads(buffer.getvalue())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        tids = {e["args"]["span_id"]: e["tid"] for e in events}
+        assert tids[root.span_id] == tids[child.span_id]
+        assert tids[other.span_id] != tids[root.span_id]
+
+    def test_chrome_trace_merges_dram_events(self):
+        spans_tracer = make_tracer()
+        spans_tracer.end(spans_tracer.begin("job"))
+        dram = EventTracer()
+        dram.record(1_000, "ACT", 0, 3, 42)
+        buffer = io.StringIO()
+        spans_tracer.to_chrome_trace(buffer, dram_tracer=dram)
+        doc = json.loads(buffer.getvalue())
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["pid"] == 1000
+        assert instants[0]["tid"] == 3
+
+    def test_open_span_exports_with_partial_duration(self):
+        tracer = make_tracer()
+        tracer.begin("open")
+        buffer = io.StringIO()
+        tracer.to_chrome_trace(buffer)
+        doc = json.loads(buffer.getvalue())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert events[0]["dur"] >= 0

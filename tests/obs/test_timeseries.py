@@ -1,0 +1,60 @@
+"""Fixed-interval ring-buffer series and the sampling board."""
+
+import pytest
+
+from repro.obs.timeseries import Series, SeriesBoard
+
+
+class TestSeries:
+    def test_append_and_values(self):
+        series = Series("q", capacity=4)
+        for value in (1, 2, 3):
+            series.append(value)
+        assert series.values() == [1.0, 2.0, 3.0]
+        assert series.latest() == 3.0
+        assert len(series) == 3
+
+    def test_ring_evicts_oldest(self):
+        series = Series("q", capacity=3)
+        for value in range(6):
+            series.append(value)
+        assert series.values() == [3.0, 4.0, 5.0]
+        assert series.samples == 6  # total ever, not buffered
+
+    def test_empty_latest_is_none(self):
+        assert Series("q", capacity=2).latest() is None
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Series("q", capacity=0)
+
+
+class TestSeriesBoard:
+    def test_sample_reads_every_registered_fn(self):
+        state = {"depth": 0}
+        board = SeriesBoard(interval_s=0.5, capacity=8)
+        board.register("queue", lambda: state["depth"])
+        board.register("twice", lambda: state["depth"] * 2)
+        state["depth"] = 3
+        board.sample()
+        state["depth"] = 5
+        board.sample()
+        assert board.series("queue").values() == [3.0, 5.0]
+        assert board.series("twice").values() == [6.0, 10.0]
+
+    def test_duplicate_name_rejected(self):
+        board = SeriesBoard()
+        board.register("x", lambda: 0)
+        with pytest.raises(ValueError):
+            board.register("x", lambda: 1)
+
+    def test_as_dict_shape(self):
+        board = SeriesBoard(interval_s=2.0, capacity=4)
+        board.register("b", lambda: 1)
+        board.register("a", lambda: 2)
+        board.sample()
+        doc = board.as_dict()
+        assert doc["interval_s"] == 2.0
+        assert doc["capacity"] == 4
+        assert list(doc["series"]) == ["a", "b"]  # sorted
+        assert doc["series"]["a"] == {"samples": 1, "values": [2.0]}

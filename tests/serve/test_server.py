@@ -362,3 +362,119 @@ class TestDrainAndRestart:
 
         asyncio.run(second_run())
         assert Journal.load(tmp_path / "state" / "journal.jsonl") == []
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_exposition(self, tmp_path):
+        from repro.obs.exposition import parse_prometheus
+
+        async def scenario(server, client):
+            job_id = await call(client.submit, [point()])
+            await call(client.wait, job_id, 10.0)
+            content_type, text = await call(client.metrics_text)
+            assert "version=0.0.4" in content_type
+            parsed = parse_prometheus(text)
+            assert parsed["repro_serve_jobs_completed"] == 1
+            assert "repro_exec_cache_entries" in parsed
+            assert "repro_serve_queue_depth" in parsed
+
+        run_scenario(tmp_path, scenario)
+
+    def test_json_format_carries_series(self, tmp_path):
+        async def scenario(server, client):
+            job_id = await call(client.submit, [point()])
+            await call(client.wait, job_id, 10.0)
+            await asyncio.sleep(0.15)  # let the sampler tick
+            doc = await call(client.metrics)
+            assert set(doc) == {"stats", "series"}
+            assert doc["stats"]["serve.jobs_completed"] == 1
+            series = doc["series"]
+            assert series["interval_s"] == 0.05
+            names = set(series["series"])
+            assert {"serve.queue_depth", "serve.jobs_per_s",
+                    "serve.pool.cache_hit_rate"} <= names
+            depth = series["series"]["serve.queue_depth"]
+            assert depth["samples"] >= 1
+            assert depth["values"][-1] == 0.0
+
+        run_scenario(tmp_path, scenario, metrics_interval_s=0.05)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        async def scenario(server, client):
+            status, _, raw = await call(client.request_raw, "GET",
+                                        "/metrics?format=xml")
+            assert status == 400
+            assert b"unknown metrics format" in raw
+
+        run_scenario(tmp_path, scenario)
+
+    def test_bad_metrics_interval_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            make_server(tmp_path, lambda q: ({}, 0.0),
+                        metrics_interval_s=0)
+
+
+class TestStatsPayload:
+    def test_stats_is_json_with_cache_family(self, tmp_path):
+        import json
+
+        async def scenario(server, client):
+            status, content_type, raw = await call(
+                client.request_raw, "GET", "/stats")
+            assert status == 200
+            assert content_type.startswith("application/json")
+            doc = json.loads(raw)
+            assert doc["exec.cache.entries"] == 0
+            assert doc["serve.pool.workers"] == 2
+            # every value in the flattened snapshot is numeric
+            assert all(isinstance(v, (int, float))
+                       for v in doc.values())
+
+        run_scenario(tmp_path, scenario)
+
+    def test_concurrent_stats_requests(self, tmp_path):
+        async def scenario(server, client):
+            job_id = await call(client.submit, [point()])
+            await call(client.wait, job_id, 10.0)
+            docs = await asyncio.gather(
+                *[call(client.stats) for _ in range(8)])
+            for doc in docs:
+                assert doc["serve.jobs_completed"] == 1
+                assert doc["exec.cache.entries"] == 1
+
+        run_scenario(tmp_path, scenario)
+
+
+class TestSpansEndpoint:
+    def test_job_lifecycle_span_tree(self, tmp_path):
+        async def scenario(server, client):
+            job_id = await call(client.submit, [point(0), point(1)])
+            await call(client.wait, job_id, 10.0)
+            doc = await call(client.spans)
+            assert doc["dropped"] == 0
+            spans = doc["spans"]
+            by_id = {s["id"]: s for s in spans}
+            (root,) = [s for s in spans if s["name"] == "serve.job"]
+            assert root["attrs"]["job_id"] == job_id
+            assert root["attrs"]["state"] == "done"
+            children = {s["name"] for s in spans
+                        if s["parent"] == root["id"]}
+            assert {"serve.submit", "serve.queue",
+                    "serve.execute"} <= children
+            points = [s for s in spans if s["name"] == "serve.point"]
+            assert len(points) == 2
+            for record in points:
+                assert by_id[record["parent"]]["name"] == "serve.execute"
+                assert record["attrs"]["key"]
+
+        run_scenario(tmp_path, scenario)
+
+    def test_name_filter(self, tmp_path):
+        async def scenario(server, client):
+            job_id = await call(client.submit, [point()])
+            await call(client.wait, job_id, 10.0)
+            doc = await call(client.spans, "serve.point")
+            assert doc["spans"]
+            assert {s["name"] for s in doc["spans"]} == {"serve.point"}
+
+        run_scenario(tmp_path, scenario)
