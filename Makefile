@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke obs-smoke serve-smoke check bench-engine coverage-check ci clean-cache
+.PHONY: test smoke obs-smoke serve-smoke check bench-engine coverage-check cov-mitigations ci clean-cache
 
 # Tier-1 suite (the correctness gate).
 test:
@@ -54,8 +54,21 @@ coverage-check:
 		$(PYTHON) -m pytest -q tests/check; \
 	fi
 
+# Coverage gate for the mitigation family and its verification
+# harnesses (registry, differential, fuzzer, corpus, contract suite).
+# Like coverage-check it runs the tests uninstrumented when pytest-cov
+# is not installed (optional tooling, not a dependency).
+cov-mitigations:
+	@if $(PYTHON) -c "import importlib.util,sys; sys.exit(importlib.util.find_spec('pytest_cov') is None)"; then \
+		$(PYTHON) -m pytest -q --cov=src/repro/mitigations --cov=src/repro/check \
+			--cov-report=term --cov-fail-under=90 tests/mitigations tests/check; \
+	else \
+		echo "pytest-cov not installed; running tests/mitigations tests/check without coverage"; \
+		$(PYTHON) -m pytest -q tests/mitigations tests/check; \
+	fi
+
 # What CI runs.
-ci: test smoke obs-smoke serve-smoke check bench-engine
+ci: test smoke obs-smoke serve-smoke check bench-engine cov-mitigations
 
 clean-cache:
 	rm -rf benchmarks/results/.cache .repro-cache

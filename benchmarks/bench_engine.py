@@ -28,6 +28,7 @@ import pathlib
 import sys
 import time
 
+from repro.mitigations import registry
 from repro.sim.runner import DesignPoint, run_point
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -92,6 +93,28 @@ def bench(workloads, instructions=None, design="mopac-c"):
     return summary
 
 
+def identity_sweep(designs, instructions=8_000,
+                   workload="mcf") -> dict:
+    """Bit-identity gate across every registered mitigation design.
+
+    Timing is not judged here (the runs are too short); what must hold
+    is that the fast engine replays each design's policy logic exactly.
+    """
+    rows = []
+    for design in designs:
+        point = DesignPoint(workload=workload, design=design, trh=500,
+                            instructions=instructions)
+        _, ref_fp = time_engine(point, "reference")
+        _, fast_fp = time_engine(point, "fast")
+        identical = ref_fp == fast_fp
+        rows.append({"design": design, "identical": identical})
+        print(f"identity {design:16s} "
+              f"{'identical' if identical else 'DIVERGED'}")
+    return {"workload": workload, "instructions": instructions,
+            "all_identical": all(r["identical"] for r in rows),
+            "rows": rows}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -122,6 +145,12 @@ def main(argv=None) -> int:
                 print("FAIL: fast engine slower than reference",
                       file=sys.stderr)
                 return 1
+        sweep = identity_sweep(registry.names())
+        summary["identity_sweep"] = sweep
+        if not sweep["all_identical"]:
+            print("FAIL: a design diverged between engines",
+                  file=sys.stderr)
+            return 1
     else:
         summary = bench(FULL_WORKLOADS, instructions=args.instructions)
         summary["profile"] = "full"

@@ -141,13 +141,24 @@ class AttackHarness:
             return
         timing = self.policy.timing
         level = getattr(self.policy, "abo_level", 1)
+        scope = getattr(self.policy, "recovery_scope", "subchannel")
+        recovery = (list(self.policy.alert_banks())
+                    if scope == "bank" else None)
         stall_end = self._alert_deadline + level * timing.tALERT_RFM
         for _ in range(level):
             self.policy.on_rfm(stall_end)
         self._alerts += 1
         self._apply_mitigations()
-        self._block_all(stall_end)
-        self.now = max(self.now, stall_end)
+        if recovery is None:
+            self._block_all(stall_end)
+            self.now = max(self.now, stall_end)
+        else:
+            # bank-scoped recovery: only the banks the ALERT named stall
+            # for the RFM; the rest of the sub-channel keeps issuing
+            for bank in recovery:
+                self.bank_ready[bank] = max(self.bank_ready[bank],
+                                            stall_end)
+            self.now = max(self.now, self._alert_deadline)
         self._alert_deadline = None
         if self.policy.alert_requested():
             self._alert_deadline = stall_end + timing.tALERT_NORMAL

@@ -24,21 +24,29 @@ from typing import Callable, Sequence
 
 from ..config import DRAMConfig
 from ..dram.commands import BankAddress, LineAddress
-from ..dram.timing import ddr5_prac
 from ..mc.controller import MemoryController
 from ..mc.pagepolicy import make_page_policy
 from ..mc.request import MemRequest
-from ..mitigations.mopac_c import MoPACCPolicy
-from ..mitigations.mopac_d import MoPACDPolicy
-from ..mitigations.prac import BaselinePolicy, PRACMoatPolicy
-from ..mitigations.qprac import QPRACPolicy
+from ..mitigations import registry as mitigation_registry
+from ..mitigations.prac import BaselinePolicy
 from ..obs.tracer import EventTracer, TraceEvent
 from ..rng import derive_seed
 from .oracle import ConformanceOracle, OracleConfig, Violation
 
 NS = 1000
 
-DESIGN_CHOICES = ("baseline", "prac", "qprac", "mopac-c", "mopac-d")
+#: every registered mitigation plus the unprotected baseline — a design
+#: registered in :mod:`repro.mitigations.registry` is fuzzed for free
+DESIGN_CHOICES = ("baseline",) + mitigation_registry.names()
+
+#: constructor overrides applied by the fuzzer (tiny structures so the
+#: randomized streams actually exercise pressure/eviction paths)
+_FUZZ_OVERRIDES: dict[str, dict] = {
+    "mopac-d": {"srq_size": 5},
+    "cnc-prac": {"buffer_size": 4, "flush_threshold": 4},
+    "practical": {"subarrays": 4},
+    "qprac-proactive": {"queue_size": 4},
+}
 PAGE_POLICY_CHOICES = ("open", "close", "ton60", "ton200")
 REFRESH_MODE_CHOICES = ("all-bank", "same-bank")
 
@@ -141,14 +149,31 @@ def _gen_requests(rng: random.Random, banks: int,
     pair_bank = rng.randrange(banks)
     pair_rows = (rng.randrange(rows), rng.randrange(rows))
     bursty = rng.random() < 0.5
+    # hammer shape: cycle one bank through more rows than the FR-FCFS
+    # window (so the open row is never a lookahead hit and every request
+    # pays a fresh conflict ACT), paced past PRAC tRC so the queue stays
+    # shallow — per-row ACT counts then cross ATH even for exact designs
+    # (ath(100) = 65) and fuzz reaches the ALERT/RFM recovery paths
+    hammer = rng.random() < 0.3
+    ping_weight = 0.4
+    cycle: tuple[int, ...] = ()
+    if hammer:
+        ping_weight = 0.9
+        n = rng.randrange(800, 1100)
+        base = rng.randrange(rows)
+        cycle = tuple((base + j) % rows for j in range(10))
     out: list[RequestSpec] = []
     t = 0
     for _ in range(n):
-        t += rng.randrange(0, 4 * NS) if bursty \
-            else rng.randrange(0, 120 * NS)
+        if hammer:
+            t += rng.randrange(110 * NS, 140 * NS)
+        else:
+            t += rng.randrange(0, 4 * NS) if bursty \
+                else rng.randrange(0, 120 * NS)
         roll = rng.random()
-        if roll < 0.4:  # conflict ping-pong on one bank
-            bank, row = pair_bank, pair_rows[len(out) % 2]
+        if roll < ping_weight:  # conflict pressure on one bank
+            bank, row = (pair_bank, cycle[len(out) % len(cycle)]) if hammer \
+                else (pair_bank, pair_rows[len(out) % 2])
         elif roll < 0.75:  # hot rows (row-hit streaks, tracker pressure)
             bank, row = rng.choice(hot)
         else:
@@ -159,23 +184,12 @@ def _gen_requests(rng: random.Random, banks: int,
 
 
 def _make_policy(case: FuzzCase):
-    banks, rows, trh = case.banks, case.rows, case.trh
-    groups = min(64, rows)
     if case.design == "baseline":
         return BaselinePolicy()
-    if case.design == "prac":
-        return PRACMoatPolicy(trh, banks, rows, groups,
-                              timing=ddr5_prac())
-    if case.design == "qprac":
-        return QPRACPolicy(trh, banks, rows, groups, timing=ddr5_prac())
-    if case.design == "mopac-c":
-        return MoPACCPolicy(trh, banks, rows, refresh_groups=groups,
-                            rng=random.Random(case.seed ^ 0xC))
-    if case.design == "mopac-d":
-        return MoPACDPolicy(trh, banks, rows, refresh_groups=groups,
-                            srq_size=5,
-                            rng=random.Random(case.seed ^ 0xD))
-    raise AssertionError(case.design)
+    overrides = _FUZZ_OVERRIDES.get(case.design, {})
+    return mitigation_registry.make_policy(
+        case.design, case.trh, case.banks, case.rows,
+        refresh_groups=min(64, case.rows), seed=case.seed, **overrides)
 
 
 # ---------------------------------------------------------------------------

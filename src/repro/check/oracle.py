@@ -91,6 +91,9 @@ class OracleConfig:
     refresh_mode: str = "all-bank"
     #: RFMs issued per ALERT episode
     abo_level: int = 1
+    #: "subchannel": an RFM stalls everything; "bank": RFMs carry a bank
+    #: index and stall only that bank (PRACtical recovery isolation)
+    recovery_scope: str = "subchannel"
 
     @property
     def cadence_slack_ps(self) -> int:
@@ -114,7 +117,9 @@ class OracleConfig:
         normal, cu = policy.timing_pair()
         return cls(normal=normal, counter_update=cu, banks=banks,
                    refresh_mode=refresh_mode,
-                   abo_level=getattr(policy, "abo_level", 1))
+                   abo_level=getattr(policy, "abo_level", 1),
+                   recovery_scope=getattr(policy, "recovery_scope",
+                                          "subchannel"))
 
 
 @dataclass
@@ -415,9 +420,17 @@ class ConformanceOracle:
         ch = self._channel(event.subchannel)
         t = event.time_ps
         stall = self.config.normal.tALERT_RFM
+        bank_scoped = (self.config.recovery_scope == "bank"
+                       and event.bank >= 0)
         if ch.rfm_group_time == t:
-            # another RFM of the same ALERT episode: extend the stall
-            ch.stall_end += stall
+            if bank_scoped:
+                # same recovery group, another named bank: only that
+                # bank gains a blackout — the sub-channel keeps issuing
+                bank = ch.banks[event.bank]
+                bank.block_end = max(bank.block_end, t + stall)
+            else:
+                # another RFM of the same ALERT episode: extend the stall
+                ch.stall_end += stall
             return
         ch.rfm_group_time = t
         if ch.alerts:
@@ -429,7 +442,11 @@ class ConformanceOracle:
                            f"required it by {deadline}")
         else:
             self._flag("abo.unprompted", event, "RFM with no ALERT pending")
-        ch.stall_end = max(ch.stall_end, t + stall)
+        if bank_scoped:
+            bank = ch.banks[event.bank]
+            bank.block_end = max(bank.block_end, t + stall)
+        else:
+            ch.stall_end = max(ch.stall_end, t + stall)
 
 
 # ---------------------------------------------------------------------------

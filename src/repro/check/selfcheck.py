@@ -13,7 +13,9 @@
 3. **differential** — MoPAC-C / MoPAC-D / QPRAC / exact-PRAC on one
    seeded adversarial stream; security and counter-conservation
    invariants must hold;
-4. **fuzz smoke** — a bounded run of the property-based MC fuzzer;
+4. **fuzz smoke** — a bounded run of the property-based MC fuzzer,
+   plus replay of the per-mitigation seed corpora under
+   ``tests/check/seeds/`` (curated ALERT/RFM-heavy cases);
 5. **engine** — both campaign points re-run under the fast engine
    (:mod:`repro.sim.fastpath`): stats fingerprints and full command
    traces must be bit-identical to the reference event loop, and the
@@ -32,6 +34,7 @@ import sys
 
 from ..obs.tracer import EventTracer
 from ..sim.runner import DesignPoint, run_point
+from .corpus import run_corpus
 from .differential import run_differential
 from .driver import oracle_config_for, trace_point, verify_point
 from .fuzz import run_fuzz
@@ -100,9 +103,12 @@ def run_selfcheck(fuzz_cases: int = 12, fuzz_seed: int = 0xC4EC,
     _check("differential", report.ok, report.describe().splitlines()[0],
            failures, quiet)
 
-    # 4. fuzz smoke
+    # 4. fuzz smoke + pinned per-mitigation seed corpora
     fuzz = run_fuzz(cases=fuzz_cases, master_seed=fuzz_seed)
     _check("fuzz", fuzz.ok, fuzz.describe().splitlines()[0],
+           failures, quiet)
+    corpus = run_corpus()
+    _check("fuzz/corpus", corpus.ok, corpus.describe().splitlines()[0],
            failures, quiet)
 
     # 5. the fast engine is bit-identical machinery, not new physics

@@ -556,18 +556,36 @@ class MemoryController:
     def _rfm_event(self, now: int) -> None:
         level = getattr(self.policy, "abo_level", 1)
         end = now + level * self.policy.timing.tALERT_RFM
-        for bank in self.banks:
-            bank.block_until(end)
+        scope = getattr(self.policy, "recovery_scope", "subchannel")
+        recovery = (tuple(self.policy.alert_banks())
+                    if scope == "bank" else None)
+        if recovery is None:
+            for bank in self.banks:
+                bank.block_until(end)
+        else:
+            # bank-scoped recovery (PRACtical): only the banks the ALERT
+            # named stall; their neighbours keep scheduling through the
+            # RFM window
+            for index in recovery:
+                self.banks[index].block_until(end)
         for _ in range(level):
             if self.tracer is not None:
-                self.tracer.record(now, "RFM", self.subchannel, -1, -1,
-                                   "abo")
+                if recovery is None:
+                    self.tracer.record(now, "RFM", self.subchannel, -1, -1,
+                                       "abo")
+                else:
+                    for index in recovery:
+                        self.tracer.record(now, "RFM", self.subchannel,
+                                           index, -1, "abo")
             self.policy.on_rfm(end)
         self.stats.alerts += 1
-        self.stats.rfm_commands += level
+        self.stats.rfm_commands += \
+            level * (1 if recovery is None else len(recovery))
         self._alert_in_flight = False
         self._alert_deadline = None
         self._check_alert(end)
         for index in range(len(self.banks)):
             if self.queues[index]:
-                self._kick(index, end)
+                self._kick(index,
+                           end if recovery is None or index in recovery
+                           else now)

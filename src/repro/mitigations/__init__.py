@@ -20,22 +20,33 @@ and can be plugged into either the full-system simulator
 
 from .base import (EpisodeDecision, MitigationEvent, MitigationPolicy,
                    PolicyStats)
+from .cnc_prac import CnCPRACPolicy
 from .mint import MINTPolicy
+from .moat import MOATPolicy
 from .mopac_c import MoPACCPolicy
 from .mopac_d import (DEFAULT_SRQ_SIZE, SRQ_DRAIN_PER_ABO, MintSampler,
                       MoPACDPolicy, ParaSampler, SRQEntry)
 from .prac import BaselinePolicy, PRACMoatPolicy
 from .prac_state import (BLAST_RADIUS, MoatTracker, PRACCounters,
                          RefreshSchedule)
+from .practical import PRACticalPolicy, SubarrayState
 from .pride import PrIDEPolicy
-from .qprac import QPRACPolicy
+from .qprac import QPRACPolicy, QPRACProactivePolicy
+from .registry import MitigationSpec, make_policy
+from .registry import get as get_spec
+from .registry import names as registered_names
+from .registry import specs as registered_specs
 from .trr import TRRPolicy
 
 __all__ = [
-    "BLAST_RADIUS", "BaselinePolicy", "DEFAULT_SRQ_SIZE", "EpisodeDecision",
-    "MINTPolicy", "MintSampler", "MitigationEvent", "MitigationPolicy",
+    "BLAST_RADIUS", "BaselinePolicy", "CnCPRACPolicy", "DEFAULT_SRQ_SIZE",
+    "EpisodeDecision",
+    "MINTPolicy", "MOATPolicy", "MintSampler", "MitigationEvent",
+    "MitigationPolicy", "MitigationSpec",
     "MoatTracker", "MoPACCPolicy", "MoPACDPolicy", "PRACCounters", "ParaSampler",
-    "PRACMoatPolicy", "PolicyStats", "PrIDEPolicy", "QPRACPolicy",
-    "RefreshSchedule",
+    "PRACMoatPolicy", "PRACticalPolicy", "PolicyStats", "PrIDEPolicy",
+    "QPRACPolicy", "QPRACProactivePolicy",
+    "RefreshSchedule", "SubarrayState",
     "SRQEntry", "SRQ_DRAIN_PER_ABO", "TRRPolicy",
+    "get_spec", "make_policy", "registered_names", "registered_specs",
 ]

@@ -17,6 +17,8 @@ import random
 from ..dram.timing import TimingSet, ddr5_base
 from .base import EpisodeDecision, MitigationPolicy
 from .mopac_d import MintSampler
+from .prac_state import RefreshSchedule
+from .security import SecurityTelemetry
 
 #: Activations a bank can perform per tREFI (3900 ns / 46 ns).
 DEFAULT_WINDOW = 84
@@ -28,6 +30,7 @@ class MINTPolicy(MitigationPolicy):
     name = "mint"
 
     def __init__(self, banks: int = 32, window: int = DEFAULT_WINDOW,
+                 rows: int = 65536, refresh_groups: int = 8192,
                  refs_per_mitigation: int = 1,
                  timing: TimingSet | None = None,
                  rng: random.Random | None = None):
@@ -41,19 +44,30 @@ class MINTPolicy(MitigationPolicy):
         ]
         self.pending: list[int | None] = [None] * banks
         self.refs_per_mitigation = refs_per_mitigation
+        # MINT has no counters, but the shadow truth still tracks the
+        # per-row disturbance its sampling leaves unmitigated
+        self.security = SecurityTelemetry(banks, rows)
+        self.refresh_schedules = [RefreshSchedule(rows, refresh_groups)
+                                  for _ in range(banks)]
         self._ref_count = 0
         self._bank_ref_counts = [0] * banks
 
     def on_activate(self, bank: int, row: int, now: int) -> EpisodeDecision:
         self.stats.activations += 1
+        self.security.on_activate(bank, row)
         selected = self.samplers[bank].observe(row)
         if selected is not None:
             # A new selection replaces an unserviced one (single register).
             self.pending[bank] = selected
         return self._plain_decision
 
+    def _advance_refresh(self, bank: int) -> None:
+        start, stop = self.refresh_schedules[bank].advance()
+        self.security.on_refresh_range(bank, start, stop)
+
     def on_refresh(self, now: int, bank: int | None = None) -> None:
         if bank is not None:
+            self._advance_refresh(bank)
             self._bank_ref_counts[bank] += 1
             if self._bank_ref_counts[bank] % self.refs_per_mitigation:
                 return
@@ -61,6 +75,8 @@ class MINTPolicy(MitigationPolicy):
                 self._record_mitigation(bank, self.pending[bank], now)
                 self.pending[bank] = None
             return
+        for index in range(len(self.pending)):
+            self._advance_refresh(index)
         self._ref_count += 1
         if self._ref_count % self.refs_per_mitigation:
             return

@@ -16,6 +16,8 @@ import random
 from ..dram.timing import TimingSet, ddr5_base
 from .base import EpisodeDecision, MitigationPolicy
 from .mint import DEFAULT_WINDOW
+from .prac_state import RefreshSchedule
+from .security import SecurityTelemetry
 
 
 class PrIDEPolicy(MitigationPolicy):
@@ -24,6 +26,7 @@ class PrIDEPolicy(MitigationPolicy):
     name = "pride"
 
     def __init__(self, banks: int = 32, window: int = DEFAULT_WINDOW,
+                 rows: int = 65536, refresh_groups: int = 8192,
                  queue_size: int = 2, refs_per_mitigation: int = 1,
                  timing: TimingSet | None = None,
                  rng: random.Random | None = None):
@@ -39,12 +42,16 @@ class PrIDEPolicy(MitigationPolicy):
         self.queue_size = queue_size
         self.refs_per_mitigation = refs_per_mitigation
         self.rng = rng or random.Random(0x1DE)
+        self.security = SecurityTelemetry(banks, rows)
+        self.refresh_schedules = [RefreshSchedule(rows, refresh_groups)
+                                  for _ in range(banks)]
         self.dropped_samples = 0
         self._ref_count = 0
         self._bank_ref_counts = [0] * banks
 
     def on_activate(self, bank: int, row: int, now: int) -> EpisodeDecision:
         self.stats.activations += 1
+        self.security.on_activate(bank, row)
         if self.rng.random() < self.probability:
             queue = self.queues[bank]
             if len(queue) < self.queue_size:
@@ -53,8 +60,13 @@ class PrIDEPolicy(MitigationPolicy):
                 self.dropped_samples += 1
         return self._plain_decision
 
+    def _advance_refresh(self, bank: int) -> None:
+        start, stop = self.refresh_schedules[bank].advance()
+        self.security.on_refresh_range(bank, start, stop)
+
     def on_refresh(self, now: int, bank: int | None = None) -> None:
         if bank is not None:
+            self._advance_refresh(bank)
             self._bank_ref_counts[bank] += 1
             if self._bank_ref_counts[bank] % self.refs_per_mitigation:
                 return
@@ -62,6 +74,8 @@ class PrIDEPolicy(MitigationPolicy):
                 self._record_mitigation(bank, self.queues[bank].popleft(),
                                         now)
             return
+        for index in range(len(self.queues)):
+            self._advance_refresh(index)
         self._ref_count += 1
         if self._ref_count % self.refs_per_mitigation:
             return

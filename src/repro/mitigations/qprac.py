@@ -151,3 +151,61 @@ class QPRACPolicy(MitigationPolicy):
 
     def queue_occupancy(self, bank: int) -> int:
         return len(self._queued[bank])
+
+
+#: Default proactive service budget per REF (the HPCA paper's QPRAC-2).
+DEFAULT_MITIGATIONS_PER_REF = 2
+
+
+class QPRACProactivePolicy(QPRACPolicy):
+    """QPRAC with the paper's full proactive-service discipline.
+
+    Two additions over the baseline queue service:
+
+    * **multiple mitigations per REF** — each REF shadow is long enough to
+      serve up to ``mitigations_per_ref`` queued rows per bank (QPRAC-k in
+      the HPCA paper), draining bursts before they approach ATH;
+    * **opportunistic service** — when a bank's queue is empty at REF time
+      the bank mitigates its MOAT-tracked hottest row anyway (even below
+      ETH), so the service slot is never wasted and steady-state counters
+      stay far from the ALERT threshold.
+
+    Together these make the ABO backstop essentially unreachable for
+    benign workloads while keeping counting exact (+1 per precharge).
+    """
+
+    name = "qprac-proactive"
+
+    def __init__(self, trh: int, banks: int = 32, rows: int = 65536,
+                 refresh_groups: int = 8192,
+                 queue_size: int = DEFAULT_QUEUE_SIZE,
+                 mitigations_per_ref: int = DEFAULT_MITIGATIONS_PER_REF,
+                 opportunistic: bool = True,
+                 timing: TimingSet | None = None):
+        super().__init__(trh, banks, rows, refresh_groups,
+                         queue_size=queue_size, timing=timing)
+        if mitigations_per_ref < 1:
+            raise ValueError("mitigations_per_ref must be >= 1")
+        self.mitigations_per_ref = mitigations_per_ref
+        self.opportunistic = opportunistic
+        self.opportunistic_mitigations = 0
+
+    def on_refresh(self, now: int, bank: int | None = None) -> None:
+        banks = (range(self.state.banks) if bank is None else (bank,))
+        for index in banks:
+            start, stop = self.refresh_schedules[index].advance()
+            self.state.refresh_rows(index, start, stop)
+            self.security.on_refresh_range(index, start, stop)
+            served = 0
+            while (served < self.mitigations_per_ref
+                   and self._service_queue(index, now)):
+                served += 1
+                self.proactive_mitigations += 1
+            if served == 0 and self.opportunistic:
+                tracker = self.state.tracker(index)
+                if tracker.valid and tracker.value > 0:
+                    row = self.state.mitigate(index)
+                    if row is not None:
+                        self._queued[index].discard(row)
+                        self._record_mitigation(index, row, now)
+                        self.opportunistic_mitigations += 1

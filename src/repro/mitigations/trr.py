@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from ..dram.timing import TimingSet, ddr5_base
 from .base import EpisodeDecision, MitigationPolicy
+from .prac_state import RefreshSchedule
+from .security import SecurityTelemetry
 
 
 class TRRPolicy(MitigationPolicy):
@@ -21,6 +23,7 @@ class TRRPolicy(MitigationPolicy):
     name = "trr"
 
     def __init__(self, banks: int = 32, entries: int = 16,
+                 rows: int = 65536, refresh_groups: int = 8192,
                  mitigation_threshold: int = 64,
                  refs_per_mitigation: int = 4,
                  timing: TimingSet | None = None):
@@ -31,11 +34,16 @@ class TRRPolicy(MitigationPolicy):
         self.mitigation_threshold = mitigation_threshold
         self.refs_per_mitigation = refs_per_mitigation
         self.tables: list[dict[int, int]] = [{} for _ in range(banks)]
+        # the shadow truth makes the strawman's escapes measurable
+        self.security = SecurityTelemetry(banks, rows)
+        self.refresh_schedules = [RefreshSchedule(rows, refresh_groups)
+                                  for _ in range(banks)]
         self._ref_count = 0
         self._bank_ref_counts = [0] * banks
 
     def on_activate(self, bank: int, row: int, now: int) -> EpisodeDecision:
         self.stats.activations += 1
+        self.security.on_activate(bank, row)
         table = self.tables[bank]
         if row in table:
             table[row] += 1
@@ -49,13 +57,20 @@ class TRRPolicy(MitigationPolicy):
                     del table[key]
         return self._plain_decision
 
+    def _advance_refresh(self, bank: int) -> None:
+        start, stop = self.refresh_schedules[bank].advance()
+        self.security.on_refresh_range(bank, start, stop)
+
     def on_refresh(self, now: int, bank: int | None = None) -> None:
         if bank is not None:
+            self._advance_refresh(bank)
             self._bank_ref_counts[bank] += 1
             if self._bank_ref_counts[bank] % self.refs_per_mitigation:
                 return
             self._service_bank(bank, now)
             return
+        for index in range(len(self.tables)):
+            self._advance_refresh(index)
         self._ref_count += 1
         if self._ref_count % self.refs_per_mitigation:
             return

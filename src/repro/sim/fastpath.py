@@ -568,21 +568,39 @@ class FastMemoryController(MemoryController):
     def _rfm_event(self, now: int) -> None:
         level = getattr(self.policy, "abo_level", 1)
         end = now + level * self.policy.timing.tALERT_RFM
-        self.soa.block_all(end)
+        scope = getattr(self.policy, "recovery_scope", "subchannel")
+        recovery = (tuple(self.policy.alert_banks())
+                    if scope == "bank" else None)
+        if recovery is None:
+            self.soa.block_all(end)
+        else:
+            # bank-scoped recovery: mirror the reference MC bit-for-bit
+            blocked = self.soa.blocked_until
+            for index in recovery:
+                if blocked[index] < end:
+                    blocked[index] = end
         for _ in range(level):
             if self.tracer is not None:
-                self.tracer.record(now, "RFM", self.subchannel, -1, -1,
-                                   "abo")
+                if recovery is None:
+                    self.tracer.record(now, "RFM", self.subchannel, -1, -1,
+                                       "abo")
+                else:
+                    for index in recovery:
+                        self.tracer.record(now, "RFM", self.subchannel,
+                                           index, -1, "abo")
             self.policy.on_rfm(end)
         self.stats.alerts += 1
-        self.stats.rfm_commands += level
+        self.stats.rfm_commands += \
+            level * (1 if recovery is None else len(recovery))
         self._alert_in_flight = False
         self._alert_deadline = None
         self._check_alert(end)
         queues = self.queues
         for index in range(len(queues)):
             if queues[index]:
-                self._kick(index, end)
+                self._kick(index,
+                           end if recovery is None or index in recovery
+                           else now)
 
 
 class FastSystem(System):

@@ -49,7 +49,8 @@ from .system import System, SystemResult
 log = get_logger(__name__)
 
 DESIGNS = ("baseline", "prac", "qprac", "mopac-c", "mopac-d",
-           "mopac-d-nup")
+           "mopac-d-nup", "moat", "qprac-proactive", "cnc-prac",
+           "practical", "mint", "pride", "trr")
 
 #: Default experiment scale: instructions per core. The paper runs 100M;
 #: slowdown ratios are stationary, so the scaled default converges to the
@@ -158,6 +159,48 @@ def make_policy_factory(point: DesignPoint,
                 rng=random.Random(point.seed ^ (subchannel << 4)),
                 params=params, sampler=point.sampler,
                 abo_level=point.abo_level)
+        if point.design == "moat":
+            from ..dram.timing import ddr5_prac
+            from ..mitigations.moat import MOATPolicy
+            prac_timing = ddr5_prac().scaled_refresh(point.refresh_scale) \
+                if point.refresh_scale < 1 else ddr5_prac()
+            return MOATPolicy(point.trh, banks, rows, groups,
+                              timing=prac_timing)
+        if point.design == "qprac-proactive":
+            from ..dram.timing import ddr5_prac
+            from ..mitigations.qprac import QPRACProactivePolicy
+            prac_timing = ddr5_prac().scaled_refresh(point.refresh_scale) \
+                if point.refresh_scale < 1 else ddr5_prac()
+            return QPRACProactivePolicy(point.trh, banks, rows, groups,
+                                        timing=prac_timing)
+        if point.design == "cnc-prac":
+            from ..mitigations.cnc_prac import CnCPRACPolicy
+            return CnCPRACPolicy(point.trh, banks, rows, groups,
+                                 timing=timing)
+        if point.design == "practical":
+            from ..dram.timing import MoPACTimings, ddr5_prac
+            from ..mitigations.practical import PRACticalPolicy
+            cu = ddr5_prac().scaled_refresh(point.refresh_scale) \
+                if point.refresh_scale < 1 else ddr5_prac()
+            pair = MoPACTimings(normal=timing, counter_update=cu)
+            return PRACticalPolicy(point.trh, banks, rows, groups,
+                                   timings=pair)
+        if point.design == "mint":
+            import random
+            from ..mitigations.mint import MINTPolicy
+            return MINTPolicy(banks=banks, rows=rows, refresh_groups=groups,
+                              timing=timing,
+                              rng=random.Random(point.seed ^ subchannel))
+        if point.design == "pride":
+            import random
+            from ..mitigations.pride import PrIDEPolicy
+            return PrIDEPolicy(banks=banks, rows=rows,
+                               refresh_groups=groups, timing=timing,
+                               rng=random.Random(point.seed ^ subchannel))
+        if point.design == "trr":
+            from ..mitigations.trr import TRRPolicy
+            return TRRPolicy(banks=banks, rows=rows, refresh_groups=groups,
+                             timing=timing)
         raise AssertionError(point.design)
 
     return factory

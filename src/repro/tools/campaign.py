@@ -11,7 +11,11 @@ execute them, then aggregate per-run stats into CSVs
   per run (weighted-speedup slowdown, RBHR, ALERTs, energy),
 * ``stats`` — aggregate the CSV into a per-configuration summary table,
 * ``verify`` — replay each planned point's traced DDR5 command stream
-  through the independent conformance oracle (:mod:`repro.check`).
+  through the independent conformance oracle (:mod:`repro.check`),
+* ``compare-mitigations`` — run every registered mitigation through the
+  differential harness on one seeded adversarial stream and print the
+  §9.2-style cross-mitigation table (security verdict, service
+  activity, drift, harness slowdown vs an unprotected baseline).
 
 ``run`` executes through the :mod:`repro.exec.engine`: evaluation
 points (and their baselines) fan out across worker processes, results
@@ -235,6 +239,83 @@ def verify(directory: pathlib.Path, limit: int | None = None) -> int:
     return failures
 
 
+def compare_mitigations(trh: int = 500, activations: int = 60_000,
+                        banks: int = 4, rows: int = 512,
+                        refresh_groups: int = 64, seed: int = 0xD1FF,
+                        designs: tuple[str, ...] | None = None,
+                        csv_path: pathlib.Path | None = None
+                        ) -> tuple[str, bool]:
+    """Cross-mitigation comparison table (paper §9.2) from one command.
+
+    Runs every registered post-PRAC design (or ``designs``) through the
+    differential harness on one seeded adversarial stream, plus an
+    unprotected baseline for the slowdown column, and renders one row
+    per design: contract class, timing family, the threshold the
+    security ledger held it to, the ledger verdict, service activity,
+    telemetry drift, and harness slowdown. Returns ``(table, ok)``.
+    """
+    from ..attacks.harness import AttackHarness
+    from ..check.differential import make_targets, run_differential
+    from ..mitigations.prac import BaselinePolicy
+
+    report = run_differential(trh=trh, activations=activations,
+                              banks=banks, rows=rows,
+                              refresh_groups=refresh_groups, seed=seed,
+                              designs=tuple(designs) if designs else None)
+    baseline = AttackHarness(
+        BaselinePolicy(), trh, banks, rows, refresh_groups).run(
+        iter(make_targets(seed, banks, rows, activations)), activations)
+    base_ps = baseline.elapsed_ps
+
+    fields = ("design", "class", "timing", "eff_trh", "secure",
+              "max_count", "alerts", "mitigations", "cu_per_act",
+              "drift_max", "slowdown")
+    table_rows = []
+    for o in report.outcomes:
+        if o.attack_succeeded:
+            verdict = "BROKEN" if o.expected_secure else "broken*"
+        else:
+            verdict = "yes"
+        table_rows.append({
+            "design": o.design,
+            "class": "exact" if o.exact
+                     else ("sampled" if o.counter_updates else "tracker"),
+            "timing": o.timing,
+            "eff_trh": o.effective_trh,
+            "secure": verdict,
+            "max_count": o.max_count,
+            "alerts": o.alerts,
+            "mitigations": o.mitigations,
+            "cu_per_act": (f"{o.counter_updates / o.total_activations:.3f}"
+                           if o.total_activations else "0"),
+            "drift_max": o.drift_max,
+            "slowdown": (f"{o.elapsed_ps / base_ps - 1:+.1%}"
+                         if base_ps else "n/a"),
+        })
+
+    if csv_path is not None:
+        with open(csv_path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fields)
+            writer.writeheader()
+            writer.writerows(table_rows)
+
+    widths = {f: max(len(f), *(len(str(r[f])) for r in table_rows))
+              for f in fields}
+    lines = [f"cross-mitigation comparison: trh={trh} "
+             f"acts={activations} banks={banks} rows={rows} "
+             f"seed={hex(seed)}",
+             "  ".join(f"{f:>{widths[f]}s}" for f in fields)]
+    lines.extend("  ".join(f"{str(r[f]):>{widths[f]}s}" for f in fields)
+                 for r in table_rows)
+    if any(r["secure"] == "broken*" for r in table_rows):
+        lines.append("broken*: registered as a known-broken strawman "
+                     "(expected)")
+    if not report.ok:
+        lines.append(f"{len(report.failures)} invariant FAILURE(S):")
+        lines.extend(f"  {f}" for f in report.failures)
+    return "\n".join(lines) + "\n", report.ok
+
+
 def stats(directory: pathlib.Path) -> str:
     csv_path = directory / "results.csv"
     if not csv_path.exists():
@@ -259,15 +340,30 @@ def main(argv: list[str] | None = None) -> int:
         description="Plan, run, and aggregate an evaluation campaign.")
     parser.add_argument("command",
                         choices=("plan", "run", "stats", "verify",
-                                 "submit", "status", "fetch"))
+                                 "submit", "status", "fetch",
+                                 "compare-mitigations"))
     parser.add_argument("--dir", default="campaign",
                         help="campaign directory")
     parser.add_argument("--workloads", nargs="*",
                         default=["add", "mcf", "xalancbmk"])
-    parser.add_argument("--designs", nargs="*",
-                        default=list(DEFAULT_DESIGNS))
+    parser.add_argument("--designs", nargs="*", default=None,
+                        help="plan: designs to sweep (default "
+                             f"{' '.join(DEFAULT_DESIGNS)}); "
+                             "compare-mitigations: designs to compare "
+                             "(default: every registered mitigation)")
     parser.add_argument("--trhs", nargs="*", type=int,
                         default=list(DEFAULT_TRHS))
+    parser.add_argument("--trh", type=int, default=500,
+                        help="compare-mitigations: Rowhammer threshold")
+    parser.add_argument("--activations", type=int, default=60_000,
+                        help="compare-mitigations: adversarial stream "
+                             "length")
+    parser.add_argument("--seed", type=lambda s: int(s, 0),
+                        default=0xD1FF,
+                        help="compare-mitigations: stream master seed")
+    parser.add_argument("--csv", default=None,
+                        help="compare-mitigations: also write the table "
+                             "as CSV to this path")
     parser.add_argument("--instructions", type=int, default=60_000)
     parser.add_argument("--workers", type=int, default=None,
                         help="simulation worker processes "
@@ -295,8 +391,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.cache_dir:
         os.environ["REPRO_CACHE_DIR"] = args.cache_dir
 
+    if args.command == "compare-mitigations":
+        table, ok = compare_mitigations(
+            trh=args.trh, activations=args.activations, seed=args.seed,
+            designs=tuple(args.designs) if args.designs else None,
+            csv_path=pathlib.Path(args.csv) if args.csv else None)
+        print(table, end="")
+        return 0 if ok else 1
     if args.command == "plan":
-        paths = plan(directory, args.workloads, args.designs, args.trhs,
+        paths = plan(directory, args.workloads,
+                     args.designs or list(DEFAULT_DESIGNS), args.trhs,
                      args.instructions)
         log.info("planned %d evaluations in %s/", len(paths), directory)
         return 0

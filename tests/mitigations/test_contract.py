@@ -1,0 +1,259 @@
+"""Shared mitigation contract suite, parametrized over the registry.
+
+Every design registered in :mod:`repro.mitigations.registry` is held to
+the contract its spec declares, with no per-design test code:
+
+* **registry shape** — the factory builds a policy whose ``name``
+  matches, descriptions and knob docs exist, ``effective_trh`` never
+  weakens the threshold;
+* **differential invariants** — on one seeded adversarial stream the
+  security ledger stays clean (secure designs), exact designs conserve
+  counters against the exact-PRAC shadow with identically-zero
+  telemetry drift, sampled designs stay within the drift bound;
+* **seed-replay determinism** — the same ``(seed, stream)`` reproduces
+  the same run bit-for-bit, twice;
+* **engine bit-identity** — the fast engine produces the same stats and
+  the same traced command stream as the reference event loop;
+* **forced recovery paths** — the ALERT/RFM backstops that benign
+  streams rarely reach (QPRAC's queue overflow, PRACtical's bank-scoped
+  recovery through the real memory controller + conformance oracle).
+"""
+
+import dataclasses
+import heapq
+
+import pytest
+
+from repro.attacks.harness import AttackHarness
+from repro.check.differential import run_differential
+from repro.check.oracle import ConformanceOracle, OracleConfig
+from repro.config import DRAMConfig
+from repro.dram.commands import BankAddress, LineAddress
+from repro.mc.controller import MemoryController
+from repro.mc.pagepolicy import make_page_policy
+from repro.mc.request import MemRequest
+from repro.mitigations import registry
+from repro.mitigations.practical import PRACticalPolicy
+from repro.obs.tracer import EventTracer
+from repro.sim.runner import DesignPoint, run_point
+
+DESIGNS = registry.names()
+
+#: one differential run shared by the invariant tests (module-import
+#: cost, not per-test) — small but adversarial enough to mitigate
+DIFF = run_differential(trh=250, activations=12_000, banks=4, rows=256,
+                        refresh_groups=64, seed=0xD1FF)
+OUTCOMES = {o.design: o for o in DIFF.outcomes}
+
+
+def _spec(design):
+    return registry.get(design)
+
+
+# ---------------------------------------------------------------------------
+# Registry shape
+# ---------------------------------------------------------------------------
+class TestRegistryShape:
+    def test_registry_is_nonempty_and_unique(self):
+        assert len(DESIGNS) == len(set(DESIGNS)) >= 11
+
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_factory_builds_named_policy(self, design):
+        policy = registry.make_policy(design, 250, banks=2, rows=64,
+                                      refresh_groups=32, seed=1)
+        assert policy.name == design
+
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_spec_documents_itself(self, design):
+        spec = _spec(design)
+        assert spec.description
+        assert spec.knobs, f"{design} has no knob documentation"
+        assert all(name and meaning for name, meaning in spec.knobs)
+
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_effective_trh_never_weakens(self, design):
+        spec = _spec(design)
+        for trh in (100, 250, 500, 10_000):
+            assert spec.effective_trh(trh) >= trh
+
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_timing_class_is_known(self, design):
+        assert _spec(design).timing in ("base", "prac", "dual")
+
+    def test_unknown_design_raises_with_listing(self):
+        with pytest.raises(KeyError, match="registered:"):
+            registry.get("nope")
+
+
+# ---------------------------------------------------------------------------
+# Differential invariants (one shared adversarial stream)
+# ---------------------------------------------------------------------------
+class TestDifferentialInvariants:
+    def test_report_is_clean(self):
+        assert DIFF.ok, DIFF.describe()
+
+    def test_every_design_ran(self):
+        assert set(OUTCOMES) == set(DESIGNS)
+
+    def test_all_designs_saw_the_same_stream(self):
+        totals = {o.total_activations for o in DIFF.outcomes}
+        assert len(totals) == 1
+
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_security_ledger_verdict(self, design):
+        outcome = OUTCOMES[design]
+        if _spec(design).secure:
+            assert not outcome.attack_succeeded, (
+                f"{design} let a row reach {outcome.max_count} > "
+                f"{outcome.effective_trh}")
+
+    @pytest.mark.parametrize(
+        "design", [d for d in DESIGNS if registry.get(d).exact])
+    def test_exact_designs_conserve_counters(self, design):
+        outcome = OUTCOMES[design]
+        assert not outcome.counter_mismatches
+        assert outcome.stats_conserved
+        assert outcome.drift_max == 0 and outcome.drift_total == 0
+
+    @pytest.mark.parametrize(
+        "design",
+        [d for d in DESIGNS
+         if registry.get(d).counting and not registry.get(d).exact])
+    def test_sampled_designs_stay_within_drift_bound(self, design):
+        outcome = OUTCOMES[design]
+        assert 0 < outcome.drift_max <= DIFF.trh
+
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_designs_actually_mitigate(self, design):
+        # a design that never services anything is vacuously "clean"
+        assert OUTCOMES[design].mitigations > 0
+
+
+# ---------------------------------------------------------------------------
+# Seed-replay determinism
+# ---------------------------------------------------------------------------
+def _harness_fingerprint(design, seed):
+    from repro.check.differential import make_targets
+    spec = _spec(design)
+    policy = spec.build(250, banks=2, rows=128, refresh_groups=32,
+                        seed=seed)
+    harness = AttackHarness(policy, spec.effective_trh(250), 2, 128, 32)
+    targets = make_targets(seed, 2, 128, 2_500)
+    result = harness.run(iter(targets), 2_500)
+    return (result.ledger.max_count, result.elapsed_ps, result.alerts,
+            dict(policy.stats.__dict__))
+
+
+class TestSeedReplayDeterminism:
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_same_seed_same_run(self, design):
+        assert _harness_fingerprint(design, 7) \
+            == _harness_fingerprint(design, 7)
+
+
+# ---------------------------------------------------------------------------
+# Engine bit-identity
+# ---------------------------------------------------------------------------
+class TestEngineBitIdentity:
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_fast_engine_matches_reference(self, design):
+        point = DesignPoint(workload="hammer", design=design, trh=500,
+                            instructions=5_000, rows_per_bank=128,
+                            refresh_scale=1 / 256, seed=7)
+        fingerprints, traces = {}, {}
+        for engine in ("reference", "fast"):
+            tracer = EventTracer(capacity=500_000)
+            result = run_point(point, tracer=tracer, engine=engine)
+            fingerprints[engine] = (
+                dict(result.stats),
+                [dataclasses.asdict(s) for s in result.mc_stats],
+                result.elapsed_ps)
+            traces[engine] = tracer.events()
+        assert fingerprints["fast"] == fingerprints["reference"]
+        assert traces["fast"] == traces["reference"]
+
+
+# ---------------------------------------------------------------------------
+# Forced recovery paths
+# ---------------------------------------------------------------------------
+class TestForcedAlertPaths:
+    def test_qprac_alert_backstop_fires_on_queue_overflow(self):
+        # a full queue must not suppress the ABO backstop: the row keeps
+        # counting to ATH and the ALERT line asserts
+        policy = registry.make_policy("qprac", 100, banks=2, rows=64,
+                                      refresh_groups=32, seed=1,
+                                      queue_size=1)
+        # occupy the single queue slot with a decoy row
+        for _ in range(policy.eth):
+            policy.on_activate(0, 5, 0)
+            policy.on_precharge(0, 5, 0, True)
+        assert policy.queue_occupancy(0) == 1
+        for _ in range(policy.ath):
+            policy.on_activate(0, 9, 0)
+            policy.on_precharge(0, 9, 0, True)
+        assert policy.alert_requested()
+        policy.on_rfm(0)
+        assert policy.stats.alerts == 1
+        assert policy.counter_value(0, 9) == 0  # hottest row serviced
+        assert not policy.alert_requested()
+
+    def test_qprac_proactive_opportunistic_slot_is_never_wasted(self):
+        policy = registry.make_policy("qprac-proactive", 100, banks=1,
+                                      rows=64, refresh_groups=64, seed=1)
+        # a few activations, all below ETH: the queue stays empty
+        for _ in range(3):
+            policy.on_activate(0, 9, 0)
+            policy.on_precharge(0, 9, 0, True)
+        policy.on_refresh(0, bank=0)
+        assert policy.opportunistic_mitigations == 1
+        assert policy.counter_value(0, 9) == 0
+
+    def test_practical_bank_scoped_rfm_through_controller(self):
+        """Hammer one bank through the real MC; recovery stalls only it.
+
+        The thresholds are lowered so a short paced stream crosses ATH;
+        the traced RFMs must name the hammered bank (not the whole
+        sub-channel) and the bank-scope-aware conformance oracle must
+        accept the stream, including commands other banks issued inside
+        the recovery window.
+        """
+        policy = PRACticalPolicy(trh=100, banks=4, rows=64,
+                                 refresh_groups=64, subarrays=4)
+        policy.ath, policy.eth = 6, 3
+        config = DRAMConfig(banks_per_subchannel=4, rows_per_bank=64)
+        heap, counter = [], iter(range(1 << 30))
+        controller = MemoryController(
+            subchannel=0, config=config, policy=policy,
+            scheduler=lambda t, cb: heapq.heappush(
+                heap, (t, next(counter), cb)),
+            on_complete=lambda r: None,
+            page_policy=make_page_policy("close"))
+        tracer = EventTracer(capacity=200_000)
+        controller.tracer = tracer
+        policy.tracer = tracer
+        policy.tracer_subchannel = 0
+        controller.start()
+        # bank 1: a 10-row cycle (past the FR-FCFS window) paced past
+        # tRC; bank 3: background traffic that must keep flowing
+        for i in range(160):
+            bank, row = (1, i % 10) if i % 4 else (3, 20 + i % 3)
+            when = 120_000 * (i + 1)
+            address = LineAddress(BankAddress(0, bank, row), 0)
+            controller.enqueue(MemRequest(core=0, address=address,
+                                          arrival_ps=when,
+                                          is_write=False), now=when)
+        deadline = 140_000 * 170
+        while heap:
+            time_ps, _, callback = heapq.heappop(heap)
+            if time_ps > deadline and not controller._alert_in_flight:
+                break
+            callback(time_ps)
+
+        events = tracer.events()
+        rfms = [e for e in events if e.kind == "RFM"]
+        assert rfms, "hammer never reached the lowered ATH"
+        assert all(e.bank == 1 for e in rfms), rfms
+        assert policy.stats.alerts > 0
+        oracle = ConformanceOracle(OracleConfig.from_policy(
+            policy, banks=4, refresh_mode="all-bank"))
+        assert oracle.verify(events) == []
