@@ -1,11 +1,29 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke obs-smoke serve-smoke check bench-engine coverage-check cov-mitigations ci clean-cache
+.PHONY: test lint typecheck smoke obs-smoke serve-smoke check bench-engine coverage-check cov-mitigations ci clean-cache
 
 # Tier-1 suite (the correctness gate).
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Static invariant linter: determinism / rng / env-knob / async /
+# telemetry contracts (see docs/static-analysis.md). Zero findings
+# outside lint-baseline.json is the gate.
+lint:
+	$(PYTHON) -m repro.lint
+
+# Optional static type/flake pass; skips cleanly when neither mypy nor
+# pyflakes is installed (optional tooling, not a dep — same pattern as
+# coverage-check).
+typecheck:
+	@if $(PYTHON) -c "import importlib.util,sys; sys.exit(importlib.util.find_spec('mypy') is None)"; then \
+		$(PYTHON) -m mypy --ignore-missing-imports src/repro; \
+	elif $(PYTHON) -c "import importlib.util,sys; sys.exit(importlib.util.find_spec('pyflakes') is None)"; then \
+		$(PYTHON) -m pyflakes src/repro; \
+	else \
+		echo "mypy/pyflakes not installed; skipping typecheck"; \
+	fi
 
 # Tiny parallel sweep: serial vs parallel equivalence + warm-cache rerun.
 smoke:
@@ -68,7 +86,7 @@ cov-mitigations:
 	fi
 
 # What CI runs.
-ci: test smoke obs-smoke serve-smoke check bench-engine cov-mitigations
+ci: lint typecheck test smoke obs-smoke serve-smoke check bench-engine cov-mitigations
 
 clean-cache:
 	rm -rf benchmarks/results/.cache .repro-cache

@@ -19,29 +19,31 @@ process pool, ``REPRO_SERIAL=1`` forces the inline path.
 
 from __future__ import annotations
 
-import os
 import pathlib
+
+from repro.analysis.experiments import instruction_budget
+from repro.exec.env import env_flag, env_str, set_knob
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: Persistent result cache shared by every benchmark invocation.
 CACHE_DIR = RESULTS_DIR / ".cache"
-os.environ.setdefault("REPRO_CACHE_DIR", str(CACHE_DIR))
+if env_str("REPRO_CACHE_DIR") is None:
+    set_knob("REPRO_CACHE_DIR", str(CACHE_DIR))
 
 #: one stream, one latency-bound, one low-MPKI, one hot-row stress
 BENCH_WORKLOADS = ("add", "mcf", "xalancbmk", "hammer")
 
 
 def bench_workloads() -> tuple[str, ...]:
-    if os.environ.get("REPRO_FULL"):
+    if env_flag("REPRO_FULL"):
         from repro.workloads.catalog import ALL_WORKLOADS, EXTRA_WORKLOADS
         return ALL_WORKLOADS + EXTRA_WORKLOADS
     return BENCH_WORKLOADS
 
 
 def bench_instructions(default: int = 60_000) -> int:
-    value = os.environ.get("REPRO_INSTRUCTIONS")
-    return int(value) if value else default
+    return instruction_budget(default)
 
 
 def record(name: str, text: str) -> None:

@@ -15,11 +15,11 @@ against cached results. ``REPRO_SERIAL=1`` disables the fan-out.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 
 from .. import security
 from ..dram.timing import ddr5_base, ddr5_prac
+from ..exec.env import env_flag, env_int
 from ..sim.runner import DesignPoint, simulate, slowdown
 from ..units import to_ns
 from ..workloads.catalog import ALL_WORKLOADS, STREAM_NAMES
@@ -33,14 +33,13 @@ FAST_WORKLOADS = ("add", "scale", "mcf", "parest", "omnetpp",
 
 def selected_workloads() -> tuple[str, ...]:
     """Workload list for simulation experiments (env-expandable)."""
-    if os.environ.get("REPRO_FULL"):
+    if env_flag("REPRO_FULL"):
         return ALL_WORKLOADS
     return FAST_WORKLOADS
 
 
 def instruction_budget(default: int = 100_000) -> int:
-    value = os.environ.get("REPRO_INSTRUCTIONS")
-    return int(value) if value else default
+    return env_int("REPRO_INSTRUCTIONS", default)
 
 
 def _prefetch(points: list[DesignPoint]) -> None:

@@ -48,6 +48,7 @@ import tempfile
 from typing import Any
 
 from ..obs.log import get_logger
+from .env import env_str
 from .serialize import SCHEMA_VERSION, result_from_dict, result_to_dict
 
 log = get_logger(__name__)
@@ -71,7 +72,7 @@ def effective_salt(salt: str = CACHE_SALT) -> str:
     """
     from .env import engine_choice
 
-    extra = os.environ.get("REPRO_CACHE_SALT")
+    extra = env_str("REPRO_CACHE_SALT")
     if extra:
         salt = f"{salt}+{extra}"
     engine = engine_choice()
@@ -82,7 +83,7 @@ def effective_salt(salt: str = CACHE_SALT) -> str:
 
 def default_cache_dir() -> pathlib.Path | None:
     """Directory named by ``REPRO_CACHE_DIR``, or ``None`` when unset."""
-    path = os.environ.get(CACHE_DIR_ENV)
+    path = env_str(CACHE_DIR_ENV)
     return pathlib.Path(path) if path else None
 
 

@@ -52,6 +52,18 @@ log = get_logger(__name__)
 _AUTO = "auto"
 
 
+
+def _wall_clock() -> float:
+    """Wall-time meter for engine metrics (``wall_s``, per-point cost).
+
+    Telemetry only: wall times feed ``exec.engine`` stats, progress
+    hooks, and log lines — never the simulation results themselves,
+    which depend only on the DesignPoint.
+    """
+    # repro: allow(determinism) — wall-time metrics, never in results
+    return time.perf_counter()
+
+
 def _simulate_point(point: runner.DesignPoint) -> tuple[Any, float]:
     """Worker entry point: run one point, return (result, wall_s).
 
@@ -60,9 +72,9 @@ def _simulate_point(point: runner.DesignPoint) -> tuple[Any, float]:
     the parallel path's numbers byte-for-byte those of a cold serial
     run.
     """
-    start = time.perf_counter()
+    start = _wall_clock()
     result = runner.run_point(point)
-    return result, time.perf_counter() - start
+    return result, _wall_clock() - start
 
 
 @dataclass(frozen=True)
@@ -197,7 +209,7 @@ class SweepEngine:
     # ------------------------------------------------------------------
     def run(self, points: Sequence[runner.DesignPoint]) -> list[Any]:
         """Resolve every point; returns results in input order."""
-        start = time.perf_counter()
+        start = _wall_clock()
         points = list(points)
         self.metrics.points += len(points)
 
@@ -239,7 +251,7 @@ class SweepEngine:
                     self._emit(PointOutcome(index, point, result,
                                             "simulated", wall))
 
-        self.metrics.wall_s += time.perf_counter() - start
+        self.metrics.wall_s += _wall_clock() - start
         log.debug("engine run: %s | %s", self.metrics.summary(),
                   self.profiler.summary())
         return [resolved[first_index[point]] for point in points]
@@ -312,6 +324,7 @@ class SweepEngine:
         if tracer is None:
             return
         parent = current_span()
+        # repro: allow(determinism) — span telemetry, never in results
         end_ns = time.perf_counter_ns()
         tracer.record("exec.simulate", end_ns - int(wall_s * 1e9), end_ns,
                       parent_id=parent.span_id if parent else None,

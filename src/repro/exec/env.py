@@ -75,6 +75,33 @@ def env_flag(name: str, default: bool = False) -> bool:
                                   "yes/no, on/off)")
 
 
+def env_str(name: str, default: str | None = None) -> str | None:
+    """Free-form string knob ``name``; ``default`` when unset/empty.
+
+    Whitespace-only values count as unset (a stray ``REPRO_CACHE_DIR=" "``
+    must not create a directory named ``" "``). This is the one
+    unvalidated shape — paths and salts — so every such knob still has
+    a single, greppable access point here.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    return raw.strip()
+
+
+def set_knob(name: str, value: str) -> None:
+    """Set a ``REPRO_*`` knob for this process and its children.
+
+    The only sanctioned environment *write* (the env-discipline lint
+    rule bans raw ``os.environ`` mutation): tools that accept a CLI
+    override (``campaign --cache-dir``) publish it to worker processes
+    through here, keeping the knob namespace in one place.
+    """
+    if not name.startswith("REPRO_"):
+        raise ValueError(f"refusing to set non-REPRO_* variable {name!r}")
+    os.environ[name] = value
+
+
 def env_choice(name: str, choices: tuple[str, ...],
                default: str) -> str:
     """Enumerated knob ``name``; ``default`` when unset/empty.

@@ -1,0 +1,92 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets a new rule land *enforcing* — ``make lint`` fails on
+any finding not explicitly grandfathered — without blocking on fixing
+every historical violation in the same change. Entries are
+:attr:`~repro.lint.core.Finding.fingerprint`\\ s (rule + path + source
+line), so pure line-number drift keeps an entry matched while touching
+the offending line re-surfaces it.
+
+The file is JSON, committed at the repo root (``lint-baseline.json``),
+and is expected to shrink: ``python -m repro.lint --update-baseline``
+rewrites it from the current findings, and stale entries (baselined
+violations that no longer occur) are reported so they get pruned.
+
+This repo ships an **empty** baseline — every violation the six rules
+flushed out was fixed, not grandfathered — but the machinery is load-
+bearing for future rules (see ``docs/static-analysis.md``).
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import pathlib
+
+from .core import Finding
+
+#: Default baseline location, relative to the repo root.
+DEFAULT_NAME = "lint-baseline.json"
+
+VERSION = 1
+
+
+class Baseline:
+    """Multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: list[dict] | None = None):
+        self.entries = list(entries or [])
+
+    @classmethod
+    def load(cls, path: pathlib.Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return cls()
+        data = json.loads(raw)
+        if not isinstance(data, dict) or data.get("version") != VERSION:
+            raise ValueError(f"{path}: not a version-{VERSION} lint "
+                             f"baseline")
+        entries = data.get("entries")
+        if not isinstance(entries, list):
+            raise ValueError(f"{path}: 'entries' must be a list")
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        entries = [{
+            "rule": f.rule, "path": f.path,
+            "fingerprint": f.fingerprint, "message": f.message,
+        } for f in sorted(findings, key=Finding.sort_key)]
+        return cls(entries)
+
+    def write(self, path: pathlib.Path) -> None:
+        document = {"version": VERSION, "entries": self.entries}
+        path.write_text(json.dumps(document, indent=2, sort_keys=True)
+                        + "\n", encoding="utf-8")
+
+    def partition(self, findings: list[Finding]
+                  ) -> tuple[list[Finding], list[Finding], int]:
+        """Split findings into (new, grandfathered); count stale entries.
+
+        Matching is a multiset: two identical violations need two
+        baseline entries. The stale count is how many entries matched
+        nothing — violations that have since been fixed.
+        """
+        budget = collections.Counter(entry["fingerprint"]
+                                     for entry in self.entries)
+        fresh: list[Finding] = []
+        grandfathered: list[Finding] = []
+        for finding in findings:
+            if budget.get(finding.fingerprint, 0) > 0:
+                budget[finding.fingerprint] -= 1
+                grandfathered.append(finding)
+            else:
+                fresh.append(finding)
+        stale = sum(budget.values())
+        return fresh, grandfathered, stale
+
+    def rules(self) -> collections.Counter:
+        """Baseline entries per rule id (the debt ledger)."""
+        return collections.Counter(entry["rule"] for entry in self.entries)

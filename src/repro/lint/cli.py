@@ -1,0 +1,112 @@
+"""``python -m repro.lint``: the CI gate and developer entry point.
+
+Exit status 0 means every invariant holds (no unsuppressed,
+unbaselined findings and every input parsed); anything else is 1.
+``make lint`` runs the default form — repo root auto-detected from
+this file's location, target ``src/repro``, baseline
+``lint-baseline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from .baseline import DEFAULT_NAME, Baseline
+from .core import all_rules, get_rule
+from .engine import lint_paths
+from .report import render_catalog, render_json, render_text
+
+
+def default_root() -> pathlib.Path:
+    """The repo checkout this installed package lives in.
+
+    ``src/repro/lint/cli.py`` → three parents up. Falls back to the
+    working directory when the package is imported from site-packages
+    (no ``src`` layout above it).
+    """
+    here = pathlib.Path(__file__).resolve()
+    candidate = here.parents[3]
+    if candidate.name == "src":
+        candidate = candidate.parent
+    if (candidate / "src" / "repro").is_dir():
+        return candidate
+    return pathlib.Path.cwd()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="AST-based invariant linter for the repro codebase "
+                    "(see docs/static-analysis.md).")
+    parser.add_argument("paths", nargs="*", type=pathlib.Path,
+                        help="files or directories to lint "
+                             "(default: <root>/src/repro)")
+    parser.add_argument("--root", type=pathlib.Path, default=None,
+                        help="repository root (default: auto-detected)")
+    parser.add_argument("--baseline", type=pathlib.Path, default=None,
+                        help=f"baseline file (default: <root>/{DEFAULT_NAME})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline (report all findings)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from current findings "
+                             "and exit 0")
+    parser.add_argument("--rules", default=None, metavar="ID[,ID...]",
+                        help="run only these rule ids")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--no-repo-rules", action="store_true",
+                        help="skip cross-file rules "
+                             "(registry-completeness)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        sys.stdout.write(render_catalog())
+        return 0
+
+    root = (args.root or default_root()).resolve()
+    paths = [p if p.is_absolute() else root / p for p in args.paths] \
+        or [root / "src" / "repro"]
+    for path in paths:
+        if not path.exists():
+            parser.error(f"no such path: {path}")
+
+    rules = None
+    if args.rules:
+        try:
+            rules = [get_rule(rule_id.strip())
+                     for rule_id in args.rules.split(",") if rule_id.strip()]
+        except KeyError as error:
+            parser.error(str(error))
+
+    baseline_path = args.baseline or root / DEFAULT_NAME
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, OSError) as error:
+            parser.error(f"bad baseline: {error}")
+
+    run = lint_paths(paths, root=root, rules=rules,
+                     baseline=Baseline() if args.update_baseline
+                     else baseline,
+                     repo_rules=not args.no_repo_rules)
+
+    if args.update_baseline:
+        Baseline.from_findings(run.findings).write(baseline_path)
+        sys.stdout.write(f"wrote {len(run.findings)} entr"
+                         f"{'y' if len(run.findings) == 1 else 'ies'} "
+                         f"to {baseline_path}\n")
+        return 0
+
+    writer = render_json if args.format == "json" else render_text
+    sys.stdout.write(writer(run))
+    return 0 if run.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

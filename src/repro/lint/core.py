@@ -1,0 +1,190 @@
+"""Rule model and registry for the invariant linter.
+
+A :class:`Rule` bundles an id, a severity, a visitor (or a repo-level
+check), and a fix-hint. Rules register themselves into a module-level
+registry at import time (:mod:`repro.lint.rules` imports every rule
+module), mirroring how :mod:`repro.mitigations.registry` discovers
+designs: the engine, the CLI, the fixture-corpus tests, and the docs
+catalog all iterate :func:`all_rules` instead of hard-coding lists.
+
+Two rule shapes coexist:
+
+* **file rules** (:class:`AstRule`) — an :class:`ast.NodeVisitor`
+  subclass run over every in-scope file's tree;
+* **repo rules** — override :meth:`Rule.check_repo` to audit
+  cross-file invariants (the mitigation registry vs its seed corpora,
+  docs rows, and contract coverage).
+
+Scoping is by dotted module name (``repro.sim.runner``), derived from
+the file's path under ``src/`` or overridden with a
+``# repro-lint-module: <name>`` comment (how the fixture corpus under
+``tests/lint/fixtures/`` claims an audited package).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import hashlib
+import pathlib
+
+#: Valid finding severities, most severe first.
+SEVERITIES = ("error", "warning")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str          # repo-root-relative, posix separators
+    line: int          # 1-based
+    col: int           # 0-based
+    message: str
+    severity: str = "error"
+    fix_hint: str = ""
+    snippet: str = ""  # the source line, for fingerprints and reports
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable id for baselining: survives pure line-number drift.
+
+        Hashes (rule, path, stripped source line) — moving a violation
+        within its file keeps it baselined; editing the offending line
+        re-surfaces it.
+        """
+        blob = f"{self.rule}:{self.path}:{self.snippet.strip()}"
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule, "path": self.path, "line": self.line,
+            "col": self.col, "severity": self.severity,
+            "message": self.message, "fix_hint": self.fix_hint,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclasses.dataclass
+class FileContext:
+    """One parsed source file, as handed to file rules."""
+
+    path: pathlib.Path       # absolute
+    rel: str                 # repo-root-relative, posix
+    module: str | None       # dotted name, None when not a repro module
+    source: str
+    lines: list[str]
+    tree: ast.Module
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+@dataclasses.dataclass(frozen=True)
+class RepoContext:
+    """Repository root, as handed to repo-level rules."""
+
+    root: pathlib.Path
+
+
+class Rule:
+    """Base rule: id, severity, description, fix-hint, module scope."""
+
+    id: str = ""
+    severity: str = "error"
+    description: str = ""
+    fix_hint: str = ""
+    #: module prefixes the rule audits (None: every repro module)
+    scope: tuple[str, ...] | None = None
+    #: module prefixes exempt from the rule
+    exclude: tuple[str, ...] = ()
+
+    def applies_to(self, module: str | None) -> bool:
+        if module is None:
+            return False
+        if any(_covers(prefix, module) for prefix in self.exclude):
+            return False
+        if self.scope is None:
+            return True
+        return any(_covers(prefix, module) for prefix in self.scope)
+
+    def check_file(self, ctx: FileContext) -> list[Finding]:
+        return []
+
+    def check_repo(self, repo: RepoContext) -> list[Finding]:
+        return []
+
+    # -- helpers for subclasses -------------------------------------------
+    def finding(self, ctx: FileContext, node: ast.AST,
+                message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        return Finding(rule=self.id, path=ctx.rel, line=line,
+                       col=getattr(node, "col_offset", 0),
+                       message=message, severity=self.severity,
+                       fix_hint=self.fix_hint,
+                       snippet=ctx.line_text(line))
+
+
+def _covers(prefix: str, module: str) -> bool:
+    return module == prefix or module.startswith(prefix + ".")
+
+
+class RuleVisitor(ast.NodeVisitor):
+    """AST visitor collecting findings for one (rule, file) pair."""
+
+    def __init__(self, rule: Rule, ctx: FileContext):
+        self.rule = rule
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.findings.append(self.rule.finding(self.ctx, node, message))
+
+
+class AstRule(Rule):
+    """A rule implemented as a :class:`RuleVisitor` subclass."""
+
+    visitor: type[RuleVisitor]
+
+    def check_file(self, ctx: FileContext) -> list[Finding]:
+        walker = self.visitor(self, ctx)
+        walker.visit(ctx.tree)
+        return walker.findings
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    """Add ``rule`` to the registry (registration order is report order)."""
+    if not rule.id:
+        raise ValueError(f"{type(rule).__name__} has no id")
+    if rule.severity not in SEVERITIES:
+        raise ValueError(f"{rule.id}: bad severity {rule.severity!r}")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"lint rule {rule.id!r} already registered")
+    _REGISTRY[rule.id] = rule
+    return rule
+
+
+def all_rules() -> tuple[Rule, ...]:
+    from . import rules as _rules  # noqa: F401  (registration side effect)
+    return tuple(_REGISTRY.values())
+
+
+def rule_ids() -> tuple[str, ...]:
+    return tuple(rule.id for rule in all_rules())
+
+
+def get_rule(rule_id: str) -> Rule:
+    all_rules()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown lint rule {rule_id!r}; registered: "
+                       f"{', '.join(_REGISTRY)}") from None

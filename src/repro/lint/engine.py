@@ -1,0 +1,200 @@
+"""Lint orchestration: walk files, run rules, apply waivers + baseline.
+
+One :func:`lint_paths` call is one lint run:
+
+1. collect ``*.py`` files from the target paths (skipping
+   ``__pycache__``), parse each once, and resolve its dotted module
+   name — from its location under ``src/`` or from an explicit
+   ``# repro-lint-module:`` override (the fixture corpus);
+2. run every in-scope file rule's visitor over each tree, and every
+   repo rule once against the repo root;
+3. drop findings covered by an inline ``# repro: allow(...)`` waiver
+   (suppressions apply to repo-rule findings too, via the file they
+   anchor in);
+4. partition the survivors through the committed baseline.
+
+The result is a :class:`LintRun`; ``run.findings`` is what fails CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+import re
+
+from . import suppress
+from .baseline import Baseline
+from .core import (FileContext, Finding, RepoContext, Rule, all_rules)
+
+#: Fixture files claim an audited module with this comment (first lines).
+MODULE_OVERRIDE = re.compile(r"#\s*repro-lint-module:\s*([\w.]+)")
+
+
+@dataclasses.dataclass
+class LintRun:
+    """Outcome of one lint invocation."""
+
+    findings: list[Finding]        # actionable: unsuppressed, unbaselined
+    suppressed: list[Finding]
+    baselined: list[Finding]
+    stale_baseline: int
+    files: int
+    errors: list[Finding]          # unreadable / unparseable inputs
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+
+def module_for(path: pathlib.Path, root: pathlib.Path,
+               source: str) -> str | None:
+    """Dotted module name for ``path``, or ``None`` (not a repro module).
+
+    ``<root>/src/repro/sim/runner.py`` → ``repro.sim.runner``;
+    ``__init__.py`` names its package. Files elsewhere are anonymous
+    unless their first lines carry ``# repro-lint-module: <name>`` —
+    which is how the fixture corpus opts into an audited scope.
+    """
+    for line in source.splitlines()[:5]:
+        match = MODULE_OVERRIDE.search(line)
+        if match:
+            return match.group(1)
+    try:
+        parts = list(path.relative_to(root).parts)
+    except ValueError:
+        return None
+    if parts[:1] == ["src"]:
+        parts = parts[1:]
+    if not parts or parts[0] != "repro":
+        return None
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1].removesuffix(".py")
+    return ".".join(parts)
+
+
+def _collect_files(paths: list[pathlib.Path]) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(
+                p for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts))
+        else:
+            files.append(path)
+    return files
+
+
+def _load(path: pathlib.Path, root: pathlib.Path
+          ) -> tuple[FileContext | None, Finding | None]:
+    rel = _rel(path, root)
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, UnicodeDecodeError) as error:
+        line = getattr(error, "lineno", 1) or 1
+        return None, Finding(
+            rule="parse", path=rel, line=line, col=0,
+            message=f"cannot lint: {type(error).__name__}: {error}")
+    ctx = FileContext(path=path, rel=rel,
+                      module=module_for(path, root, source),
+                      source=source, lines=source.splitlines(), tree=tree)
+    return ctx, None
+
+
+def _rel(path: pathlib.Path, root: pathlib.Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(paths: list[pathlib.Path], root: pathlib.Path,
+               rules: list[Rule] | None = None,
+               baseline: Baseline | None = None,
+               repo_rules: bool = True) -> LintRun:
+    """Lint ``paths`` (files or directories) against ``rules``."""
+    active = list(rules) if rules is not None else list(all_rules())
+    baseline = baseline or Baseline()
+    raw: list[Finding] = []
+    suppressed: list[Finding] = []
+    errors: list[Finding] = []
+    suppressions_by_rel: dict[str, list[suppress.Suppression]] = {}
+
+    files = _collect_files([pathlib.Path(p) for p in paths])
+    for path in files:
+        ctx, failure = _load(path, root)
+        if failure is not None:
+            errors.append(failure)
+            continue
+        waivers, _ = suppress.scan(ctx.lines)
+        suppressions_by_rel[ctx.rel] = waivers
+        for rule in active:
+            if not rule.applies_to(ctx.module):
+                continue
+            for finding in rule.check_file(ctx):
+                if suppress.covering(waivers, finding.rule, finding.line):
+                    suppressed.append(finding)
+                else:
+                    raw.append(finding)
+
+    if repo_rules:
+        repo = RepoContext(root=pathlib.Path(root))
+        for rule in active:
+            for finding in rule.check_repo(repo):
+                waivers = _waivers_for(finding.path, root,
+                                       suppressions_by_rel)
+                if suppress.covering(waivers, finding.rule, finding.line):
+                    suppressed.append(finding)
+                else:
+                    raw.append(finding)
+
+    raw.sort(key=Finding.sort_key)
+    fresh, grandfathered, stale = baseline.partition(raw)
+    return LintRun(findings=fresh, suppressed=suppressed,
+                   baselined=grandfathered, stale_baseline=stale,
+                   files=len(files), errors=errors)
+
+
+def _waivers_for(rel: str, root: pathlib.Path,
+                 cache: dict[str, list[suppress.Suppression]]
+                 ) -> list[suppress.Suppression]:
+    """Suppressions of the file a repo-rule finding anchors in."""
+    if rel not in cache:
+        path = pathlib.Path(root) / rel
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            lines = []
+        cache[rel], _ = suppress.scan(lines)
+    return cache[rel]
+
+
+def lint_source(source: str, module: str,
+                rules: list[Rule] | None = None,
+                rel: str = "<memory>") -> LintRun:
+    """Lint one in-memory module (tests and tooling).
+
+    Runs file rules only; repo rules need a tree on disk — point
+    :func:`lint_paths` (or the rule's ``check_repo``) at a root.
+    """
+    active = list(rules) if rules is not None else list(all_rules())
+    tree = ast.parse(source)
+    ctx = FileContext(path=pathlib.Path(rel), rel=rel, module=module,
+                      source=source, lines=source.splitlines(), tree=tree)
+    waivers, _ = suppress.scan(ctx.lines)
+    fresh: list[Finding] = []
+    suppressed: list[Finding] = []
+    for rule in active:
+        if not rule.applies_to(ctx.module):
+            continue
+        for finding in rule.check_file(ctx):
+            if suppress.covering(waivers, finding.rule, finding.line):
+                suppressed.append(finding)
+            else:
+                fresh.append(finding)
+    fresh.sort(key=Finding.sort_key)
+    return LintRun(findings=fresh, suppressed=suppressed, baselined=[],
+                   stale_baseline=0, files=1, errors=[])

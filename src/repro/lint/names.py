@@ -1,0 +1,86 @@
+"""Best-effort static name resolution for rule visitors.
+
+The rules reason about *dotted names* — ``time.perf_counter``,
+``os.environ``, ``numpy.random.default_rng`` — regardless of how the
+source spells them (``import time``, ``from time import perf_counter``,
+``import numpy as np``). :func:`import_aliases` collects one flat
+``local name -> canonical dotted name`` map per module;
+:func:`dotted` folds an expression back to its canonical form through
+that map, returning ``None`` for anything dynamic (subscripts, calls,
+attribute chains rooted in non-names).
+
+Resolution is intentionally shallow: it never follows assignments
+(``t = time; t.time()`` escapes), which keeps it sound on real code at
+the cost of an obvious loophole the code-review culture covers. Every
+rule built on it therefore *under*-approximates — no false positives
+from dynamic tricks, by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map every imported local name to its canonical dotted origin.
+
+    ``import numpy as np``            → ``{"np": "numpy"}``
+    ``import numpy.random``           → ``{"numpy": "numpy"}``
+    ``from os import environ as env`` → ``{"env": "os.environ"}``
+
+    Function-local imports count too (the simulator's lazy imports are
+    exactly the ones worth auditing), hence the full walk.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    # "import a.b" binds "a"
+                    root = alias.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports stay package-local
+            for alias in node.names:
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def dotted(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Canonical dotted name of an expression, or ``None`` if dynamic."""
+    if isinstance(node, ast.Name):
+        return aliases.get(node.id, node.id)
+    if isinstance(node, ast.Attribute):
+        base = dotted(node.value, aliases)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+def name_shape(node: ast.AST) -> str | None:
+    """Static shape of a (possibly formatted) string literal.
+
+    ``"mc.latency"`` → ``"mc.latency"``; ``f"mc.{sc}.bank"`` →
+    ``"mc.{}.bank"`` (each interpolation collapses to ``{}``); anything
+    non-literal → ``None``. The stats-namespace rule matches these
+    shapes against the metric schema's ``{placeholder}`` segments.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts: list[str] = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant) and isinstance(piece.value,
+                                                              str):
+                parts.append(piece.value)
+            elif isinstance(piece, ast.FormattedValue):
+                parts.append("{}")
+            else:
+                return None
+        return "".join(parts)
+    return None

@@ -1,0 +1,66 @@
+"""Reporters: human text and machine JSON for a :class:`LintRun`."""
+
+from __future__ import annotations
+
+import json
+
+from .core import Finding, all_rules
+from .engine import LintRun
+
+
+def render_text(run: LintRun, verbose_hints: bool = True) -> str:
+    """GCC-style ``path:line:col severity[rule] message`` listing."""
+    out: list[str] = []
+    for finding in run.errors + run.findings:
+        out.append(f"{finding.path}:{finding.line}:{finding.col}: "
+                   f"{finding.severity}[{finding.rule}] "
+                   f"{finding.message}")
+        if verbose_hints and finding.fix_hint:
+            out.append(f"    hint: {finding.fix_hint}")
+    out.append(render_summary(run))
+    return "\n".join(out) + "\n"
+
+
+def render_summary(run: LintRun) -> str:
+    details = [f"{len(run.suppressed)} suppressed",
+               f"{len(run.baselined)} baselined"]
+    if run.stale_baseline:
+        details.append(f"{run.stale_baseline} stale baseline "
+                       f"entr{'y' if run.stale_baseline == 1 else 'ies'}")
+    if run.errors:
+        details.append(f"{len(run.errors)} unparseable file(s)")
+    state = "clean" if run.clean else f"{len(run.findings)} finding(s)"
+    return (f"repro.lint: {state} across {run.files} file(s) "
+            f"({', '.join(details)})")
+
+
+def render_json(run: LintRun) -> str:
+    document = {
+        "clean": run.clean,
+        "files": run.files,
+        "findings": [f.as_dict() for f in run.findings],
+        "errors": [f.as_dict() for f in run.errors],
+        "suppressed": [f.as_dict() for f in run.suppressed],
+        "baselined": [f.as_dict() for f in run.baselined],
+        "stale_baseline": run.stale_baseline,
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def render_catalog() -> str:
+    """The registered rule catalog (``--list-rules``)."""
+    out: list[str] = []
+    for rule in all_rules():
+        scope = ", ".join(rule.scope) if rule.scope else "all repro modules"
+        if rule.exclude:
+            scope += f" (except {', '.join(rule.exclude)})"
+        out.append(f"{rule.id} [{rule.severity}]")
+        out.append(f"    {rule.description}")
+        out.append(f"    scope: {scope}")
+        if rule.fix_hint:
+            out.append(f"    fix: {rule.fix_hint}")
+    return "\n".join(out) + "\n"
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,14 @@
+"""Rule modules; importing this package registers every shipped rule.
+
+Registration order is report/catalog order. Adding a rule = adding a
+module here plus fixtures under ``tests/lint/fixtures/<rule-id>/``
+(the meta-test in ``tests/lint/test_meta.py`` enforces the corpus).
+"""
+
+from . import determinism    # noqa: F401
+from . import rng            # noqa: F401
+from . import env            # noqa: F401
+from . import async_block    # noqa: F401
+from . import stats          # noqa: F401
+from . import completeness   # noqa: F401
+from . import hygiene        # noqa: F401

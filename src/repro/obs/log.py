@@ -22,7 +22,6 @@ importing :mod:`repro` never hijacks the host application's logging.
 from __future__ import annotations
 
 import logging
-import os
 import sys
 from typing import IO
 
@@ -43,8 +42,19 @@ _FORMAT = "%(levelname).1s %(name)s: %(message)s"
 
 
 def resolve_level(level: str | None = None) -> int:
-    """Map a level name (or ``REPRO_LOG``, or the default) to an int."""
-    name = (level or os.environ.get(LEVEL_ENV) or "info").strip().lower()
+    """Map a level name (or ``REPRO_LOG``, or the default) to an int.
+
+    An explicit argument wins; otherwise ``REPRO_LOG`` goes through the
+    strict knob parser (a typo'd level raises
+    :class:`~repro.exec.env.EnvKnobError` naming the variable).
+    """
+    if level is None:
+        # deferred: repro.exec's package init imports modules that log,
+        # so a top-level import here would be circular
+        from ..exec.env import env_choice
+        name = env_choice(LEVEL_ENV, tuple(_LEVELS), "info")
+    else:
+        name = level.strip().lower()
     try:
         return _LEVELS[name]
     except KeyError:

@@ -31,6 +31,16 @@ from ..sim.runner import DesignPoint
 from .protocol import parse_address
 
 
+def _now() -> float:
+    """Monotonic clock for poll deadlines.
+
+    The only clock the client reads; it bounds how long ``wait*()``
+    polls and never appears in a request, result, or cache key.
+    """
+    # repro: allow(determinism) — poll-deadline clock, never in payloads
+    return time.monotonic()
+
+
 class ServeError(RuntimeError):
     """The server answered with an error status."""
 
@@ -179,12 +189,12 @@ class ServeClient:
     def wait_ready(self, timeout_s: float = 30.0,
                    poll_s: float = 0.05) -> dict[str, Any]:
         """Block until ``/healthz`` answers (server finished booting)."""
-        deadline = time.monotonic() + timeout_s
+        deadline = _now() + timeout_s
         while True:
             try:
                 return self.healthz()
             except (OSError, http.client.HTTPException) as error:
-                if time.monotonic() >= deadline:
+                if _now() >= deadline:
                     raise TimeoutError(
                         f"server at {self.address} not ready after "
                         f"{timeout_s:g}s ({error})") from None
@@ -199,7 +209,7 @@ class ServeClient:
         restarting) are retried until ``timeout_s`` runs out.
         """
         from .jobs import TERMINAL
-        deadline = time.monotonic() + timeout_s
+        deadline = _now() + timeout_s
         while True:
             try:
                 document = self.status(job_id)
@@ -208,11 +218,11 @@ class ServeClient:
             except (OSError, http.client.HTTPException) as error:
                 if not tolerate_disconnects:
                     raise
-                if time.monotonic() >= deadline:
+                if _now() >= deadline:
                     raise TimeoutError(
                         f"{job_id}: server unreachable past deadline "
                         f"({error})") from None
-            if time.monotonic() >= deadline:
+            if _now() >= deadline:
                 raise TimeoutError(
                     f"{job_id} not finished after {timeout_s:g}s")
             time.sleep(poll_s)

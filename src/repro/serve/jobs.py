@@ -226,4 +226,5 @@ def next_job_id(existing: list[str]) -> int:
 def make_job(counter: int, points: list[DesignPoint], priority: int = 0,
              timeout_s: float | None = None) -> Job:
     return Job(id=f"job-{counter}", points=points, priority=priority,
+               # repro: allow(determinism) — journal bookkeeping, not results
                timeout_s=timeout_s, submitted_s=time.time())

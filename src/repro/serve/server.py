@@ -37,6 +37,7 @@ import time
 from typing import Any, Callable
 
 from ..exec.cache import CACHE_DIR_ENV, ResultCache, point_key
+from ..exec.env import env_str
 from ..exec.serialize import result_to_dict
 from ..obs.exposition import CONTENT_TYPE, to_prometheus
 from ..obs.log import get_logger
@@ -59,6 +60,23 @@ JOB_LATENCY_MS_BOUNDS = (10, 50, 100, 500, 1_000, 5_000, 30_000, 300_000)
 
 def default_socket(state_dir: pathlib.Path) -> str:
     return f"unix:{state_dir / 'serve.sock'}"
+
+
+def _wall_s() -> float:
+    """Wall clock for job lifecycle stamps (submitted/started/finished).
+
+    Operator-facing bookkeeping only: the stamps feed ``/status``, the
+    journal, and the latency histogram — never a result document or a
+    cache key (``tests/serve/test_clock_independence.py`` pins this).
+    """
+    # repro: allow(determinism) — lifecycle stamps, never in results
+    return time.time()
+
+
+def _span_ns() -> int:
+    """Monotonic edge for lifecycle span records (queue/submit/job)."""
+    # repro: allow(determinism) — span telemetry, never in results
+    return time.perf_counter_ns()
 
 
 def _rate(fn: Callable[[], float], interval_s: float) -> Callable[[], float]:
@@ -114,7 +132,7 @@ class ServeServer:
 
         if cache == "auto":
             if cache_dir is None:
-                cache_dir = os.environ.get(CACHE_DIR_ENV) \
+                cache_dir = env_str(CACHE_DIR_ENV) \
                     or self.state_dir / "cache"
             cache = ResultCache(cache_dir)
         self.cache = cache
@@ -225,7 +243,7 @@ class ServeServer:
 
     def _enqueue(self, job: Job) -> None:
         self._jobs[job.id] = job
-        self._queued_ns.setdefault(job.id, time.perf_counter_ns())
+        self._queued_ns.setdefault(job.id, _span_ns())
         heapq.heappush(self._heap, (-job.priority, next(self._seq), job.id))
         self._queue_event.set()
 
@@ -361,7 +379,7 @@ class ServeServer:
             queued_ns = self._queued_ns.pop(job.id, None)
             if queued_ns is not None:
                 self.spans.record("serve.queue", queued_ns,
-                                  time.perf_counter_ns(),
+                                  _span_ns(),
                                   parent_id=root.span_id, job_id=job.id)
             task = asyncio.ensure_future(self._run_job(job))
             self._tasks[job.id] = task
@@ -374,7 +392,7 @@ class ServeServer:
 
     async def _run_job(self, job: Job) -> None:
         job.state = RUNNING
-        job.started_s = time.time()
+        job.started_s = _wall_s()
         log.info("job_id=%s: running %d point(s) (priority %d) keys=%s",
                  job.id, len(job.points), job.priority, _key_summary(job))
         try:
@@ -417,7 +435,7 @@ class ServeServer:
     def _finish(self, job: Job, state: str, error: str | None = None) -> None:
         job.state = state
         job.error = error
-        job.finished_s = time.time()
+        job.finished_s = _wall_s()
         if self.journal is not None:
             self.journal.record_state(job.id, state, error)
         counter = {DONE: self._c_completed, FAILED: self._c_failed,
@@ -531,13 +549,13 @@ class ServeServer:
                        timeout_s=timeout_s)
         self._counter += 1
         root = self._begin_job_span(job)
-        submit_ns = time.perf_counter_ns()
+        submit_ns = _span_ns()
         # durable before the client learns the id: a crash after this
         # line re-runs the job, never loses it
         self.journal.record_submit(job)
         self._enqueue(job)
         self.spans.record("serve.submit", submit_ns,
-                          time.perf_counter_ns(),
+                          _span_ns(),
                           parent_id=root.span_id, job_id=job.id)
         self._c_submitted.inc()
         log.info("job_id=%s: accepted %d point(s) (priority %d) keys=%s",

@@ -29,7 +29,6 @@ workload.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -227,7 +226,8 @@ _disk_state: tuple[str, Any] | None = None
 
 def _disk_cache():
     global _disk_state
-    path = os.environ.get("REPRO_CACHE_DIR")
+    from ..exec.env import env_str  # deferred: sim must not import exec eagerly
+    path = env_str("REPRO_CACHE_DIR")
     if not path:
         return None
     if _disk_state is None or _disk_state[0] != path:

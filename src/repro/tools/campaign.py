@@ -49,13 +49,13 @@ from __future__ import annotations
 import argparse
 import csv
 import json
-import os
 import pathlib
 from dataclasses import replace
 
 from ..config_io import load_design_point, save_design_point
 from ..dram.energy import energy_overhead
 from ..exec.engine import PointOutcome, SweepEngine
+from ..exec.env import set_knob
 from ..obs.log import configure, get_logger
 from ..sim.runner import DesignPoint, weighted_speedup
 
@@ -389,7 +389,7 @@ def main(argv: list[str] | None = None) -> int:
     configure("warning" if args.quiet else None)
     directory = pathlib.Path(args.dir)
     if args.cache_dir:
-        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+        set_knob("REPRO_CACHE_DIR", args.cache_dir)
 
     if args.command == "compare-mitigations":
         table, ok = compare_mitigations(

@@ -1,0 +1,9 @@
+"""Keep pytest out of the fixture corpus.
+
+Fixture files are *parsed* by the linter, never imported — some are
+deliberately broken (global RNG, blocking calls, a fixture repo whose
+``test_contract.py`` is not a real test module), so collection must
+skip the whole tree.
+"""
+
+collect_ignore_glob = ["fixtures/*"]

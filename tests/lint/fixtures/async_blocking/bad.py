@@ -1,0 +1,13 @@
+# repro-lint-module: repro.serve.fixture_bad
+"""Blocking calls inside coroutines: each one stalls the event loop."""
+import pathlib
+import subprocess
+import time
+
+
+async def drain(journal: pathlib.Path):
+    time.sleep(0.5)
+    text = journal.read_text()
+    subprocess.run(["sync"])
+    with open("state.json") as handle:
+        return handle.read(), text

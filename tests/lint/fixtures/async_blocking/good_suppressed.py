@@ -1,0 +1,8 @@
+# repro-lint-module: repro.serve.fixture_waived
+"""A waived blocking call (e.g. startup-only IO before serving)."""
+
+
+async def boot(config_path):
+    # repro: allow(async-blocking) — one-shot startup read before serving
+    with open(config_path) as handle:
+        return handle.read()

@@ -1,0 +1,20 @@
+# repro-lint-module: repro.sim.fixture_bad
+"""Deterministic-scope module observing the host: every line fires."""
+import datetime
+import os
+import time
+
+
+def stamp_result(result):
+    result["wall_s"] = time.time()
+    result["t0"] = time.perf_counter()
+    result["day"] = datetime.datetime.now()
+    return result
+
+
+def salt():
+    return os.urandom(8)
+
+
+def bucket_of(point):
+    return hash(point) % 64

@@ -1,0 +1,13 @@
+# repro-lint-module: repro.sim.fixture_good
+"""Deterministic code: time comes from the simulation, ids from content."""
+import hashlib
+
+
+def stamp_result(result, elapsed_ps):
+    result["elapsed_ps"] = elapsed_ps
+    return result
+
+
+def bucket_of(point):
+    blob = repr(sorted(point.items())).encode()
+    return int(hashlib.sha256(blob).hexdigest(), 16) % 64

@@ -1,0 +1,8 @@
+# repro-lint-module: repro.sim.fixture_waived
+"""A host-facing clock read carrying a reasoned waiver."""
+import time
+
+
+def progress_heartbeat():
+    # repro: allow(determinism) — operator progress line, never in results
+    return time.monotonic()

@@ -1,0 +1,8 @@
+# repro-lint-module: repro.sim.fixture_waived_env
+"""A waived read (e.g. forwarding a whole environment to a child)."""
+import os
+
+
+def child_environment():
+    # repro: allow(env-discipline) — forwards the whole env to a child
+    return dict(os.environ)

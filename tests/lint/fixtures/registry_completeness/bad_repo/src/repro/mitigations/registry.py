@@ -1,0 +1,3 @@
+# repro-lint-module: repro.mitigations.fixture_registry
+register(MitigationSpec(name="alpha", factory=None))
+register(MitigationSpec(name="beta", factory=None))

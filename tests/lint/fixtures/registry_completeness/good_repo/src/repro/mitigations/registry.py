@@ -1,0 +1,2 @@
+# repro-lint-module: repro.mitigations.fixture_registry
+register(MitigationSpec(name="alpha", factory=None))

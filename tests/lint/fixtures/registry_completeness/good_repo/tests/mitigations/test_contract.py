@@ -1,0 +1,1 @@
+DESIGNS = registry.names()

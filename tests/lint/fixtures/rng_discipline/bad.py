@@ -1,0 +1,21 @@
+# repro-lint-module: repro.mc.fixture_bad
+"""Global-RNG use in every shape the rule knows."""
+import random
+
+import numpy as np
+
+
+def jitter():
+    return random.random()
+
+
+def noise(n):
+    return np.random.rand(n)
+
+
+def fresh_generator():
+    return random.Random()
+
+
+def fresh_numpy():
+    return np.random.default_rng()

@@ -1,0 +1,7 @@
+# repro-lint-module: repro.mc.fixture_bad_import
+"""Importing module-level RNG functions is flagged at the import."""
+from random import randint
+
+
+def roll():
+    return randint(1, 6)

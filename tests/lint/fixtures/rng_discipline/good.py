@@ -1,0 +1,17 @@
+# repro-lint-module: repro.mc.fixture_good
+"""Seeded handles only — the shapes repro.rng hands out."""
+import random
+
+import numpy as np
+
+
+def stream(seed):
+    return random.Random(seed)
+
+
+def numpy_stream(seed):
+    return np.random.default_rng(seed)
+
+
+def draw(rng):
+    return rng.random()

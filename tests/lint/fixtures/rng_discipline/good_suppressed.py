@@ -1,0 +1,8 @@
+# repro-lint-module: repro.mc.fixture_waived
+"""A waived global draw (e.g. a demo script's cosmetic shuffle)."""
+import random
+
+
+def cosmetic_pick(items):
+    # repro: allow(rng-discipline) — demo-only cosmetic choice, no replay
+    return random.choice(items)

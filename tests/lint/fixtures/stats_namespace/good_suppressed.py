@@ -1,0 +1,7 @@
+# repro-lint-module: repro.serve.fixture_waived_stats
+"""A waived off-schema name (e.g. a scratch diagnostic counter)."""
+
+
+def wire(registry):
+    # repro: allow(stats-namespace) — scratch diagnostic, not exported
+    registry.counter("debug.scratch_probe")

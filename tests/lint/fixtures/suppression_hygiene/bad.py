@@ -1,0 +1,10 @@
+# repro-lint-module: repro.sim.fixture_bad_waivers
+"""Every way a waiver can be malformed."""
+
+UNPARSEABLE = 1  # repro: allowed(determinism) — wrong verb
+
+NO_RULES = 2  # repro: allow() — names nothing
+
+NO_REASON = 3  # repro: allow(determinism)
+
+UNKNOWN_RULE = 4  # repro: allow(determinsim) — typo'd rule id

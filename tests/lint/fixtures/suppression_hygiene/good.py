@@ -1,0 +1,13 @@
+# repro-lint-module: repro.sim.fixture_good_waivers
+"""Well-formed waivers in both separator spellings."""
+import time
+
+
+def heartbeat():
+    # repro: allow(determinism) — operator heartbeat, never in results
+    return time.monotonic()
+
+
+def heartbeat_ns():
+    # repro: allow(determinism) -- ascii separator works too
+    return time.monotonic_ns()

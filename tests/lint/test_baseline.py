@@ -1,0 +1,129 @@
+"""Baseline and suppression machinery."""
+
+import pathlib
+
+import pytest
+
+from repro.lint import Baseline, lint_source
+from repro.lint.core import Finding
+from repro.lint.suppress import covering, scan
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def finding(rule="determinism", path="a.py", line=3,
+            snippet="x = time.time()"):
+    return Finding(rule=rule, path=path, line=line, col=4,
+                   message="m", snippet=snippet)
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_survives_line_drift():
+    assert finding(line=3).fingerprint == finding(line=40).fingerprint
+
+
+def test_fingerprint_changes_with_rule_path_or_source():
+    base = finding().fingerprint
+    assert finding(rule="env-discipline").fingerprint != base
+    assert finding(path="b.py").fingerprint != base
+    assert finding(snippet="y = time.time()").fingerprint != base
+
+
+# ----------------------------------------------------------------------
+# Baseline round-trip and partition
+# ----------------------------------------------------------------------
+def test_round_trip(tmp_path):
+    found = [finding(), finding(path="b.py")]
+    path = tmp_path / "lint-baseline.json"
+    Baseline.from_findings(found).write(path)
+    loaded = Baseline.load(path)
+    fresh, grandfathered, stale = loaded.partition(found)
+    assert fresh == []
+    assert len(grandfathered) == 2
+    assert stale == 0
+
+
+def test_missing_file_is_empty_baseline(tmp_path):
+    baseline = Baseline.load(tmp_path / "absent.json")
+    fresh, grandfathered, stale = baseline.partition([finding()])
+    assert len(fresh) == 1 and not grandfathered and stale == 0
+
+
+def test_bad_version_rejected(tmp_path):
+    path = tmp_path / "lint-baseline.json"
+    path.write_text('{"version": 99, "entries": []}')
+    with pytest.raises(ValueError):
+        Baseline.load(path)
+
+
+def test_multiset_matching_needs_one_entry_per_occurrence():
+    # two identical violations, one baseline entry: one stays actionable
+    baseline = Baseline.from_findings([finding()])
+    fresh, grandfathered, stale = baseline.partition(
+        [finding(line=3), finding(line=9)])
+    assert len(fresh) == 1 and len(grandfathered) == 1 and stale == 0
+
+
+def test_stale_entries_are_counted():
+    baseline = Baseline.from_findings([finding(), finding(path="gone.py")])
+    fresh, grandfathered, stale = baseline.partition([finding()])
+    assert not fresh and len(grandfathered) == 1 and stale == 1
+
+
+def test_rules_ledger():
+    baseline = Baseline.from_findings(
+        [finding(), finding(path="b.py"), finding(rule="env-discipline")])
+    assert baseline.rules() == {"determinism": 2, "env-discipline": 1}
+
+
+def test_repo_baseline_is_committed_and_empty():
+    root = pathlib.Path(__file__).parents[2]
+    baseline = Baseline.load(root / "lint-baseline.json")
+    assert baseline.entries == [], (
+        "lint-baseline.json must stay empty: fix violations, don't "
+        "grandfather them")
+
+
+# ----------------------------------------------------------------------
+# Suppression comments
+# ----------------------------------------------------------------------
+def test_scan_parses_both_separators():
+    waivers, broken = scan([
+        "x = 1  # repro: allow(determinism) — em-dash reason",
+        "y = 2  # repro: allow(determinism) -- ascii reason",
+        "z = 3  # repro: allow(determinism): colon reason",
+    ])
+    assert len(waivers) == 3 and not broken
+    assert all(w.rules == {"determinism"} for w in waivers)
+
+
+def test_waiver_covers_its_line_and_the_next_only():
+    waivers, _ = scan(["# repro: allow(determinism) — why", "x", "y"])
+    assert covering(waivers, "determinism", 1)
+    assert covering(waivers, "determinism", 2)
+    assert not covering(waivers, "determinism", 3)
+    assert not covering(waivers, "env-discipline", 2)
+
+
+def test_multi_rule_waiver():
+    waivers, broken = scan(
+        ["# repro: allow(determinism, env-discipline) — shared reason"])
+    assert not broken
+    assert waivers[0].rules == {"determinism", "env-discipline"}
+
+
+def test_malformed_waivers_reported_not_honored():
+    waivers, broken = scan([
+        "x  # repro: allowed(determinism) — wrong verb",
+        "y  # repro: allow(determinism)",
+    ])
+    assert not waivers
+    assert [b.line for b in broken] == [1, 2]
+
+
+def test_reasonless_waiver_is_a_hygiene_finding():
+    run = lint_source("x = 1  # repro: allow(determinism)\n",
+                      module="repro.sim.fixture")
+    assert [f.rule for f in run.findings] == ["suppression-hygiene"]

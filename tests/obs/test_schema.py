@@ -1,0 +1,94 @@
+"""The metric-namespace schema and its generated docs table."""
+
+import pathlib
+
+from repro.obs import schema
+
+ROOT = pathlib.Path(__file__).parents[2]
+DOC = ROOT / "docs" / "observability.md"
+
+
+# ----------------------------------------------------------------------
+# Matching semantics
+# ----------------------------------------------------------------------
+def test_every_declared_example_matches_the_schema():
+    for namespace in schema.NAMESPACES:
+        for example in _example_names(namespace):
+            assert schema.matches(example), (
+                f"{namespace.prefix}: declared example {example!r} does "
+                f"not match any namespace")
+
+
+def test_placeholders_match_single_segments():
+    assert schema.match("mc.0.row_hits").prefix == "mc.{sc}"
+    assert schema.match("mc.3.bank.7.activations").prefix == "mc.{sc}.bank.{b}"
+
+
+def test_longest_template_wins():
+    assert schema.match("mc.0.latency_ps.p99").prefix == "mc.{sc}.latency_ps"
+    assert schema.match("mitigation.0.security.drift_max").prefix \
+        == "mitigation.{sc}.security"
+
+
+def test_shape_wildcards_match_like_concrete_segments():
+    # the stats-namespace lint rule checks f-string shapes this way
+    assert schema.match("mc.{}").prefix == "mc.{sc}"
+    assert schema.matches("mitigation.{}.security.rfm_cadence.p99")
+
+
+def test_unknown_names_do_not_match():
+    assert schema.match("bogus.counter") is None
+    assert not schema.matches("mcx.0.row_hits")
+    assert not schema.matches("mc")  # shorter than every template
+
+
+# ----------------------------------------------------------------------
+# Docs generation (single source of truth)
+# ----------------------------------------------------------------------
+def test_docs_table_matches_the_schema():
+    section = schema.doc_section_of(DOC.read_text(encoding="utf-8"))
+    assert section is not None, (
+        f"{DOC} lost its namespace-table markers")
+    assert section == schema.render_doc_section(), (
+        f"{DOC} namespace table drifted from repro.obs.schema — run "
+        f"python -m repro.obs.schema --write")
+
+
+def test_check_cli_agrees(capsys):
+    assert schema.main(["--check", "--doc", str(DOC)]) == 0
+    capsys.readouterr()
+
+
+def test_write_cli_round_trips(tmp_path, capsys):
+    doc = tmp_path / "observability.md"
+    stale = (f"intro\n\n{schema.BEGIN_MARK}\n| stale |\n"
+             f"{schema.END_MARK}\n\ntrailer\n")
+    doc.write_text(stale)
+    assert schema.main(["--check", "--doc", str(doc)]) == 1
+    assert schema.main(["--write", "--doc", str(doc)]) == 0
+    assert schema.main(["--check", "--doc", str(doc)]) == 0
+    text = doc.read_text()
+    assert text.startswith("intro\n") and text.endswith("trailer\n")
+    capsys.readouterr()
+
+
+def test_every_namespace_renders_one_table_row():
+    table = schema.render_table()
+    for namespace in schema.NAMESPACES:
+        assert f"`{namespace.prefix}.*`" in table
+
+
+def _example_names(namespace):
+    """Concrete metric names out of the markdown examples column."""
+    names = []
+    for chunk in namespace.examples.split("`"):
+        if "." not in chunk or " " in chunk.strip():
+            continue
+        name = chunk.strip()
+        # `a.b.count/mean/p99` families: the first spelling is concrete
+        name = name.split("/")[0]
+        # trailing wildcard families document a prefix
+        name = name.removesuffix(".*")
+        if name:
+            names.append(name)
+    return names
