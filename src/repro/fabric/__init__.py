@@ -1,0 +1,95 @@
+"""``repro.fabric``: a sharded multi-node campaign fabric.
+
+The fabric coordinates multiple :mod:`repro.serve` nodes into one
+logical campaign service (see ``docs/fabric.md``):
+
+* :mod:`repro.fabric.ring` — deterministic rendezvous hashing of
+  design points (by their :func:`repro.exec.cache.point_key`) onto
+  nodes, so every client computes the same owner with no coordinator;
+* :mod:`repro.fabric.tiers` — :class:`~repro.fabric.tiers.SharedDirTier`,
+  the directory-backed remote result tier (read-through / write-behind
+  via :class:`repro.exec.cache.TieredCache`) with in-flight claims;
+* :mod:`repro.fabric.router` — health- and admission-aware owner
+  selection (shed/saturated nodes are re-routed around);
+* :mod:`repro.fabric.client` — :class:`~repro.fabric.client.FabricClient`,
+  the fabric-aware client with per-node retry, backoff, hedged
+  requests, and node-loss failover;
+* :mod:`repro.fabric.smoke` — ``python -m repro.fabric.smoke`` boots a
+  real 3-node fabric and proves the contracts (bit-identity vs a
+  serial run, zero duplicate simulations, node-loss recovery, warm
+  remote-tier reruns).
+
+Environment knobs (every one parses through :mod:`repro.exec.env`;
+``tests/fabric/test_env.py`` enforces this):
+
+========================== ============================================
+``REPRO_REMOTE_CACHE_DIR``  shared remote-tier directory (server side)
+``REPRO_FABRIC_CLAIM_TTL_S`` claim staleness bound before stealing
+``REPRO_FABRIC_HEDGE_S``    client hedge delay (unset = no hedging)
+``REPRO_FABRIC_MAX_QUEUE``  per-node admission bound (queue depth)
+``REPRO_FABRIC_NODES``      default comma-separated node address list
+========================== ============================================
+"""
+
+from __future__ import annotations
+
+from ..exec.env import env_float, env_int, env_str
+
+#: Shared remote-tier directory; unset = the node runs un-federated.
+REMOTE_DIR_ENV = "REPRO_REMOTE_CACHE_DIR"
+
+#: Seconds before another node may steal an in-flight claim.
+CLAIM_TTL_ENV = "REPRO_FABRIC_CLAIM_TTL_S"
+
+#: Client-side hedge delay in seconds; unset disables hedging.
+HEDGE_ENV = "REPRO_FABRIC_HEDGE_S"
+
+#: Per-node admission bound: submissions shed once the queue is this deep.
+MAX_QUEUE_ENV = "REPRO_FABRIC_MAX_QUEUE"
+
+#: Default fabric membership: comma-separated node addresses.
+NODES_ENV = "REPRO_FABRIC_NODES"
+
+#: Default claim TTL — generous, so only dead claimants get stolen.
+DEFAULT_CLAIM_TTL_S = 60.0
+
+
+def remote_dir() -> str | None:
+    """``REPRO_REMOTE_CACHE_DIR``, or ``None`` (no remote tier)."""
+    return env_str(REMOTE_DIR_ENV)
+
+
+def claim_ttl_s() -> float:
+    """``REPRO_FABRIC_CLAIM_TTL_S`` (> 0), default 60 s."""
+    return env_float(CLAIM_TTL_ENV, DEFAULT_CLAIM_TTL_S,
+                     minimum=0.0, exclusive=True)
+
+
+def hedge_s() -> float | None:
+    """``REPRO_FABRIC_HEDGE_S`` (> 0), or ``None`` (hedging off)."""
+    return env_float(HEDGE_ENV, None, minimum=0.0, exclusive=True)
+
+
+def max_queue() -> int | None:
+    """``REPRO_FABRIC_MAX_QUEUE`` (>= 1), or ``None`` (no admission bound)."""
+    return env_int(MAX_QUEUE_ENV, None, minimum=1)
+
+
+def fabric_nodes() -> list[str]:
+    """``REPRO_FABRIC_NODES`` split on commas, or ``[]`` when unset."""
+    raw = env_str(NODES_ENV)
+    if raw is None:
+        return []
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+#: Every fabric knob with its strict reader — the meta-test in
+#: ``tests/fabric/test_env.py`` walks this to prove each one rejects
+#: garbage through :class:`repro.exec.env.EnvKnobError`.
+ENV_KNOBS = {
+    REMOTE_DIR_ENV: remote_dir,
+    CLAIM_TTL_ENV: claim_ttl_s,
+    HEDGE_ENV: hedge_s,
+    MAX_QUEUE_ENV: max_queue,
+    NODES_ENV: fabric_nodes,
+}

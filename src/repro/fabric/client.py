@@ -1,0 +1,411 @@
+"""The fabric-aware client: sharded submit, hedging, failover.
+
+:class:`FabricClient` layers on :class:`~repro.serve.client.ServeClient`
+to make N serve nodes look like one campaign service::
+
+    from repro.fabric.client import FabricClient
+    fabric = FabricClient(["unix:/run/n0.sock", "unix:/run/n1.sock",
+                           "unix:/run/n2.sock"])
+    results = fabric.run(points)        # original order, bit-identical
+
+Mechanics (knobs and failure semantics in ``docs/fabric.md``):
+
+* **sharding** — every unique cache key routes to its rendezvous
+  owner (:mod:`repro.fabric.ring`) through the admission-aware
+  :class:`~repro.fabric.router.Router`; one job is submitted per
+  placed node. Duplicate points in the input collapse to one key and
+  fan back out on return.
+* **retry + backoff** — status polling uses the same jittered
+  exponential backoff as ``ServeClient.wait``
+  (:func:`repro.serve.client.poll_delays`), seeded per run, so a
+  thousand fabric clients never stampede a node in lockstep.
+* **hedged requests** — a job still unfinished after ``hedge_s``
+  (``REPRO_FABRIC_HEDGE_S``) is duplicated, once, to the next owner in
+  the key's rendezvous order. The hedge can never duplicate a
+  simulation: the primary holds the remote tier's in-flight claim, so
+  the secondary's :class:`~repro.serve.pool.PointRunner` waits for the
+  claimed result instead of re-simulating (``serve.remote_waits``).
+* **node-loss failover** — a node whose polls fail
+  ``node_down_after`` consecutive times is declared lost; its
+  unresolved keys re-place onto the surviving owners (the dead node's
+  stale claims age out and are stolen, so even points it was *mid-
+  simulation* on complete elsewhere). A restarted node replays its
+  journal and finishes its copy of the job from the result cache —
+  nothing is simulated twice.
+
+The wall-clock reads here schedule polling and hedging only; like the
+``ServeClient`` deadline clock they never reach a result document or
+cache key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import http.client
+import time
+from typing import Any, Callable
+
+from ..exec.cache import point_key
+from ..obs.log import get_logger
+from ..obs.registry import StatsRegistry
+from ..serve.client import ServeClient, ServeError, poll_delays
+from . import hedge_s as hedge_knob
+from .router import Router
+
+log = get_logger(__name__)
+
+#: Transport-level failures (node down, socket gone, mid-restart).
+TRANSPORT_ERRORS = (OSError, http.client.HTTPException)
+
+
+def _mono_s() -> float:
+    """Monotonic clock for poll/hedge scheduling, never in payloads."""
+    # repro: allow(determinism) — client-side scheduling only
+    return time.monotonic()
+
+
+def _sleep(seconds: float) -> None:
+    """Indirected for tests (fake clocks drive the wait loop)."""
+    time.sleep(seconds)
+
+
+class FabricError(RuntimeError):
+    """A fabric campaign cannot complete."""
+
+
+@dataclasses.dataclass
+class NodeJob:
+    """One job submitted to one node on behalf of a fabric run."""
+
+    node: str
+    job_id: str
+    keys: list[str]
+    hedge: bool = False
+    #: monotonic stamp of submission (hedge timer)
+    submitted_mono: float = 0.0
+    #: consecutive failed polls (node-loss detector)
+    failures: int = 0
+    #: terminal on this node (done, abandoned, or failed over)
+    closed: bool = False
+    #: a hedge for this job's keys has already been issued
+    hedged: bool = False
+
+
+class FabricRun:
+    """State of one sharded submission across the fabric."""
+
+    def __init__(self, points: list[Any]):
+        self.points = list(points)
+        #: cache key of every submitted point, input order
+        self.keys = [point_key(p) for p in self.points]
+        #: first point carrying each unique key, first-seen order
+        self.unique: dict[str, Any] = {}
+        for key, p in zip(self.keys, self.points):
+            self.unique.setdefault(key, p)
+        self.jobs: list[NodeJob] = []
+        #: resolved results by unique key
+        self.results: dict[str, Any] = {}
+
+    def resolved(self) -> bool:
+        return len(self.results) == len(self.unique)
+
+    def pending(self, job: NodeJob) -> list[str]:
+        """The job's keys that no job has resolved yet."""
+        return [key for key in job.keys if key not in self.results]
+
+    def output(self) -> list[Any]:
+        """Results in the original submission order (duplicates fanned
+        back out)."""
+        return [self.results[key] for key in self.keys]
+
+    def describe(self) -> dict[str, Any]:
+        """Persistable summary (``campaign --fabric`` writes this to
+        ``job.json``; :meth:`FabricClient.attach` rebuilds from it)."""
+        return {
+            "points": len(self.points),
+            "unique": len(self.unique),
+            "jobs": [{"server": job.node, "id": job.job_id,
+                      "hedge": job.hedge, "keys": list(job.keys)}
+                     for job in self.jobs],
+        }
+
+
+class FabricClient:
+    """N serve nodes presented as one campaign service."""
+
+    def __init__(self, nodes: list[str], timeout_s: float = 30.0,
+                 hedge_after_s: float | None | str = "env",
+                 node_down_after: int = 3,
+                 poll_s: float = 0.05, max_poll_s: float = 2.0,
+                 registry: StatsRegistry | None = None,
+                 client_factory: Callable[[str], ServeClient] | None = None):
+        factory = client_factory or (
+            lambda address: ServeClient(address, timeout_s=timeout_s))
+        self.clients: dict[str, ServeClient] = {
+            node: factory(node) for node in dict.fromkeys(nodes)}
+        self.router = Router(list(self.clients), probe=self._probe)
+        self.hedge_after_s = hedge_knob() if hedge_after_s == "env" \
+            else hedge_after_s
+        if node_down_after < 1:
+            raise ValueError("node_down_after must be >= 1")
+        self.node_down_after = node_down_after
+        self.poll_s = poll_s
+        self.max_poll_s = max(poll_s, max_poll_s)
+        self._run_counter = 0
+
+        self.registry = registry if registry is not None else StatsRegistry()
+        self._c_runs = self.registry.counter("fabric.runs")
+        self._c_jobs = self.registry.counter("fabric.jobs_submitted")
+        self._c_hedges = self.registry.counter("fabric.hedges")
+        self._c_failovers = self.registry.counter("fabric.failovers")
+        self._c_submit_retries = self.registry.counter(
+            "fabric.submit_retries")
+        self.registry.register("fabric.router", lambda: {
+            "sheds": self.router.sheds,
+            "reroutes": self.router.reroutes,
+        })
+
+    # ------------------------------------------------------------------
+    def _probe(self, node: str) -> dict[str, Any]:
+        return self.clients[node].healthz()
+
+    def stats(self) -> dict[str, Any]:
+        """Flat ``fabric.*`` counter snapshot (mirrors ``/stats``)."""
+        return self.registry.snapshot()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, points: list[Any], priority: int = 0,
+               timeout_s: float | None = None) -> FabricRun:
+        """Shard ``points`` by rendezvous owner and submit one job per
+        placed node. Returns the :class:`FabricRun` to pass to
+        :meth:`wait`."""
+        if not points:
+            raise ValueError("no points to submit")
+        run = FabricRun(points)
+        self._run_counter += 1
+        self._c_runs.inc()
+        groups = self.router.place_all(list(run.unique))
+        for node, keys in groups.items():
+            self._submit_keys(run, node, keys, priority, timeout_s)
+        log.info("fabric run: %d point(s), %d unique, %d job(s) across "
+                 "%d node(s)", len(run.points), len(run.unique),
+                 len(run.jobs), len(groups))
+        return run
+
+    def _submit_keys(self, run: FabricRun, node: str, keys: list[str],
+                     priority: int, timeout_s: float | None = None,
+                     hedge: bool = False, depth: int = 0) -> None:
+        """Submit ``keys`` to ``node``, re-placing on refusal/loss."""
+        if depth > len(self.clients):
+            raise FabricError(
+                f"could not place {len(keys)} point(s) anywhere "
+                f"(all nodes down or saturated)")
+        try:
+            job_id = self.clients[node].submit(
+                [run.unique[key] for key in keys], priority=priority,
+                timeout_s=timeout_s, hedge=hedge)
+        except (ServeError, *TRANSPORT_ERRORS) as error:
+            # shed (503) or transport loss: walk each key down its own
+            # rendezvous order past the refusing node
+            self._c_submit_retries.inc()
+            log.warning("submit of %d key(s) to %s refused (%s); "
+                        "re-placing", len(keys), node, error)
+            regroups: dict[str, list[str]] = {}
+            for key in keys:
+                candidates = [n for n in self.router.owners(key)
+                              if n != node]
+                target = None
+                for candidate in candidates:
+                    if self.router.admissible(candidate):
+                        target = candidate
+                        break
+                if target is None:
+                    raise FabricError(
+                        f"no surviving node admits key {key[:12]} "
+                        f"({error})") from error
+                regroups.setdefault(target, []).append(key)
+            for target, regrouped in regroups.items():
+                self._submit_keys(run, target, regrouped, priority,
+                                  timeout_s, hedge, depth + 1)
+            return
+        run.jobs.append(NodeJob(node=node, job_id=job_id, keys=keys,
+                                hedge=hedge,
+                                submitted_mono=_mono_s()))
+        self._c_jobs.inc()
+
+    def attach(self, points: list[Any],
+               jobs: list[dict[str, Any]]) -> FabricRun:
+        """Rebuild a :class:`FabricRun` from a persisted
+        :meth:`FabricRun.describe` document (``campaign fetch`` after a
+        ``campaign submit --fabric`` in an earlier process).
+
+        The hedge timers restart at attach time — an old submission is
+        not "instantly slow" just because the fetching process started
+        late.
+        """
+        run = FabricRun(points)
+        known = set(run.unique)
+        for document in jobs:
+            keys = list(document["keys"])
+            strays = [key for key in keys if key not in known]
+            if strays:
+                raise FabricError(
+                    f"job {document['id']} on {document['server']} "
+                    f"covers {len(strays)} key(s) the given points do "
+                    f"not; was the campaign re-planned after submit?")
+            run.jobs.append(NodeJob(
+                node=document["server"], job_id=document["id"],
+                keys=keys, hedge=bool(document.get("hedge")),
+                submitted_mono=_mono_s()))
+        covered = {key for job in run.jobs for key in job.keys}
+        missing = known - covered
+        if missing:
+            raise FabricError(
+                f"{len(missing)} point(s) have no submitted job; was "
+                f"the campaign re-planned after submit?")
+        return run
+
+    # ------------------------------------------------------------------
+    # Completion: poll, hedge, fail over
+    # ------------------------------------------------------------------
+    def wait(self, run: FabricRun, timeout_s: float = 600.0) -> list[Any]:
+        """Drive ``run`` to completion; returns results in submission
+        order, bit-identical to a serial local sweep."""
+        deadline = _mono_s() + timeout_s
+        delays = poll_delays(f"fabric-{self._run_counter}",
+                             self.poll_s, self.max_poll_s)
+        while not run.resolved():
+            for job in list(run.jobs):
+                if job.closed:
+                    continue
+                self._poll_job(run, job)
+            if run.resolved():
+                break
+            if _mono_s() >= deadline:
+                missing = len(run.unique) - len(run.results)
+                raise FabricError(
+                    f"{missing} point(s) unresolved after "
+                    f"{timeout_s:g}s")
+            _sleep(min(next(delays), max(0.0, deadline - _mono_s())))
+        return run.output()
+
+    def run(self, points: list[Any], priority: int = 0,
+            timeout_s: float = 600.0) -> list[Any]:
+        """:meth:`submit` + :meth:`wait` in one call."""
+        return self.wait(self.submit(points, priority=priority),
+                         timeout_s=timeout_s)
+
+    def _poll_job(self, run: FabricRun, job: NodeJob) -> None:
+        try:
+            document = self.clients[job.node].status(job.job_id)
+            job.failures = 0
+        except ServeError as error:
+            if error.status == 404:
+                # node lost its journal (fresh state dir): treat as loss
+                self._fail_over(run, job, f"job unknown ({error})")
+            else:
+                job.failures += 1
+            return
+        except TRANSPORT_ERRORS as error:
+            job.failures += 1
+            if job.failures >= self.node_down_after:
+                self._fail_over(run, job, f"unreachable ({error})")
+            return
+
+        state = document["state"]
+        if state == "done":
+            self._collect(run, job)
+        elif state in ("failed", "cancelled"):
+            if self._pending_elsewhere(run, job):
+                # a hedge/failover twin still owes these keys; this
+                # copy's failure is not fatal
+                job.closed = True
+            else:
+                raise FabricError(
+                    f"job {job.job_id} on {job.node} ended {state}: "
+                    f"{document.get('error')}")
+        else:
+            self._maybe_hedge(run, job)
+
+    def _collect(self, run: FabricRun, job: NodeJob) -> None:
+        try:
+            results = self.clients[job.node].result(job.job_id)
+        except ServeError as error:
+            raise FabricError(
+                f"job {job.job_id} on {job.node}: {error}") from error
+        except TRANSPORT_ERRORS as error:
+            # done but unreachable for the fetch: retry next poll tick
+            job.failures += 1
+            if job.failures >= self.node_down_after:
+                self._fail_over(run, job, f"unreachable ({error})")
+            return
+        for key, result in zip(job.keys, results):
+            run.results.setdefault(key, result)
+        job.closed = True
+
+    def _pending_elsewhere(self, run: FabricRun, job: NodeJob) -> bool:
+        """Is every pending key of ``job`` also owed by another open
+        job?"""
+        pending = set(run.pending(job))
+        if not pending:
+            return True
+        for other in run.jobs:
+            if other is job or other.closed:
+                continue
+            pending -= set(other.keys)
+        return not pending
+
+    def _maybe_hedge(self, run: FabricRun, job: NodeJob) -> None:
+        if (self.hedge_after_s is None or job.hedged or job.hedge
+                or len(self.clients) < 2):
+            return
+        if _mono_s() - job.submitted_mono < self.hedge_after_s:
+            return
+        pending = run.pending(job)
+        if not pending:
+            return
+        job.hedged = True
+        target = self._hedge_target(pending[0], job.node)
+        if target is None:
+            return
+        log.info("hedging %d pending key(s) of %s from %s to %s",
+                 len(pending), job.job_id, job.node, target)
+        self._c_hedges.inc()
+        self._submit_keys(run, target, pending, priority=0, hedge=True)
+
+    def _hedge_target(self, key: str, primary: str) -> str | None:
+        for node in self.router.owners(key):
+            if node != primary and self.router.admissible(node):
+                return node
+        return None
+
+    def _fail_over(self, run: FabricRun, job: NodeJob, why: str) -> None:
+        """Re-place a lost node's unresolved keys on the survivors."""
+        job.closed = True
+        pending = run.pending(job)
+        # keys another open job already owes (a hedge twin) need no
+        # replacement — double-placing them would double the load
+        for other in run.jobs:
+            if other is not job and not other.closed:
+                pending = [k for k in pending if k not in other.keys]
+        log.warning("node %s lost (%s); failing over %d key(s)",
+                    job.node, why, len(pending))
+        if not pending:
+            return
+        self._c_failovers.inc()
+        groups: dict[str, list[str]] = {}
+        for key in pending:
+            target = None
+            for node in self.router.owners(key):
+                if node != job.node and self.router.admissible(node):
+                    target = node
+                    break
+            if target is None:
+                raise FabricError(
+                    f"no surviving node admits key {key[:12]} after "
+                    f"losing {job.node}")
+            groups.setdefault(target, []).append(key)
+        for target, keys in groups.items():
+            self._submit_keys(run, target, keys, priority=0)

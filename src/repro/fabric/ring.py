@@ -1,0 +1,81 @@
+"""Deterministic rendezvous (highest-random-weight) hashing.
+
+Every fabric participant — client, router, hedger — must agree on
+which node owns a design point *without talking to each other*. The
+ring gives that: the owner order of a cache key is a pure function of
+``(key, membership)``, computed as the descending order of
+``sha256(key | node)`` weights. Properties the fabric leans on:
+
+* **agreement** — any process with the same membership list computes
+  the same owner order for every key (list order does not matter);
+* **minimal disruption** — removing a node only reassigns the keys it
+  owned (every other key's first choice is unchanged), which is what
+  makes node-loss failover cheap;
+* **spread** — weights are uniform, so keys spread evenly across
+  nodes without virtual-node bookkeeping.
+
+Nothing here reads a clock, the environment, or ``repro.rng`` — owner
+computation sits on the bit-identity path (the same sweep must route
+the same way on every client).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def node_weight(key: str, node: str) -> int:
+    """Rendezvous weight of ``node`` for ``key`` (256-bit integer)."""
+    digest = hashlib.sha256(f"{key}|{node}".encode()).digest()
+    return int.from_bytes(digest, "big")
+
+
+def rank_nodes(key: str, nodes: list[str]) -> list[str]:
+    """``nodes`` in descending rendezvous-weight order for ``key``.
+
+    Ties (only possible for duplicate node ids, which
+    :class:`Ring` rejects) break on the node id so the order is total.
+    """
+    return sorted(nodes, key=lambda node: (-node_weight(key, node), node))
+
+
+class Ring:
+    """A fixed membership list with rendezvous owner lookup."""
+
+    def __init__(self, nodes: list[str]):
+        cleaned = [node.strip() for node in nodes if node and node.strip()]
+        if not cleaned:
+            raise ValueError("a fabric needs at least one node")
+        if len(set(cleaned)) != len(cleaned):
+            raise ValueError(f"duplicate node addresses in {cleaned!r}")
+        #: membership in a canonical order (sorted, so two rings built
+        #: from differently-ordered lists compare equal)
+        self.nodes = sorted(cleaned)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Ring) and self.nodes == other.nodes
+
+    def owners(self, key: str, count: int | None = None) -> list[str]:
+        """Owner preference order for ``key``: primary first, then the
+        hedge/failover targets. ``count`` truncates (None = all)."""
+        ranked = rank_nodes(key, self.nodes)
+        return ranked if count is None else ranked[:count]
+
+    def owner(self, key: str) -> str:
+        """The primary owner of ``key``."""
+        return self.owners(key, 1)[0]
+
+    def without(self, node: str) -> "Ring":
+        """A ring with ``node`` removed (node-loss reroute)."""
+        survivors = [n for n in self.nodes if n != node]
+        return Ring(survivors)
+
+    def assignment(self, keys: list[str]) -> dict[str, list[str]]:
+        """Keys grouped by primary owner (owner -> keys, input order)."""
+        groups: dict[str, list[str]] = {node: [] for node in self.nodes}
+        for key in keys:
+            groups[self.owner(key)].append(key)
+        return groups

@@ -1,0 +1,129 @@
+"""Health- and admission-aware routing over the rendezvous ring.
+
+The :class:`Router` turns the ring's pure owner order into a live
+placement decision:
+
+* the **ring** says who *should* own a key (deterministic, shared by
+  every client);
+* the **router** walks that preference order past nodes that are down
+  (transport errors) or saturated (the node's advertised admission
+  bound — ``/healthz`` carries ``queue_depth``/``max_queue``), so a
+  hot or dead node sheds load to the next rendezvous choice instead
+  of stalling the campaign.
+
+Probing is pluggable (``probe(address) -> healthz document``) so unit
+tests drive the router with canned health states and no sockets. The
+router never caches a "down" verdict forever: every placement re-walks
+the preference order, so a recovered node starts taking its keys back
+on the next submission — membership changes need no epoch protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..obs.log import get_logger
+from .ring import Ring
+
+log = get_logger(__name__)
+
+
+class NoNodeAvailable(RuntimeError):
+    """Every candidate owner for a key is down or saturated."""
+
+
+class Router:
+    """Placement over a :class:`~repro.fabric.ring.Ring` with shedding.
+
+    ``probe`` is called per candidate node and must return that node's
+    ``/healthz`` document (raising on transport failure). A node is
+    *admissible* when it answers, is not draining, and its queue depth
+    is below its advertised admission bound.
+    """
+
+    def __init__(self, nodes: list[str],
+                 probe: Callable[[str], dict[str, Any]] | None = None):
+        self.ring = Ring(nodes)
+        self.probe = probe
+        #: per-node consecutive probe failures (observability)
+        self.failures: dict[str, int] = {node: 0 for node in self.ring.nodes}
+        #: how many placements were shed off a saturated node
+        self.sheds = 0
+        #: how many placements skipped an unreachable node
+        self.reroutes = 0
+
+    # ------------------------------------------------------------------
+    def owners(self, key: str, count: int | None = None) -> list[str]:
+        """The ring's deterministic preference order (no probing)."""
+        return self.ring.owners(key, count)
+
+    def admissible(self, node: str) -> bool:
+        """One probe: is ``node`` up, accepting, and under its bound?"""
+        if self.probe is None:
+            return True
+        try:
+            health = self.probe(node)
+        except Exception as error:  # transport: node down/mid-restart
+            self.failures[node] = self.failures.get(node, 0) + 1
+            log.debug("probe %s failed (%s)", node, error)
+            return False
+        self.failures[node] = 0
+        if health.get("draining"):
+            return False
+        max_queue = health.get("max_queue")
+        if max_queue and health.get("queue_depth", 0) >= max_queue:
+            return False
+        return True
+
+    def place(self, key: str) -> str:
+        """The first admissible owner of ``key``, shedding as needed.
+
+        Walks the rendezvous preference order; saturated nodes count as
+        sheds, unreachable ones as reroutes. Raises
+        :class:`NoNodeAvailable` when the whole fabric refuses.
+        """
+        candidates = self.owners(key)
+        for position, node in enumerate(candidates):
+            if self.admissible(node):
+                if position > 0:
+                    self.reroutes += 1
+                return node
+            if self.failures.get(node, 0) == 0:
+                # answered but refused: admission shed, not an outage
+                self.sheds += 1
+        raise NoNodeAvailable(
+            f"no admissible node for key {key[:12]} among "
+            f"{candidates!r}")
+
+    def place_all(self, keys: list[str]) -> dict[str, list[str]]:
+        """Group ``keys`` by placement (node -> keys, input order).
+
+        Each distinct primary owner is probed once per call, not once
+        per key — a million-point campaign must not issue a million
+        health checks.
+        """
+        verdicts: dict[str, bool] = {}
+
+        def admitted(node: str) -> bool:
+            if node not in verdicts:
+                verdicts[node] = self.admissible(node)
+            return verdicts[node]
+
+        groups: dict[str, list[str]] = {}
+        for key in keys:
+            placed = None
+            candidates = self.owners(key)
+            for position, node in enumerate(candidates):
+                if admitted(node):
+                    if position > 0:
+                        self.reroutes += 1
+                    placed = node
+                    break
+                if self.failures.get(node, 0) == 0 and position == 0:
+                    self.sheds += 1
+            if placed is None:
+                raise NoNodeAvailable(
+                    f"no admissible node for key {key[:12]} among "
+                    f"{candidates!r}")
+            groups.setdefault(placed, []).append(key)
+        return groups

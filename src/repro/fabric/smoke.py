@@ -1,0 +1,274 @@
+"""End-to-end self-check of the fabric (``python -m repro.fabric.smoke``).
+
+Boots a real multi-node fabric — three ``repro.serve`` subprocesses
+sharing one remote result tier — and verifies the fabric contracts:
+
+1. **Sharded correctness** — a sweep submitted through
+   :class:`~repro.fabric.client.FabricClient` (with hedging forced on)
+   returns results bit-identical (modulo wall-time provenance) to the
+   serial :mod:`repro.exec` path, and the fabric simulates each unique
+   point exactly once *across all nodes* — hedged duplicates resolve
+   through remote-tier claims, never a second simulation.
+2. **Tiered read-through** — a warm rerun on three *fresh* nodes
+   (empty local caches, same remote tier) simulates nothing and
+   serves every point from the remote tier
+   (``exec.cache.remote.hits`` > 0).
+3. **Node loss** — SIGKILL one node mid-campaign: the client fails
+   its keys over to the survivors, stale claims are stolen, the sweep
+   completes bit-identically, and no orphaned in-flight claim is left
+   on the tier.
+
+Exit status 0 on success; nonzero with a diagnostic otherwise. CI runs
+this via ``make fabric-smoke``.
+
+Options::
+
+    python -m repro.fabric.smoke [--workers N] [--quiet]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from ..obs.log import configure, get_logger
+from ..serve.smoke import comparable, serial_reference, smoke_points
+from .client import FabricClient
+from .tiers import SharedDirTier
+
+log = get_logger("repro.fabric.smoke")
+
+NODES = 3
+
+
+def start_node(state_dir: pathlib.Path, address: str, remote: pathlib.Path,
+               node_id: str, workers: int, max_jobs: int = 4,
+               drain_s: float = 10.0,
+               claim_ttl_s: float | None = None) -> subprocess.Popen:
+    command = [sys.executable, "-m", "repro.serve",
+               "--state-dir", str(state_dir), "--address", address,
+               "--workers", str(workers), "--max-jobs", str(max_jobs),
+               "--drain-s", str(drain_s),
+               "--remote-cache", str(remote), "--node-id", node_id]
+    if claim_ttl_s is not None:
+        command += ["--claim-ttl-s", str(claim_ttl_s)]
+    # own session (= own process group): SIGKILLing a node must also
+    # reap its forked pool workers, or the orphans outlive the smoke
+    # holding stdout open (CI pipes would wait on them forever)
+    return subprocess.Popen(command, start_new_session=True)
+
+
+def start_fabric(tmp: pathlib.Path, tag: str, remote: pathlib.Path,
+                 workers: int, claim_ttl_s: float | None = None,
+                 ) -> tuple[list[str], list[subprocess.Popen]]:
+    addresses, processes = [], []
+    for n in range(NODES):
+        address = f"unix:{tmp / f'{tag}{n}.sock'}"
+        addresses.append(address)
+        processes.append(start_node(
+            tmp / f"{tag}{n}-state", address, remote,
+            node_id=f"{tag}{n}", workers=workers,
+            claim_ttl_s=claim_ttl_s))
+    return addresses, processes
+
+
+def stop_fabric(processes: list[subprocess.Popen],
+                timeout_s: float = 30.0) -> int:
+    code = 0
+    for process in processes:
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+    for process in processes:
+        try:
+            code |= abs(process.wait(timeout=timeout_s))
+        except subprocess.TimeoutExpired:
+            process.kill()
+            code |= 1
+    return code
+
+
+def node_stats(fabric: FabricClient) -> list[dict]:
+    stats = []
+    for node, client in fabric.clients.items():
+        try:
+            stats.append(client.stats())
+        except OSError:
+            log.info("node %s unreachable for stats (killed?)", node)
+    return stats
+
+
+def fabric_sum(stats: list[dict], name: str) -> float:
+    return sum(document.get(name, 0) for document in stats)
+
+
+# ----------------------------------------------------------------------
+# Legs 1+2: cold sharded sweep with hedging, then warm read-through
+# ----------------------------------------------------------------------
+def check_cold(fabric: FabricClient, expected: list[dict],
+               points: list) -> int:
+    results = fabric.run(points, timeout_s=300.0)
+    got = [comparable(result) for result in results]
+    if got != expected:
+        log.error("FAIL: fabric results differ from serial run")
+        return 1
+
+    stats = node_stats(fabric)
+    simulated = fabric_sum(stats, "serve.points_simulated")
+    hedged = fabric_sum(stats, "serve.jobs_hedged")
+    waits = fabric_sum(stats, "serve.remote_waits")
+    unique = len({str(doc) for doc in expected})
+    log.info("cold fabric: simulated=%d (unique=%d) hedged=%d "
+             "remote_waits=%d client=%s", simulated, unique, hedged,
+             waits, fabric.stats())
+    if simulated != unique:
+        log.error("FAIL: %d simulations fabric-wide for %d unique "
+                  "points (hedge/raced duplicates must dedup through "
+                  "claims)", simulated, unique)
+        return 1
+    if fabric.stats().get("fabric.hedges", 0) < 1 or hedged < 1:
+        log.error("FAIL: no hedge observed despite hedge_after_s=0")
+        return 1
+    log.info("OK: sharded sweep bit-identical to serial, %d unique "
+             "points simulated exactly once fabric-wide", unique)
+    return 0
+
+
+def check_warm(tmp: pathlib.Path, remote: pathlib.Path, workers: int,
+               expected: list[dict], points: list) -> int:
+    addresses, processes = start_fabric(tmp, "warm", remote, workers)
+    fabric = FabricClient(addresses, hedge_after_s=None)
+    try:
+        for client in fabric.clients.values():
+            client.wait_ready()
+        results = fabric.run(points, timeout_s=300.0)
+        got = [comparable(result) for result in results]
+        if got != expected:
+            log.error("FAIL: warm fabric results differ from serial run")
+            return 1
+        stats = node_stats(fabric)
+        simulated = fabric_sum(stats, "serve.points_simulated")
+        remote_hits = fabric_sum(stats, "exec.cache.remote.hits")
+        hit_rates = [doc.get("exec.cache.remote.hit_rate", 0.0)
+                     for doc in stats]
+        log.info("warm fabric: simulated=%d remote_hits=%d "
+                 "hit_rates=%s", simulated, remote_hits, hit_rates)
+        if simulated != 0:
+            log.error("FAIL: warm rerun simulated %d point(s); all "
+                      "should read through from the remote tier",
+                      simulated)
+            return 1
+        if remote_hits < 1 or max(hit_rates, default=0.0) <= 0.0:
+            log.error("FAIL: warm rerun shows no remote-tier "
+                      "read-through hits")
+            return 1
+        log.info("OK: warm rerun on fresh nodes served entirely from "
+                 "the remote tier (%d hits)", int(remote_hits))
+        return 0
+    finally:
+        code = stop_fabric(processes)
+        if code:
+            log.error("FAIL: warm fabric shutdown exited %d", code)
+            return 1
+
+
+# ----------------------------------------------------------------------
+# Leg 3: SIGKILL a node mid-campaign; survivors finish the sweep
+# ----------------------------------------------------------------------
+def check_node_loss(tmp: pathlib.Path, workers: int) -> int:
+    remote = tmp / "remote-loss"
+    points = smoke_points(seed=7)  # cold keys: real work to interrupt
+    expected = serial_reference(points)
+    addresses, processes = start_fabric(tmp, "loss", remote,
+                                        workers=1, claim_ttl_s=1.0)
+    by_address = dict(zip(addresses, processes))
+    fabric = FabricClient(addresses, hedge_after_s=None,
+                          node_down_after=2)
+    try:
+        for client in fabric.clients.values():
+            client.wait_ready()
+        run = fabric.submit(points)
+        # kill the node holding the most keys, mid-simulation
+        victim = max(run.jobs, key=lambda job: len(job.keys)).node
+        time.sleep(0.3)
+        process = by_address[victim]
+        os.killpg(process.pid, signal.SIGKILL)  # node + pool workers
+        process.wait(timeout=10.0)
+        log.info("SIGKILLed %s while it held %d key(s)", victim,
+                 max(len(j.keys) for j in run.jobs))
+        results = fabric.wait(run, timeout_s=300.0)
+        got = [comparable(result) for result in results]
+        if got != expected:
+            log.error("FAIL: post-kill results differ from serial run")
+            return 1
+        leftovers = SharedDirTier(remote).claims()
+        if leftovers:
+            log.error("FAIL: %d orphaned in-flight claim(s) on the "
+                      "tier after the sweep: %s", len(leftovers),
+                      [key[:12] for key in leftovers])
+            return 1
+        stats = node_stats(fabric)
+        log.info("survivors: simulated=%d remote_waits=%d steals=%d "
+                 "failovers=%d",
+                 fabric_sum(stats, "serve.points_simulated"),
+                 fabric_sum(stats, "serve.remote_waits"),
+                 fabric_sum(stats, "exec.cache.remote.steals"),
+                 fabric.stats().get("fabric.failovers", 0))
+        log.info("OK: killed node's pending points completed on "
+                 "survivors, bit-identical, no orphaned claims")
+        return 0
+    finally:
+        code = stop_fabric([p for p in processes if p.poll() is None])
+        if code:
+            log.error("FAIL: node-loss fabric shutdown exited %d", code)
+            return 1
+
+
+def run_smoke(workers: int) -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-fabric-") as name:
+        tmp = pathlib.Path(name)
+        remote = tmp / "remote"
+        points = smoke_points()
+        points = points + [points[0]]  # duplicate: client-side collapse
+        expected = serial_reference(points)
+
+        addresses, processes = start_fabric(tmp, "cold", remote, workers)
+        # hedge_after_s=0: every first poll of an unfinished job hedges,
+        # so the zero-duplicate assertion exercises the claim path
+        fabric = FabricClient(addresses, hedge_after_s=0.0)
+        try:
+            for client in fabric.clients.values():
+                client.wait_ready()
+            code = check_cold(fabric, expected, points)
+        finally:
+            stop_code = stop_fabric(processes)
+        if code:
+            return code
+        if stop_code != 0:
+            log.error("FAIL: cold fabric exited %d on SIGTERM",
+                      stop_code)
+            return 1
+        code = check_warm(tmp, remote, workers, expected, points)
+        if code:
+            return code
+        return check_node_loss(tmp, workers)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.fabric.smoke", description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--quiet", action="store_true",
+                        help="only report failures")
+    args = parser.parse_args(argv)
+    configure("warning" if args.quiet else None)
+    return run_smoke(args.workers)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

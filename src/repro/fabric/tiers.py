@@ -1,0 +1,176 @@
+"""Directory-backed remote result tier with in-flight claims.
+
+:class:`SharedDirTier` implements the
+:class:`repro.exec.cache.RemoteTier` interface on a directory every
+fabric node can reach (NFS export, bind mount, or plain local path for
+in-process fabrics). Layout::
+
+    <root>/
+        <kk>/<key>.json          # result documents (ResultCache layout)
+        inflight/<key>.claim     # claim files: body = owner node id
+
+**Results** use the same atomic temp-file + ``os.replace`` protocol as
+the local cache, so concurrent writers from different nodes can never
+tear an entry, and a reader either sees a full document or nothing.
+
+**Claims** are the fabric-wide in-flight dedup primitive. A node about
+to simulate key ``K`` creates ``inflight/K.claim`` with
+``O_CREAT | O_EXCL`` — the filesystem arbitrates, exactly one node
+wins. Everyone else polls for the result instead of simulating.
+Claims carry no lease service: a claim older than the configured TTL
+(its file mtime) is presumed dead (SIGKILLed node) and may be
+*stolen*. Stealing is race-free by rename: the stealer first renames
+the stale claim away — ``os.rename`` succeeds for exactly one of N
+racing stealers — then re-claims with ``O_CREAT | O_EXCL``. The
+loser of either step goes back to waiting, so no interleaving yields
+two simultaneous claim holders.
+
+The wall-clock reads here (claim ages) are operator-facing liveness
+bookkeeping only — never part of a result document or cache key — and
+carry determinism waivers like the serve-side clock helpers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+from ..exec.cache import TieredCache
+from ..obs.log import get_logger
+
+log = get_logger(__name__)
+
+
+def _wall_s() -> float:
+    """Claim-age clock: liveness bookkeeping, never in results."""
+    # repro: allow(determinism) — claim staleness only, never in payloads
+    return time.time()
+
+
+class SharedDirTier:
+    """Shared-directory :class:`~repro.exec.cache.RemoteTier`."""
+
+    def __init__(self, root: str | pathlib.Path):
+        self.root = pathlib.Path(root)
+        self.inflight_dir = self.root / "inflight"
+        self.inflight_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- results -----------------------------------------------------------
+    def _blob_path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get_blob(self, key: str) -> dict | None:
+        try:
+            with open(self._blob_path(key), encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as error:
+            log.warning("remote entry %s unreadable (%s); miss",
+                        key[:12], error)
+            return None
+
+    def put_blob(self, key: str, document: dict) -> None:
+        path = self._blob_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(document))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("[0-9a-f][0-9a-f]/*.json"))
+
+    # -- claims ------------------------------------------------------------
+    def _claim_path(self, key: str) -> pathlib.Path:
+        return self.inflight_dir / f"{key}.claim"
+
+    def claim(self, key: str, owner: str) -> bool:
+        try:
+            fd = os.open(self._claim_path(key),
+                         os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(owner)
+        return True
+
+    def claim_owner(self, key: str) -> str | None:
+        try:
+            return self._claim_path(key).read_text(
+                encoding="utf-8").strip() or None
+        except OSError:
+            return None
+
+    def claim_age_s(self, key: str) -> float | None:
+        try:
+            stat = self._claim_path(key).stat()
+        except OSError:
+            return None
+        return max(0.0, _wall_s() - stat.st_mtime)
+
+    def release(self, key: str, owner: str) -> None:
+        # owner check is best-effort: a claim stolen between the read
+        # and the unlink belongs to someone else, and unlinking it
+        # would re-open the key to duplicate simulation — so only
+        # unlink what still names us
+        if self.claim_owner(key) != owner:
+            return
+        try:
+            os.unlink(self._claim_path(key))
+        except OSError:
+            pass
+
+    def steal_claim(self, key: str, owner: str) -> bool:
+        path = self._claim_path(key)
+        # one winner per stale claim: os.rename is atomic, so of N
+        # stealers exactly one moves the file aside; the rest lose
+        # with FileNotFoundError and return to waiting
+        grave = path.with_suffix(f".stolen-{os.getpid()}")
+        try:
+            os.rename(path, grave)
+        except OSError:
+            return False
+        try:
+            os.unlink(grave)
+        except OSError:
+            pass
+        # the rename winner still races fresh claimants arriving after
+        # the rename; O_EXCL arbitrates that too
+        return self.claim(key, owner)
+
+    def claims(self) -> list[str]:
+        try:
+            names = os.listdir(self.inflight_dir)
+        except OSError:
+            return []
+        return sorted(name[:-len(".claim")] for name in names
+                      if name.endswith(".claim"))
+
+
+def make_tiered_cache(local_dir: str | pathlib.Path,
+                      remote_root: str | pathlib.Path,
+                      owner: str,
+                      claim_ttl_s: float | None = None) -> TieredCache:
+    """A :class:`~repro.exec.cache.TieredCache` over a shared directory.
+
+    ``claim_ttl_s`` defaults to ``REPRO_FABRIC_CLAIM_TTL_S`` (60 s when
+    unset) — the staleness bound after which a dead node's in-flight
+    claims may be stolen by survivors.
+    """
+    from . import claim_ttl_s as default_ttl
+    ttl = claim_ttl_s if claim_ttl_s is not None else default_ttl()
+    return TieredCache(local_dir, SharedDirTier(remote_root),
+                       owner=owner, claim_ttl_s=ttl)

@@ -20,11 +20,12 @@ SIGTERM + resume without the client noticing anything but latency.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import http.client
 import json
 import socket
 import time
-from typing import Any
+from typing import Any, Iterator
 
 from ..exec.serialize import result_from_dict
 from ..sim.runner import DesignPoint
@@ -39,6 +40,40 @@ def _now() -> float:
     """
     # repro: allow(determinism) — poll-deadline clock, never in payloads
     return time.monotonic()
+
+
+def _sleep(seconds: float) -> None:
+    """Poll-interval sleep (indirected so tests can fake the clock)."""
+    time.sleep(seconds)
+
+
+def poll_jitter(token: str, attempt: int) -> float:
+    """Deterministic jitter factor in ``[0.75, 1.25]``.
+
+    Seeded from ``(token, attempt)`` via sha256 — independent of
+    ``repro.rng`` (no simulation stream is perturbed by polling) and of
+    the host (no entropy read), yet different tokens desynchronise, so
+    a thousand clients waiting on jobs submitted together do not
+    stampede the daemon in lockstep.
+    """
+    digest = hashlib.sha256(f"{token}:{attempt}".encode()).digest()
+    return 0.75 + 0.5 * int.from_bytes(digest[:4], "big") / 0xFFFFFFFF
+
+
+def poll_delays(token: str, base_s: float,
+                cap_s: float) -> Iterator[float]:
+    """Jittered exponential-backoff delays: ``base_s`` doubling up to
+    ``cap_s``, each scaled by :func:`poll_jitter`.
+
+    The cap bounds total poll traffic: a job that takes wall time ``T``
+    costs ``O(log2(cap_s / base_s) + T / cap_s)`` status requests
+    instead of the ``T / base_s`` a fixed interval would issue.
+    """
+    attempt = 0
+    while True:
+        delay = min(base_s * (2 ** min(attempt, 30)), cap_s)
+        yield delay * poll_jitter(token, attempt)
+        attempt += 1
 
 
 class ServeError(RuntimeError):
@@ -151,14 +186,22 @@ class ServeClient:
         return self._call("GET", path)
 
     def submit(self, points: list[Any], priority: int = 0,
-               timeout_s: float | None = None) -> str:
-        """Submit a job; returns its id once the server journaled it."""
+               timeout_s: float | None = None,
+               hedge: bool = False) -> str:
+        """Submit a job; returns its id once the server journaled it.
+
+        ``hedge`` marks the job as a fabric hedge (a duplicate sent to
+        a secondary owner); the server counts these separately
+        (``serve.jobs_hedged``) so hedge amplification is observable.
+        """
         body: dict[str, Any] = {
             "points": [_point_fields(p) for p in points],
             "priority": priority,
         }
         if timeout_s is not None:
             body["timeout_s"] = timeout_s
+        if hedge:
+            body["hedge"] = True
         return self._call("POST", "/submit", body)["id"]
 
     def status(self, job_id: str | None = None) -> dict[str, Any]:
@@ -198,18 +241,26 @@ class ServeClient:
                     raise TimeoutError(
                         f"server at {self.address} not ready after "
                         f"{timeout_s:g}s ({error})") from None
-                time.sleep(poll_s)
+                _sleep(poll_s)
 
     def wait(self, job_id: str, timeout_s: float = 600.0,
-             poll_s: float = 0.1,
+             poll_s: float = 0.1, max_poll_s: float = 5.0,
              tolerate_disconnects: bool = False) -> dict[str, Any]:
         """Poll until the job reaches a terminal state; returns it.
 
-        With ``tolerate_disconnects`` transport errors (the server is
+        Polling backs off exponentially from ``poll_s`` to
+        ``max_poll_s`` with deterministic seeded jitter (see
+        :func:`poll_delays`), capping total poll traffic per job at
+        roughly ``timeout_s / max_poll_s`` requests while keeping
+        short-job latency near ``poll_s``. With
+        ``tolerate_disconnects`` transport errors (the server is
         restarting) are retried until ``timeout_s`` runs out.
         """
         from .jobs import TERMINAL
+        if max_poll_s < poll_s:
+            max_poll_s = poll_s
         deadline = _now() + timeout_s
+        delays = poll_delays(job_id, poll_s, max_poll_s)
         while True:
             try:
                 document = self.status(job_id)
@@ -225,4 +276,4 @@ class ServeClient:
             if _now() >= deadline:
                 raise TimeoutError(
                     f"{job_id} not finished after {timeout_s:g}s")
-            time.sleep(poll_s)
+            _sleep(min(next(delays), max(0.0, deadline - _now())))

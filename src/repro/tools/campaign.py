@@ -33,6 +33,12 @@ overlapping points (see ``docs/serving.md``):
 * ``fetch``  — wait for completion and write the same ``results.csv``
   the local ``run`` would have produced (bit-identical numbers).
 
+With ``submit --fabric unix:/a.sock,unix:/b.sock,...`` the campaign
+instead shards across a multi-node fabric (points route to their
+rendezvous-owner nodes, with hedging and node-loss failover — see
+``docs/fabric.md``); ``status`` and ``fetch`` auto-detect the sharded
+submission from ``job.json`` and reassemble the same ``results.csv``.
+
 Example::
 
     python -m repro.tools.campaign plan  --dir camp --workloads add mcf
@@ -163,14 +169,19 @@ def _job_file(directory: pathlib.Path) -> pathlib.Path:
     return directory / "job.json"
 
 
-def _load_job(directory: pathlib.Path,
-              server: str | None) -> tuple[str, str]:
-    """The campaign's submitted ``(job_id, server_address)``."""
+def _load_record(directory: pathlib.Path) -> dict:
+    """The persisted submission record (single-server or fabric)."""
     path = _job_file(directory)
     if not path.exists():
         raise FileNotFoundError(
             f"{path} missing; run `campaign submit` first")
-    record = json.loads(path.read_text())
+    return json.loads(path.read_text())
+
+
+def _load_job(directory: pathlib.Path,
+              server: str | None) -> tuple[str, str]:
+    """The campaign's submitted ``(job_id, server_address)``."""
+    record = _load_record(directory)
     return record["id"], server or record["server"]
 
 
@@ -188,19 +199,60 @@ def submit(directory: pathlib.Path, server: str,
     return job_id
 
 
+def fabric_submit(directory: pathlib.Path, nodes: list[str],
+                  priority: int = 0) -> dict:
+    """Shard the planned campaign across a fabric; remembers the jobs.
+
+    The points route by cache key onto their rendezvous-owner nodes
+    (see ``docs/fabric.md``); ``fetch`` later reassembles the shards
+    into the same ``results.csv`` a single-server run produces.
+    """
+    from ..fabric.client import FabricClient
+    _, _, flat = planned_points(directory)
+    fabric = FabricClient(nodes)
+    run = fabric.submit(flat, priority=priority)
+    record = {"fabric": nodes, **run.describe()}
+    _job_file(directory).write_text(json.dumps(record) + "\n")
+    log.info("submitted %d points (%d unique) as %d job(s) across the "
+             "%d-node fabric", len(flat), len(run.unique),
+             len(run.jobs), len(nodes))
+    return record
+
+
 def status(directory: pathlib.Path, server: str | None = None) -> dict:
     from ..serve.client import ServeClient
-    job_id, server = _load_job(directory, server)
-    return ServeClient(server).status(job_id)
+    record = _load_record(directory)
+    if "fabric" in record:
+        states: dict[str, str] = {}
+        for job in record["jobs"]:
+            try:
+                document = ServeClient(job["server"]).status(job["id"])
+                state = document["state"]
+            except OSError as error:
+                state = f"unreachable ({error})"
+            states[f"{job['server']}#{job['id']}"] = state
+        done = sum(1 for state in states.values() if state == "done")
+        return {"fabric_nodes": len(record["fabric"]),
+                "jobs_done": done, "jobs_total": len(states), **states}
+    job_id = record["id"]
+    return ServeClient(server or record["server"]).status(job_id)
 
 
 def fetch(directory: pathlib.Path, server: str | None = None,
           wait_s: float = 600.0) -> pathlib.Path:
-    """Wait for the submitted job and write ``results.csv``."""
+    """Wait for the submitted job(s) and write ``results.csv``."""
     from ..serve.client import ServeClient
-    job_id, server = _load_job(directory, server)
+    record = _load_record(directory)
     ini_paths, points, flat = planned_points(directory)
-    client = ServeClient(server)
+    if "fabric" in record:
+        from ..fabric.client import FabricClient
+        fabric = FabricClient(record["fabric"])
+        run = fabric.attach(flat, record["jobs"])
+        results = fabric.wait(run, timeout_s=wait_s)
+        return write_results_csv(directory / "results.csv", ini_paths,
+                                 points, results)
+    job_id = record["id"]
+    client = ServeClient(server or record["server"])
     document = client.wait(job_id, timeout_s=wait_s,
                            tolerate_disconnects=True)
     if document["state"] != "done":
@@ -381,6 +433,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--server", default=None,
                         help="repro.serve address (unix:/path.sock or "
                              "host:port) for submit/status/fetch")
+    parser.add_argument("--fabric", nargs="?", const="", default=None,
+                        metavar="ADDR,ADDR,...",
+                        help="submit: shard the campaign across these "
+                             "fabric nodes instead of one --server "
+                             "(bare --fabric reads REPRO_FABRIC_NODES); "
+                             "status/fetch auto-detect fabric "
+                             "submissions from job.json")
     parser.add_argument("--priority", type=int, default=0,
                         help="submit: job priority (higher runs first)")
     parser.add_argument("--wait-s", type=float, default=600.0,
@@ -418,8 +477,26 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         return 1 if failures else 0
     if args.command == "submit":
+        if args.fabric is not None:
+            nodes = [part.strip() for part in args.fabric.split(",")
+                     if part.strip()]
+            if not nodes:
+                from ..fabric import fabric_nodes
+                nodes = fabric_nodes() or []
+            if not nodes:
+                parser.error("--fabric needs node addresses (inline "
+                             "or via REPRO_FABRIC_NODES)")
+            try:
+                record = fabric_submit(directory, nodes,
+                                       priority=args.priority)
+            except FileNotFoundError as error:
+                log.error("%s", error)
+                return 2
+            for job in record["jobs"]:
+                print(f"{job['server']}#{job['id']}")
+            return 0
         if not args.server:
-            parser.error("submit requires --server")
+            parser.error("submit requires --server or --fabric")
         try:
             print(submit(directory, args.server,
                          priority=args.priority))

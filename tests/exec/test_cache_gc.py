@@ -229,3 +229,68 @@ class TestConcurrentWriters:
         shard = cache_dir / point_key(POINT)[:2]
         assert len(list(shard.glob("*.json"))) == 1
         assert list(shard.glob("*.tmp")) == []
+
+
+class TestPrunePlan:
+    def test_plan_matches_prune_candidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        make_entry(tmp_path, "aa11", 100, mtime=100)
+        make_entry(tmp_path, "bb22", 100, mtime=200)
+        make_entry(tmp_path, "cc33", 100, mtime=300)
+        plan = cache.prune_plan(max_bytes=150)
+        assert [path.stem for _, _, path in plan] == ["aa11", "bb22"]
+        # planning is read-only
+        assert len(cache) == 3
+        # the real prune evicts exactly the planned set
+        removed, freed = cache.prune(max_bytes=150)
+        assert (removed, freed) == (len(plan),
+                                    sum(size for _, size, _ in plan))
+
+    def test_plan_oldest_ns_mtime_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base_ns = 1_000_000_000_000_000_000
+        first = make_entry(tmp_path, "bb22", 10, mtime=0)
+        second = make_entry(tmp_path, "aa11", 10, mtime=0)
+        os.utime(first, ns=(base_ns + 1, base_ns + 1))
+        os.utime(second, ns=(base_ns + 2, base_ns + 2))
+        plan = cache.prune_plan(max_bytes=10)
+        assert [path.stem for _, _, path in plan] == ["bb22"]
+
+    def test_empty_plan_when_under_budget(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        make_entry(tmp_path, "aa11", 10, mtime=100)
+        assert cache.prune_plan(max_bytes=1000) == []
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path).prune_plan(max_bytes=-1)
+
+
+class TestDryRunCli:
+    def test_dry_run_prints_and_deletes_nothing(self, tmp_path, capsys):
+        old = make_entry(tmp_path, "aa11", 100, mtime=100)
+        new = make_entry(tmp_path, "bb22", 100, mtime=200)
+        assert main(["--dir", str(tmp_path), "--prune-bytes", "100",
+                     "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert f"would evict {old} (100 bytes)" in out
+        assert "bb22" not in out.split("dry run:")[0]
+        assert "would prune 1 entries (100 bytes)" in out
+        assert old.exists() and new.exists()
+
+    def test_dry_run_lists_oldest_first(self, tmp_path, capsys):
+        make_entry(tmp_path, "cc33", 50, mtime=300)
+        make_entry(tmp_path, "aa11", 50, mtime=100)
+        make_entry(tmp_path, "bb22", 50, mtime=200)
+        assert main(["--dir", str(tmp_path), "--prune-bytes", "0",
+                     "--dry-run"]) == 0
+        lines = [line for line in capsys.readouterr().out.splitlines()
+                 if line.startswith("would evict")]
+        stems = [pathlib.Path(line.split()[2]).stem for line in lines]
+        assert stems == ["aa11", "bb22", "cc33"]
+
+    def test_dry_run_requires_prune_bytes(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["--dir", str(tmp_path), "--dry-run"])
+        assert "--dry-run requires --prune-bytes" \
+            in capsys.readouterr().err

@@ -1,0 +1,320 @@
+"""FabricClient against fake nodes: sharding, hedging, failover."""
+
+import pytest
+
+from repro.exec.cache import point_key
+from repro.fabric.client import FabricClient, FabricError
+from repro.fabric.ring import Ring
+from repro.serve.client import ServeError
+from repro.sim.runner import DesignPoint
+
+NODES = ["unix:/run/n0.sock", "unix:/run/n1.sock", "unix:/run/n2.sock"]
+
+
+def make_points(count, seed=0):
+    return [DesignPoint(workload=f"w{seed}-{n}", design="baseline")
+            for n in range(count)]
+
+
+def fake_result(point):
+    return {"workload": point.workload, "design": point.design}
+
+
+class FakeClient:
+    """Scriptable stand-in for ServeClient (no sockets)."""
+
+    def __init__(self, address):
+        self.address = address
+        self.jobs = {}
+        self.submits = []       # (job_id, keys, hedge) in arrival order
+        self.down = False       # transport failure on every call
+        self.shed = False       # admission refusal on submit (503)
+        self.auto_done = True   # submitted jobs complete instantly
+        self._counter = 0
+
+    def _check_up(self):
+        if self.down:
+            raise ConnectionRefusedError(f"{self.address} down")
+
+    def healthz(self):
+        self._check_up()
+        depth, bound = (1, 1) if self.shed else (0, 0)
+        return {"status": "ok", "draining": False,
+                "queue_depth": depth, "max_queue": bound}
+
+    def submit(self, points, priority=0, timeout_s=None, hedge=False):
+        self._check_up()
+        if self.shed:
+            raise ServeError(503, {"error": "queue full"})
+        self._counter += 1
+        job_id = f"{self.address}#j{self._counter}"
+        state = "done" if self.auto_done else "running"
+        self.jobs[job_id] = {"points": list(points), "state": state}
+        self.submits.append((job_id, [point_key(p) for p in points],
+                             hedge))
+        return job_id
+
+    def finish(self, job_id=None):
+        for jid, job in self.jobs.items():
+            if job_id in (None, jid):
+                job["state"] = "done"
+
+    def status(self, job_id):
+        self._check_up()
+        if job_id not in self.jobs:
+            raise ServeError(404, {"error": "unknown job"})
+        return {"state": self.jobs[job_id]["state"]}
+
+    def result(self, job_id):
+        self._check_up()
+        return [fake_result(p) for p in self.jobs[job_id]["points"]]
+
+
+@pytest.fixture
+def fleet():
+    return {node: FakeClient(node) for node in NODES}
+
+
+@pytest.fixture
+def fabric(fleet, monkeypatch):
+    # the wait loop must spin, not sleep, under test
+    monkeypatch.setattr("repro.fabric.client._sleep", lambda s: None)
+
+    def make(**kwargs):
+        kwargs.setdefault("hedge_after_s", None)
+        return FabricClient(NODES, client_factory=fleet.__getitem__,
+                            **kwargs)
+    return make
+
+
+class TestSharding:
+    def test_each_key_lands_on_its_rendezvous_owner(self, fabric, fleet):
+        points = make_points(8)
+        run = fabric().submit(points)
+        ring = Ring(NODES)
+        for job in run.jobs:
+            for key in job.keys:
+                assert ring.owner(key) == job.node
+        submitted = [key for node in fleet.values()
+                     for _, keys, _ in node.submits for key in keys]
+        assert sorted(submitted) == sorted(run.unique)
+
+    def test_duplicates_collapse_and_fan_back_out(self, fabric):
+        points = make_points(3)
+        results = fabric().run(points + [points[0]])
+        assert len(results) == 4
+        assert results[3] == results[0]
+        assert [r["workload"] for r in results[:3]] == \
+            [p.workload for p in points]
+
+    def test_empty_submission_rejected(self, fabric):
+        with pytest.raises(ValueError, match="no points"):
+            fabric().submit([])
+
+    def test_output_matches_submission_order(self, fabric):
+        points = make_points(6)
+        results = fabric().run(points)
+        assert [r["workload"] for r in results] == \
+            [p.workload for p in points]
+
+
+class TestAdmission:
+    def test_shed_node_rerouted_around_at_placement(self, fabric, fleet):
+        points = make_points(8)
+        client = fabric()
+        ring = Ring(NODES)
+        shedding = ring.owner(point_key(points[0]))
+        fleet[shedding].shed = True
+        run = client.submit(points)
+        assert all(job.node != shedding for job in run.jobs)
+        assert client.router.sheds >= 1
+        # shed keys went to their NEXT rendezvous choice, not anywhere
+        for job in run.jobs:
+            for key in job.keys:
+                preferred = [n for n in ring.owners(key)
+                             if n != shedding]
+                assert job.node == preferred[0]
+
+    def test_submit_refusal_replaces_mid_flight(self, fabric, fleet):
+        # healthz admits, then the submit itself 503s (queue filled
+        # between probe and submit): the client must re-place
+        points = make_points(8)
+        client = fabric()
+        victim = fleet[NODES[0]]
+        original = victim.submit
+
+        def refuse(points, **kwargs):
+            raise ServeError(503, {"error": "queue full"})
+        victim.submit = refuse
+        run = client.submit(points)
+        victim.submit = original
+        assert all(job.node != NODES[0] for job in run.jobs)
+        assert client.stats()["fabric.submit_retries"] >= 1
+        assert client.wait(run) is not None
+
+    def test_whole_fabric_saturated_raises(self, fabric, fleet):
+        for node in fleet.values():
+            node.shed = True
+        with pytest.raises(Exception):  # NoNodeAvailable from place_all
+            fabric().submit(make_points(2))
+
+
+class TestHedging:
+    def test_slow_job_hedges_once_to_next_owner(self, fabric, fleet):
+        points = make_points(4)
+        for node in fleet.values():
+            node.auto_done = False
+        client = fabric(hedge_after_s=0.0)
+        run = client.submit(points)
+        primaries = {job.node for job in run.jobs}
+        client._poll_job(run, run.jobs[0])   # first poll: hedge fires
+        client._poll_job(run, run.jobs[0])   # second poll: no re-hedge
+        hedges = [job for job in run.jobs if job.hedge]
+        assert len(hedges) == 1
+        hedge = hedges[0]
+        assert hedge.node != run.jobs[0].node
+        assert hedge.keys == run.jobs[0].keys
+        # the server was told it is a hedge (serve.jobs_hedged feeds
+        # the dashboards)
+        _, _, flagged = fleet[hedge.node].submits[-1]
+        assert flagged is True
+        assert client.stats()["fabric.hedges"] == 1
+        # completion still resolves every point exactly once
+        for node in fleet.values():
+            node.finish()
+        results = client.wait(run)
+        assert len(results) == len(points)
+
+    def test_hedge_disabled_when_unset(self, fabric, fleet):
+        for node in fleet.values():
+            node.auto_done = False
+        client = fabric(hedge_after_s=None)
+        run = client.submit(make_points(4))
+        for job in list(run.jobs):
+            client._poll_job(run, job)
+        assert all(not job.hedge for job in run.jobs)
+
+    def test_hedge_never_duplicates_a_resolved_key(self, fabric, fleet):
+        points = make_points(4)
+        for node in fleet.values():
+            node.auto_done = False
+        client = fabric(hedge_after_s=0.0)
+        run = client.submit(points)
+        first = run.jobs[0]
+        for key in first.keys:
+            run.results[key] = {"already": "resolved"}
+        client._poll_job(run, first)
+        assert all(not job.hedge for job in run.jobs)
+
+
+class TestFailover:
+    def test_lost_node_keys_complete_on_survivors(self, fabric, fleet):
+        points = make_points(8)
+        client = fabric(node_down_after=2)
+        run = client.submit(points)
+        lost = run.jobs[0].node
+        fleet[lost].down = True
+        results = client.wait(run, timeout_s=30.0)
+        assert [r["workload"] for r in results] == \
+            [p.workload for p in points]
+        assert client.stats()["fabric.failovers"] == 1
+        replacement = [job for job in run.jobs
+                       if job.node != lost and
+                       set(job.keys) & set(run.jobs[0].keys)]
+        assert replacement and all(job.node != lost
+                                   for job in replacement)
+
+    def test_forgotten_job_fails_over_immediately(self, fabric, fleet):
+        # a 404 means the node lost its journal: no point retrying it
+        points = make_points(6)
+        client = fabric(node_down_after=5)
+        run = client.submit(points)
+        first = run.jobs[0]
+        del fleet[first.node].jobs[first.job_id]
+        results = client.wait(run, timeout_s=30.0)
+        assert len(results) == len(points)
+        assert client.stats()["fabric.failovers"] == 1
+
+    def test_transient_blip_below_threshold_recovers(self, fabric, fleet):
+        points = make_points(4)
+        for node in fleet.values():
+            node.auto_done = False
+        client = fabric(node_down_after=3)
+        run = client.submit(points)
+        job = run.jobs[0]
+        fleet[job.node].down = True
+        client._poll_job(run, job)
+        assert job.failures == 1 and not job.closed
+        fleet[job.node].down = False
+        fleet[job.node].finish()
+        client._poll_job(run, job)
+        assert job.failures == 0 and job.closed
+        assert client.stats()["fabric.failovers"] == 0
+
+    def test_failed_job_with_no_twin_raises(self, fabric, fleet):
+        for node in fleet.values():
+            node.auto_done = False
+        client = fabric()
+        run = client.submit(make_points(3))
+        job = run.jobs[0]
+        fleet[job.node].jobs[job.job_id]["state"] = "failed"
+        with pytest.raises(FabricError, match="failed"):
+            client.wait(run, timeout_s=5.0)
+
+    def test_all_nodes_down_raises(self, fabric, fleet):
+        client = fabric(node_down_after=1)
+        run = client.submit(make_points(3))
+        for node in fleet.values():
+            node.down = True
+        with pytest.raises(FabricError):
+            client.wait(run, timeout_s=5.0)
+
+
+class TestAttach:
+    def test_round_trip_resumes_a_run(self, fabric, fleet):
+        points = make_points(5)
+        client = fabric()
+        run = client.submit(points)
+        record = run.describe()
+        assert record["points"] == 5 and record["unique"] == 5
+
+        resumed = client.attach(points, record["jobs"])
+        assert [(j.node, j.job_id, j.keys) for j in resumed.jobs] == \
+            [(j.node, j.job_id, j.keys) for j in run.jobs]
+        results = client.wait(resumed)
+        assert [r["workload"] for r in results] == \
+            [p.workload for p in points]
+
+    def test_stray_keys_rejected(self, fabric):
+        client = fabric()
+        run = client.submit(make_points(3))
+        record = run.describe()
+        with pytest.raises(FabricError, match="re-planned"):
+            client.attach(make_points(3, seed=9), record["jobs"])
+
+    def test_uncovered_points_rejected(self, fabric):
+        client = fabric()
+        points = make_points(3)
+        record = client.submit(points).describe()
+        with pytest.raises(FabricError, match="no submitted job"):
+            client.attach(points + make_points(1, seed=9),
+                          record["jobs"])
+
+
+class TestValidation:
+    def test_node_down_after_must_be_positive(self, fleet):
+        with pytest.raises(ValueError, match="node_down_after"):
+            FabricClient(NODES, node_down_after=0,
+                         client_factory=fleet.__getitem__,
+                         hedge_after_s=None)
+
+    def test_wait_times_out_loudly(self, fabric, fleet, monkeypatch):
+        for node in fleet.values():
+            node.auto_done = False
+        client = fabric()
+        run = client.submit(make_points(2))
+        clock = iter([0.0] * 10 + [100.0] * 10)
+        monkeypatch.setattr("repro.fabric.client._mono_s",
+                            lambda: next(clock))
+        with pytest.raises(FabricError, match="unresolved after"):
+            client.wait(run, timeout_s=1.0)

@@ -1,0 +1,93 @@
+"""Every fabric knob parses strictly through repro.exec.env."""
+
+import pathlib
+import re
+
+import pytest
+
+import repro.fabric as fabric
+from repro.exec.env import EnvKnobError
+
+#: Knobs with numeric shapes (the ones with interesting failure modes).
+NUMERIC = (fabric.CLAIM_TTL_ENV, fabric.HEDGE_ENV, fabric.MAX_QUEUE_ENV)
+
+
+class TestKnobRegistry:
+    def test_every_source_literal_is_registered(self):
+        # the meta-invariant: any REPRO_* name mentioned anywhere in
+        # the fabric package must be in ENV_KNOBS, i.e. readable only
+        # through a strict repro.exec.env parser — a knob added without
+        # registering it here fails this test before it can rot
+        package = pathlib.Path(fabric.__file__).parent
+        mentioned = set()
+        for path in package.rglob("*.py"):
+            mentioned |= set(re.findall(r'"(REPRO_[A-Z0-9_]+)"',
+                                        path.read_text(encoding="utf-8")))
+        assert mentioned
+        assert mentioned <= set(fabric.ENV_KNOBS)
+
+    @pytest.mark.parametrize("name", sorted(fabric.ENV_KNOBS))
+    def test_unset_yields_the_default_silently(self, monkeypatch, name):
+        monkeypatch.delenv(name, raising=False)
+        fabric.ENV_KNOBS[name]()  # must not raise
+
+    @pytest.mark.parametrize("name", sorted(fabric.ENV_KNOBS))
+    def test_blank_counts_as_unset(self, monkeypatch, name):
+        monkeypatch.setenv(name, "   ")
+        assert fabric.ENV_KNOBS[name]() == self._default(name)
+
+    @staticmethod
+    def _default(name):
+        return {fabric.REMOTE_DIR_ENV: None,
+                fabric.CLAIM_TTL_ENV: fabric.DEFAULT_CLAIM_TTL_S,
+                fabric.HEDGE_ENV: None,
+                fabric.MAX_QUEUE_ENV: None,
+                fabric.NODES_ENV: []}[name]
+
+    @pytest.mark.parametrize("name", NUMERIC)
+    def test_garbage_rejected_naming_the_variable(self, monkeypatch,
+                                                  name):
+        monkeypatch.setenv(name, "banana")
+        with pytest.raises(EnvKnobError, match=name):
+            fabric.ENV_KNOBS[name]()
+
+
+class TestKnobShapes:
+    def test_claim_ttl_default_and_override(self, monkeypatch):
+        monkeypatch.delenv(fabric.CLAIM_TTL_ENV, raising=False)
+        assert fabric.claim_ttl_s() == fabric.DEFAULT_CLAIM_TTL_S
+        monkeypatch.setenv(fabric.CLAIM_TTL_ENV, "2.5")
+        assert fabric.claim_ttl_s() == 2.5
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "nan"])
+    def test_claim_ttl_must_be_positive_finite(self, monkeypatch, bad):
+        monkeypatch.setenv(fabric.CLAIM_TTL_ENV, bad)
+        with pytest.raises(EnvKnobError, match=fabric.CLAIM_TTL_ENV):
+            fabric.claim_ttl_s()
+
+    def test_hedge_unset_disables_hedging(self, monkeypatch):
+        monkeypatch.delenv(fabric.HEDGE_ENV, raising=False)
+        assert fabric.hedge_s() is None
+
+    def test_hedge_zero_rejected_not_hot_looped(self, monkeypatch):
+        # 0 would hedge every job on its first poll — a config error,
+        # not a fast setting
+        monkeypatch.setenv(fabric.HEDGE_ENV, "0")
+        with pytest.raises(EnvKnobError, match="> 0"):
+            fabric.hedge_s()
+
+    def test_max_queue_floor_is_one(self, monkeypatch):
+        monkeypatch.setenv(fabric.MAX_QUEUE_ENV, "0")
+        with pytest.raises(EnvKnobError, match=">= 1"):
+            fabric.max_queue()
+        monkeypatch.setenv(fabric.MAX_QUEUE_ENV, "1")
+        assert fabric.max_queue() == 1
+
+    def test_nodes_split_and_stripped(self, monkeypatch):
+        monkeypatch.setenv(fabric.NODES_ENV,
+                           " unix:/a.sock , ,unix:/b.sock ")
+        assert fabric.fabric_nodes() == ["unix:/a.sock", "unix:/b.sock"]
+
+    def test_remote_dir_passthrough(self, monkeypatch):
+        monkeypatch.setenv(fabric.REMOTE_DIR_ENV, " /mnt/fabric ")
+        assert fabric.remote_dir() == "/mnt/fabric"

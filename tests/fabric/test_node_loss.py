@@ -1,0 +1,79 @@
+"""SIGKILL a real node mid-campaign: survivors finish, bit-identically.
+
+The satellite contract for the fabric (docs/fabric.md): with N serve
+subprocesses sharing one remote tier, killing one node -9 while it is
+simulating must leave the campaign able to complete on the survivors
+with results bit-identical to a serial run, and must leave no orphaned
+in-flight claim on the tier.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.fabric.client import FabricClient
+from repro.fabric.smoke import start_node, stop_fabric
+from repro.fabric.tiers import SharedDirTier
+from repro.serve.smoke import comparable, serial_reference, smoke_points
+
+
+@pytest.fixture(scope="module")
+def points():
+    return smoke_points(seed=11)
+
+
+@pytest.fixture(scope="module")
+def expected(points):
+    return serial_reference(points)  # already comparable() documents
+
+
+def boot(tmp_path, count):
+    remote = tmp_path / "remote"
+    addresses, processes = [], []
+    for n in range(count):
+        address = f"unix:{tmp_path / f'n{n}.sock'}"
+        addresses.append(address)
+        processes.append(start_node(
+            tmp_path / f"n{n}-state", address, remote,
+            node_id=f"n{n}", workers=1, claim_ttl_s=1.0))
+    return remote, addresses, processes
+
+
+def drain_claims(tier, deadline_s=10.0):
+    """Claims release on the write-behind FIFO; give it a beat."""
+    waited = 0.0
+    while tier.claims() and waited < deadline_s:
+        time.sleep(0.1)
+        waited += 0.1
+    return tier.claims()
+
+
+@pytest.mark.parametrize("nodes", [2, 3])
+def test_sigkilled_node_fails_over_bit_identically(tmp_path, points,
+                                                   expected, nodes):
+    remote, addresses, processes = boot(tmp_path, nodes)
+    by_address = dict(zip(addresses, processes))
+    fabric = FabricClient(addresses, hedge_after_s=None,
+                          node_down_after=2, timeout_s=10.0)
+    try:
+        for client in fabric.clients.values():
+            client.wait_ready()
+        run = fabric.submit(points)
+        victim = max(run.jobs, key=lambda job: len(job.keys)).node
+        time.sleep(0.3)  # let the victim start simulating
+        process = by_address[victim]
+        # the whole process group: a bare kill() would orphan the
+        # node's forked pool workers, which hold the listening socket
+        os.killpg(process.pid, signal.SIGKILL)
+        process.wait(timeout=10.0)
+
+        results = fabric.wait(run, timeout_s=300.0)
+        assert [comparable(result) for result in results] == expected
+        assert fabric.stats()["fabric.failovers"] >= 1
+        # no orphaned in-flight entries once the survivors drain
+        assert drain_claims(SharedDirTier(remote)) == []
+    finally:
+        code = stop_fabric([p for p in processes if p.poll() is None])
+    assert code == 0, f"survivor shutdown exited {code}"

@@ -1,0 +1,97 @@
+"""Rendezvous ring: agreement, minimal disruption, spread."""
+
+import pytest
+
+from repro.fabric.ring import Ring, node_weight, rank_nodes
+
+NODES = ["unix:/run/n0.sock", "unix:/run/n1.sock", "unix:/run/n2.sock"]
+KEYS = [f"key-{n:04d}" for n in range(300)]
+
+
+class TestAgreement:
+    def test_membership_order_is_irrelevant(self):
+        forward = Ring(NODES)
+        backward = Ring(list(reversed(NODES)))
+        assert forward == backward
+        for key in KEYS[:50]:
+            assert forward.owners(key) == backward.owners(key)
+
+    def test_owner_order_is_deterministic(self):
+        ring = Ring(NODES)
+        for key in KEYS[:50]:
+            assert ring.owners(key) == ring.owners(key)
+            assert ring.owner(key) == ring.owners(key)[0]
+
+    def test_owner_order_is_a_permutation(self):
+        ring = Ring(NODES)
+        for key in KEYS[:50]:
+            assert sorted(ring.owners(key)) == ring.nodes
+
+    def test_count_truncates(self):
+        ring = Ring(NODES)
+        assert ring.owners("k", count=2) == ring.owners("k")[:2]
+
+    def test_weight_is_pure(self):
+        assert node_weight("k", "n") == node_weight("k", "n")
+        assert node_weight("k", "a") != node_weight("k", "b")
+
+    def test_rank_breaks_ties_totally(self):
+        # identical inputs rank identically no matter the list order
+        assert rank_nodes("k", NODES) == rank_nodes("k",
+                                                    list(reversed(NODES)))
+
+
+class TestMinimalDisruption:
+    def test_removal_only_moves_the_lost_nodes_keys(self):
+        ring = Ring(NODES)
+        lost = NODES[1]
+        survivor_ring = ring.without(lost)
+        moved = 0
+        for key in KEYS:
+            before = ring.owner(key)
+            after = survivor_ring.owner(key)
+            if before == lost:
+                moved += 1
+                assert after != lost
+                # the new owner is the key's next rendezvous choice
+                assert after == ring.owners(key)[1]
+            else:
+                assert after == before
+        assert moved > 0  # the lost node owned something
+
+    def test_without_unknown_node_is_identity(self):
+        ring = Ring(NODES)
+        assert ring.without("unix:/run/ghost.sock") == ring
+
+
+class TestSpread:
+    def test_keys_spread_over_all_nodes(self):
+        groups = Ring(NODES).assignment(KEYS)
+        assert sorted(groups) == sorted(NODES)
+        # uniform weights: no node starves or hoards (300 keys over
+        # 3 nodes; a lopsided hash would blow way past these bounds)
+        for keys in groups.values():
+            assert 50 <= len(keys) <= 150
+
+    def test_assignment_preserves_input_order(self):
+        groups = Ring(NODES).assignment(KEYS)
+        for node, keys in groups.items():
+            assert keys == [k for k in KEYS if Ring(NODES).owner(k) == node]
+
+
+class TestValidation:
+    def test_empty_membership_rejected(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            Ring([])
+
+    def test_blank_entries_stripped(self):
+        ring = Ring(["  a ", "", "b", "   "])
+        assert ring.nodes == ["a", "b"]
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Ring(["a", "b", " a "])
+
+    def test_single_node_ring_owns_everything(self):
+        ring = Ring(["solo"])
+        assert all(ring.owner(key) == "solo" for key in KEYS[:10])

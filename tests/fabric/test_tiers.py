@@ -1,0 +1,156 @@
+"""Shared-directory remote tier: blobs, claims, tiered read-through."""
+
+import json
+
+import pytest
+
+from repro.exec.cache import ResultCache, point_key
+from repro.fabric.tiers import SharedDirTier, make_tiered_cache
+from repro.sim.runner import DesignPoint, run_point
+
+FAST = dict(instructions=6_000, rows_per_bank=512, refresh_scale=1 / 256)
+POINT = DesignPoint(workload="add", design="baseline", **FAST)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_point(POINT)
+
+
+@pytest.fixture
+def tier(tmp_path):
+    return SharedDirTier(tmp_path / "remote")
+
+
+class TestBlobs:
+    def test_round_trip(self, tier):
+        tier.put_blob("ab" * 32, {"x": 1})
+        assert tier.get_blob("ab" * 32) == {"x": 1}
+        assert len(tier) == 1
+
+    def test_miss_returns_none(self, tier):
+        assert tier.get_blob("cd" * 32) is None
+
+    def test_corrupt_entry_is_a_miss(self, tier):
+        key = "ab" * 32
+        tier.put_blob(key, {"x": 1})
+        tier._blob_path(key).write_text("{trunc", encoding="utf-8")
+        assert tier.get_blob(key) is None
+
+    def test_overwrite_is_atomic_replace(self, tier):
+        key = "ab" * 32
+        tier.put_blob(key, {"x": 1})
+        tier.put_blob(key, {"x": 2})
+        assert tier.get_blob(key) == {"x": 2}
+        assert len(tier) == 1
+
+
+class TestClaims:
+    def test_exactly_one_claimant_wins(self, tier):
+        assert tier.claim("k1", "node-a") is True
+        assert tier.claim("k1", "node-b") is False
+        assert tier.claim_owner("k1") == "node-a"
+
+    def test_release_requires_ownership(self, tier):
+        tier.claim("k1", "node-a")
+        tier.release("k1", "node-b")  # not the owner: must not unlink
+        assert tier.claim_owner("k1") == "node-a"
+        tier.release("k1", "node-a")
+        assert tier.claim_owner("k1") is None
+        assert tier.claims() == []
+
+    def test_claim_age(self, tier):
+        assert tier.claim_age_s("k1") is None
+        tier.claim("k1", "node-a")
+        age = tier.claim_age_s("k1")
+        assert age is not None and age >= 0.0
+
+    def test_steal_transfers_ownership(self, tier):
+        tier.claim("k1", "dead-node")
+        assert tier.steal_claim("k1", "node-b") is True
+        assert tier.claim_owner("k1") == "node-b"
+        # the original holder's release must now be a no-op
+        tier.release("k1", "dead-node")
+        assert tier.claim_owner("k1") == "node-b"
+
+    def test_steal_of_missing_claim_loses(self, tier):
+        assert tier.steal_claim("k1", "node-b") is False
+        assert tier.claims() == []
+
+    def test_claims_listing_sorted(self, tier):
+        tier.claim("bb", "n")
+        tier.claim("aa", "n")
+        assert tier.claims() == ["aa", "bb"]
+
+
+class TestTieredCache:
+    def make(self, tmp_path, tag, **kwargs):
+        kwargs.setdefault("claim_ttl_s", 30.0)
+        return make_tiered_cache(tmp_path / f"{tag}-local",
+                                 tmp_path / "remote", owner=tag,
+                                 **kwargs)
+
+    def test_read_through_populates_local(self, tmp_path, result):
+        writer = self.make(tmp_path, "writer")
+        writer.put(POINT, result)
+        writer.close()  # drain the write-behind queue
+        assert writer.remote.writes == 1
+
+        reader = self.make(tmp_path, "reader")
+        back = reader.get(POINT)
+        assert back is not None and back.ipcs == result.ipcs
+        assert reader.remote.hits == 1
+        # the fill landed locally: next lookup never leaves the node
+        assert ResultCache(tmp_path / "reader-local").get(POINT) is not None
+
+    def test_miss_counts_once_per_lookup(self, tmp_path):
+        cache = self.make(tmp_path, "n0")
+        assert cache.get(POINT) is None
+        assert cache.remote.misses == 1
+
+    def test_peek_remote_never_counts_a_miss(self, tmp_path):
+        cache = self.make(tmp_path, "n0")
+        assert cache.peek_remote(POINT) is None
+        assert cache.remote.misses == 0
+        assert cache.remote.hit_rate == 0.0
+
+    def test_put_claimed_publishes_then_releases(self, tmp_path, result):
+        cache = self.make(tmp_path, "n0")
+        key = point_key(POINT, cache.salt)
+        assert cache.try_claim(key) is True
+        assert cache.remote.claims == 1
+        cache.put_claimed(POINT, result)
+        cache.flush()
+        # after the FIFO drains: result visible AND claim gone — never
+        # the reverse order
+        assert cache.tier.get_blob(key) is not None
+        assert cache.tier.claims() == []
+
+    def test_claim_denied_counted(self, tmp_path):
+        first = self.make(tmp_path, "n0")
+        second = self.make(tmp_path, "n1")
+        key = point_key(POINT, first.salt)
+        assert first.try_claim(key) is True
+        assert second.try_claim(key) is False
+        assert second.remote.claim_denied == 1
+
+    def test_steal_counted(self, tmp_path):
+        first = self.make(tmp_path, "n0")
+        second = self.make(tmp_path, "n1")
+        key = point_key(POINT, first.salt)
+        first.try_claim(key)
+        assert second.steal_claim(key) is True
+        assert second.remote.steals == 1
+
+    def test_ttl_knob_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FABRIC_CLAIM_TTL_S", "2.5")
+        cache = make_tiered_cache(tmp_path / "local",
+                                  tmp_path / "remote", owner="n0")
+        assert cache.claim_ttl_s == 2.5
+
+    def test_undecodable_remote_entry_is_a_miss(self, tmp_path):
+        cache = self.make(tmp_path, "n0")
+        key = point_key(POINT, cache.salt)
+        cache.tier.put_blob(key, {"not": "a result"})
+        assert cache.get(POINT) is None
+        assert cache.remote.misses == 1

@@ -1,0 +1,119 @@
+"""Jittered exponential poll backoff in ServeClient.wait."""
+
+import itertools
+
+import pytest
+
+from repro.serve.client import ServeClient, poll_delays, poll_jitter
+
+
+class TestPollJitter:
+    def test_bounded(self):
+        for attempt in range(200):
+            factor = poll_jitter("job-1", attempt)
+            assert 0.75 <= factor <= 1.25
+
+    def test_deterministic(self):
+        assert poll_jitter("job-1", 3) == poll_jitter("job-1", 3)
+
+    def test_tokens_desynchronise(self):
+        # different jobs polling together must not tick in lockstep
+        a = [poll_jitter("job-a", n) for n in range(8)]
+        b = [poll_jitter("job-b", n) for n in range(8)]
+        assert a != b
+
+    def test_no_global_rng_touched(self):
+        import random
+        state = random.getstate()
+        poll_jitter("job-1", 0)
+        assert random.getstate() == state
+
+
+class TestPollDelays:
+    def test_doubles_up_to_the_cap(self):
+        raw = [delay / poll_jitter("t", n) for n, delay in
+               enumerate(itertools.islice(poll_delays("t", 0.1, 5.0),
+                                          10))]
+        assert raw[:6] == pytest.approx([0.1, 0.2, 0.4, 0.8, 1.6, 3.2])
+        assert raw[6:] == pytest.approx([5.0] * 4)  # capped, stays put
+
+    def test_huge_attempt_counts_do_not_overflow(self):
+        delays = poll_delays("t", 0.1, 5.0)
+        last = [next(delays) for _ in range(100)][-1]
+        assert last <= 5.0 * 1.25
+
+    def test_cap_bounds_poll_traffic(self):
+        # a 600 s wait at cap 5 s costs ~ the backoff ramp + T/cap
+        # polls — two orders of magnitude under fixed 0.1 s polling
+        total, polls = 0.0, 0
+        for delay in poll_delays("t", 0.1, 5.0):
+            total += delay
+            polls += 1
+            if total >= 600.0:
+                break
+        assert polls <= 135
+
+
+class FakeTransport(ServeClient):
+    """ServeClient with a scripted status endpoint (no sockets)."""
+
+    def __init__(self, states):
+        super().__init__("unix:/nonexistent.sock")
+        self.states = iter(states)
+        self.polls = 0
+
+    def status(self, job_id):
+        self.polls += 1
+        return {"state": next(self.states)}
+
+
+class TestWaitBackoff:
+    @pytest.fixture
+    def clock(self, monkeypatch):
+        """Virtual time: _sleep advances, _now reads."""
+        state = {"now": 0.0, "slept": []}
+        monkeypatch.setattr("repro.serve.client._now",
+                            lambda: state["now"])
+
+        def sleep(seconds):
+            state["slept"].append(seconds)
+            state["now"] += seconds
+        monkeypatch.setattr("repro.serve.client._sleep", sleep)
+        return state
+
+    def test_returns_on_terminal_state(self, clock):
+        client = FakeTransport(["queued", "running", "done"])
+        document = client.wait("job-1", timeout_s=600.0)
+        assert document["state"] == "done"
+        assert client.polls == 3
+
+    def test_sleeps_follow_the_backoff_schedule(self, clock):
+        client = FakeTransport(["running"] * 10 + ["done"])
+        client.wait("job-1", timeout_s=600.0, poll_s=0.1, max_poll_s=5.0)
+        expected = list(itertools.islice(
+            poll_delays("job-1", 0.1, 5.0), 10))
+        assert clock["slept"] == pytest.approx(expected)
+
+    def test_poll_count_is_logarithmic_not_linear(self, clock):
+        # a job finishing at t=600 s: fixed 0.1 s polling would issue
+        # 6000 status calls; backoff must stay within ~ramp + T/cap
+        client = FakeTransport(itertools.chain(
+            itertools.repeat("running", 10_000)))
+        with pytest.raises(TimeoutError):
+            client.wait("job-1", timeout_s=600.0, poll_s=0.1,
+                        max_poll_s=5.0)
+        assert client.polls <= 140
+
+    def test_timeout_is_honoured(self, clock):
+        client = FakeTransport(itertools.repeat("running"))
+        with pytest.raises(TimeoutError, match="not finished after"):
+            client.wait("job-1", timeout_s=3.0)
+        assert clock["now"] <= 3.0 + 5.0  # never sleeps past deadline
+
+    def test_final_sleep_clamped_to_deadline(self, clock):
+        client = FakeTransport(itertools.repeat("running"))
+        with pytest.raises(TimeoutError):
+            client.wait("job-1", timeout_s=2.0, poll_s=0.1,
+                        max_poll_s=60.0)
+        # no single sleep may overshoot the remaining budget
+        assert all(s <= 2.0 for s in clock["slept"])
